@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench report examples all clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+report:
+	$(PYTHON) -m repro.experiments.runner
+
+save-report:
+	$(PYTHON) -c "from repro.experiments import save_report; print('\n'.join(save_report('reports')))"
+
+examples:
+	@for script in examples/*.py; do \
+		echo "== $$script =="; \
+		$(PYTHON) $$script; \
+		echo; \
+	done
+
+all: test bench report
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results reports
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one experiment table (DESIGN.md's E-index), times
+its core computation via pytest-benchmark, asserts the paper-facing claim,
+and writes the rendered table to ``benchmarks/results/<id>.txt`` so the full
+report survives output capturing.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Persist an ExperimentTable under benchmarks/results/."""
+
+    def _record(table):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{table.experiment_id.lower()}.txt"
+        path.write_text(table.render() + "\n")
+        return table
+
+    return _record

@@ -1,0 +1,62 @@
+"""Ablation A1 — how much the weight ordering matters (DESIGN.md choice).
+
+The Fig. 1 heuristic has two pieces: the cell *ordering* and the cut-point
+DP.  This ablation fixes the DP and swaps the ordering, confirming that the
+paper's weight order is the load-bearing choice (random or index orders
+optimized by the same DP pay substantially more).
+"""
+
+import numpy as np
+
+from repro.core import (
+    by_expected_devices,
+    by_max_probability,
+    by_miss_probability,
+    identity,
+    optimize_over_order,
+    random_order,
+)
+from repro.distributions import instance_family
+from repro.experiments.tables import ExperimentTable
+
+
+def run_ordering_ablation(trials=12, rng=None):
+    if rng is None:
+        rng = np.random.default_rng(101)
+    table = ExperimentTable(
+        "A1",
+        "Ordering ablation: mean EP of the cut DP over different cell orders",
+        ["family", "weight", "max_prob", "miss_prob", "index", "random"],
+    )
+    orders = {
+        "weight": by_expected_devices,
+        "max_prob": by_max_probability,
+        "miss_prob": by_miss_probability,
+        "index": identity,
+    }
+    for family in ("zipf", "hotspot", "skewed-dirichlet"):
+        sums = {name: 0.0 for name in orders}
+        sums["random"] = 0.0
+        for _ in range(trials):
+            instance = instance_family(family, 3, 10, 3, rng=rng)
+            for name, order_fn in orders.items():
+                result = optimize_over_order(instance, order_fn(instance))
+                sums[name] += float(result.expected_paging)
+            shuffled = optimize_over_order(instance, random_order(instance, rng))
+            sums["random"] += float(shuffled.expected_paging)
+        table.add_row(
+            family,
+            *(sums[name] / trials for name in ("weight", "max_prob", "miss_prob", "index", "random")),
+        )
+    table.add_note("the weight order should be best or tied in every family")
+    return table
+
+
+def test_ablation_ordering(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(run_ordering_ablation, rounds=1, iterations=1)
+    )
+    for row in table.as_dicts():
+        competitors = (row["max_prob"], row["miss_prob"], row["index"], row["random"])
+        assert row["weight"] <= min(competitors) + 0.35, row
+        assert row["weight"] <= row["random"]  # uninformed order always worse

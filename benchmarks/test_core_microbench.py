@@ -1,0 +1,55 @@
+"""Micro-benchmarks for the core primitives (performance tracking).
+
+Not tied to a paper claim; these pin the cost of the operations everything
+else is built from, so regressions surface in the benchmark report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    Strategy,
+    by_expected_devices,
+    expected_paging_float,
+    optimal_strategy,
+)
+
+
+def _instance(num_devices, num_cells, max_rounds, seed=7):
+    rng = np.random.default_rng(seed)
+    matrix = rng.dirichlet(np.ones(num_cells), size=num_devices)
+    return PagingInstance.from_array(matrix, max_rounds=max_rounds)
+
+
+@pytest.mark.parametrize("num_cells", [16, 64, 256])
+def test_expected_paging_cost(benchmark, num_cells):
+    instance = _instance(3, num_cells, 4)
+    strategy = Strategy.from_order_and_sizes(
+        tuple(range(num_cells)), (num_cells // 4,) * 4
+    )
+    value = benchmark(expected_paging_float, instance, strategy)
+    assert 0 < value <= num_cells
+
+
+@pytest.mark.parametrize("num_cells", [64, 512])
+def test_weight_ordering_cost(benchmark, num_cells):
+    instance = _instance(4, num_cells, 4)
+    order = benchmark(by_expected_devices, instance)
+    assert len(order) == num_cells
+
+
+@pytest.mark.parametrize("num_cells", [8, 11])
+def test_exact_solver_cost(benchmark, num_cells):
+    instance = _instance(2, num_cells, 3)
+    result = benchmark.pedantic(
+        optimal_strategy, args=(instance,), rounds=2, iterations=1
+    )
+    assert result.strategy.num_cells == num_cells
+
+
+def test_prefix_probabilities_cost(benchmark):
+    instance = _instance(4, 256, 4)
+    order = by_expected_devices(instance)
+    finds = benchmark(instance.prefix_find_probabilities, order)
+    assert finds[-1] == pytest.approx(1.0)

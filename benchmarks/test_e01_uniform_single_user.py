@@ -1,0 +1,18 @@
+"""E1 — the Section 1.1 uniform example: EP = 3c/4 at d = 2 (m = 1)."""
+
+import pytest
+
+from repro.core import PagingInstance, optimal_single_user
+from repro.experiments import run_e01_uniform_single_user
+
+
+def test_e01_uniform_single_user(benchmark, record_table):
+    instance = PagingInstance.uniform(1, 64, 2, exact=True)
+    result = benchmark(optimal_single_user, instance)
+    assert float(result.expected_paging) == pytest.approx(48.0)  # 3c/4
+
+    table = record_table(run_e01_uniform_single_user())
+    for row in table.as_dicts():
+        assert row["optimal_ep"] == pytest.approx(row["closed_form"])
+        if row["d"] == 2:
+            assert row["saving"] == pytest.approx(row["c"] / 4)

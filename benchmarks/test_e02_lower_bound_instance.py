@@ -1,0 +1,30 @@
+"""E2 — the Section 4.3 instance: optimal 317/49, heuristic 320/49."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    conference_call_heuristic,
+    lower_bound_instance,
+    optimal_strategy,
+)
+from repro.experiments import run_e02_lower_bound
+
+
+def test_e02_lower_bound_instance(benchmark, record_table):
+    instance = lower_bound_instance()
+
+    def solve_both():
+        return (
+            optimal_strategy(instance).expected_paging,
+            conference_call_heuristic(instance).expected_paging,
+        )
+
+    optimal_value, heuristic_value = benchmark(solve_both)
+    assert optimal_value == Fraction(317, 49)
+    assert heuristic_value == Fraction(320, 49)
+
+    table = record_table(run_e02_lower_bound())
+    for row in table.as_dicts():
+        assert row["ratio"] == pytest.approx(320 / 317, abs=2e-4)

@@ -1,0 +1,25 @@
+"""E3 — empirical approximation ratios vs the e/(e-1) guarantee."""
+
+import math
+
+import numpy as np
+
+from repro.analysis import measure_ratio
+from repro.distributions import instance_family
+from repro.experiments import run_e03_ratio_sweep
+
+E_FACTOR = math.e / (math.e - 1.0)
+
+
+def test_e03_ratio_sweep(benchmark, record_table):
+    rng = np.random.default_rng(33)
+    instance = instance_family("adversarial", 2, 8, 2, rng=rng)
+    sample = benchmark(measure_ratio, instance)
+    assert 1.0 - 1e-9 <= sample.ratio <= E_FACTOR + 1e-9
+
+    table = record_table(
+        run_e03_ratio_sweep(trials=20, rng=np.random.default_rng(3))
+    )
+    for row in table.as_dicts():
+        assert row["max_ratio"] <= E_FACTOR + 1e-9
+        assert row["mean_ratio"] >= 1.0 - 1e-9

@@ -1,0 +1,17 @@
+"""E4 — Lemma 3.1's unique maximum at (1/2, 2c/3)."""
+
+import pytest
+
+from repro.analysis import grid_check_lemma31
+from repro.experiments import run_e04_lemma31
+
+
+def test_e04_lemma31(benchmark, record_table):
+    check = benchmark(grid_check_lemma31, 9, grid=150)
+    assert check.claim_holds
+    assert check.best_found_point[0] == pytest.approx(0.5, abs=0.02)
+
+    table = record_table(run_e04_lemma31())
+    assert all(value == "True" for value in table.column("grid_holds"))
+    for gradient in table.column("grad_norm"):
+        assert gradient < 1e-3

@@ -1,0 +1,17 @@
+"""E5 — Lemma 3.4's alpha/b chain maximizes the gadget sum."""
+
+import numpy as np
+
+from repro.analysis import grid_check_lemma34
+from repro.experiments import run_e05_lemma34
+
+
+def test_e05_lemma34(benchmark, record_table):
+    check = benchmark(
+        grid_check_lemma34, 2, 3, 12.0, samples=30_000,
+        rng=np.random.default_rng(5),
+    )
+    assert check.claim_holds
+
+    table = record_table(run_e05_lemma34(samples=50_000))
+    assert all(value == "True" for value in table.column("holds"))

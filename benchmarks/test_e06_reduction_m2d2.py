@@ -1,0 +1,41 @@
+"""E6 — Lemma 3.2/3.5: partition questions <-> optimal expected paging."""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.core import optimal_strategy
+from repro.experiments import run_e06_reduction_general, run_e06_reduction_m2d2
+from repro.hardness import reduce_quasipartition1_to_conference_call
+
+
+def test_e06_reduction_m2d2(benchmark, record_table):
+    sizes = [Fraction(v) for v in (3, 1, 2, 2, 1, 3)]
+
+    def reduce_and_solve():
+        reduction = reduce_quasipartition1_to_conference_call(sizes)
+        return optimal_strategy(reduction.instance), reduction
+
+    result, reduction = benchmark(reduce_and_solve)
+    assert result.expected_paging == reduction.lower_bound  # yes-instance
+
+    table = record_table(run_e06_reduction_m2d2(trials=12, rng=np.random.default_rng(6)))
+    row = table.as_dicts()[0]
+    assert row["equivalences_hold"] == row["trials"]
+
+
+def test_e06b_reduction_general(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e06_reduction_general,
+            kwargs={
+                "configurations": ((2, 2, 6), (3, 2, 4)),
+                "trials": 5,
+                "rng": np.random.default_rng(66),
+            },
+            rounds=1,
+            iterations=1,
+        )
+    )
+    for row in table.as_dicts():
+        assert row["equivalences_hold"] == row["trials"]

@@ -1,0 +1,31 @@
+"""E7 — Theorem 4.8: the heuristic runs in O(c(m + dc)) time.
+
+pytest-benchmark times the Fig. 1 algorithm at several cell counts; the
+normalized cost per work unit must stay roughly flat as c quadruples.
+"""
+
+import pytest
+
+from repro.experiments import heuristic_workload, run_e07_dp_scaling
+from repro.core import conference_call_heuristic
+
+
+@pytest.mark.parametrize("num_cells", [40, 80, 160])
+def test_e07_heuristic_scaling(benchmark, num_cells):
+    instance = heuristic_workload(3, num_cells, 5)
+    result = benchmark(conference_call_heuristic, instance)
+    assert sum(result.group_sizes) == num_cells
+
+
+def test_e07_scaling_table(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e07_dp_scaling,
+            kwargs={"cell_counts": (20, 40, 80, 160)},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    costs = table.column("ns_per_unit")
+    # Normalized cost must not grow with c: allow generous slack for noise.
+    assert costs[-1] <= costs[0] * 3.0

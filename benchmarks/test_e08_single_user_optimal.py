@@ -1,0 +1,20 @@
+"""E8 — m = 1: the probability-sorted DP is exactly optimal."""
+
+import numpy as np
+import pytest
+
+from repro.core import optimal_single_user
+from repro.distributions import zipf_instance
+from repro.experiments import run_e08_single_user_optimal
+
+
+def test_e08_single_user_optimal(benchmark, record_table):
+    instance = zipf_instance(1, 100, 5, rng=np.random.default_rng(8))
+    result = benchmark(optimal_single_user, instance)
+    assert float(result.expected_paging) < 100
+
+    table = record_table(
+        run_e08_single_user_optimal(trials=15, rng=np.random.default_rng(88))
+    )
+    for gap in table.column("max_abs_gap"):
+        assert gap == pytest.approx(0.0, abs=1e-9)

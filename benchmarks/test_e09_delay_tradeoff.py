@@ -1,0 +1,24 @@
+"""E9 — the delay/paging trade-off: EP falls monotonically with d."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_e09_delay_tradeoff
+
+
+def test_e09_delay_tradeoff(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e09_delay_tradeoff,
+            kwargs={"num_cells": 10, "rng": np.random.default_rng(9)},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    optimal = table.column("optimal_ep")
+    heuristic = table.column("heuristic_ep")
+    assert optimal[0] == pytest.approx(10.0)  # d = 1 means blanket paging
+    for i in range(len(optimal) - 1):
+        assert optimal[i + 1] <= optimal[i] + 1e-9
+    for opt, heur in zip(optimal, heuristic):
+        assert opt <= heur + 1e-9

@@ -1,0 +1,19 @@
+"""E10 — adaptive replanning vs the oblivious heuristic (Section 5)."""
+
+import numpy as np
+
+from repro.core import adaptive_expected_paging
+from repro.distributions import instance_family
+from repro.experiments import run_e10_adaptive
+
+
+def test_e10_adaptive(benchmark, record_table):
+    instance = instance_family("hotspot", 2, 8, 3, rng=np.random.default_rng(10))
+    value = benchmark(adaptive_expected_paging, instance)
+    assert 1.0 <= float(value) <= 8.0
+
+    table = record_table(
+        run_e10_adaptive(trials=6, rng=np.random.default_rng(100))
+    )
+    for row in table.as_dicts():
+        assert row["mean_adaptive"] <= row["mean_oblivious"] + 1e-9

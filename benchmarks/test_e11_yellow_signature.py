@@ -1,0 +1,32 @@
+"""E11 — Yellow Pages orderings and the Signature quorum sweep."""
+
+import numpy as np
+
+from repro.core import signature_heuristic, yellow_pages_greedy
+from repro.distributions import instance_family
+from repro.experiments import run_e11_signature_sweep, run_e11_yellow_pages
+
+
+def test_e11_yellow_pages(benchmark, record_table):
+    instance = instance_family("hotspot", 3, 10, 3, rng=np.random.default_rng(11))
+    result = benchmark(yellow_pages_greedy, instance)
+    assert 1.0 <= float(result.expected_paging) <= 10.0
+
+    table = record_table(
+        run_e11_yellow_pages(trials=8, rng=np.random.default_rng(111))
+    )
+    for row in table.as_dicts():
+        assert row["greedy_hit"] <= row["random"] + 1e-9
+
+
+def test_e11_signature_sweep(benchmark, record_table):
+    instance = instance_family("hotspot", 4, 10, 3, rng=np.random.default_rng(12))
+    result = benchmark(signature_heuristic, instance, 2)
+    assert 1.0 <= float(result.expected_paging) <= 10.0
+
+    table = record_table(
+        run_e11_signature_sweep(rng=np.random.default_rng(112))
+    )
+    values = table.column("weight_order_ep")
+    for i in range(len(values) - 1):
+        assert values[i] <= values[i + 1] + 1e-9

@@ -1,0 +1,38 @@
+"""E13 — the end-to-end cellular simulation (the Section 1.1 motivation)."""
+
+import pytest
+
+from repro.experiments import run_e13_cellnet, run_e13_reporting_tradeoff
+
+
+def test_e13_cellnet_end_to_end(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e13_cellnet,
+            kwargs={"radius": 3, "num_devices": 6, "horizon": 500, "seed": 13},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    rows = {row["pager"]: row for row in table.as_dicts()}
+    assert rows["blanket"]["rounds_per_call"] == pytest.approx(1.0)
+    assert rows["heuristic"]["saving_vs_blanket"] > 0.1
+    assert rows["adaptive"]["cells_per_call"] <= rows["blanket"]["cells_per_call"]
+    # Identical call streams across policies.
+    calls = {row["calls"] for row in table.as_dicts()}
+    assert len(calls) == 1
+
+
+def test_e13b_reporting_tradeoff(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e13_reporting_tradeoff,
+            kwargs={"radius": 3, "num_devices": 5, "horizon": 400},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    rows = {row["reporting"]: row for row in table.as_dicts()}
+    assert rows["never"]["reports"] == 0
+    assert rows["always"]["cells_paged"] <= rows["never"]["cells_paged"]
+    assert rows["la"]["cells_paged"] <= rows["never"]["cells_paged"]

@@ -1,0 +1,27 @@
+"""E14 — the Lemma 3.7 Partition <-> Quasipartition2 round trip."""
+
+import numpy as np
+
+from repro.experiments import run_e14_quasipartition2
+from repro.hardness import (
+    PartitionInstance,
+    reduce_partition_to_quasipartition2,
+    solve_quasipartition2,
+)
+
+
+def test_e14_quasipartition2(benchmark, record_table):
+    instance = PartitionInstance((3, 1, 2, 2, 5, 3))
+
+    def reduce_and_solve():
+        reduction = reduce_partition_to_quasipartition2(instance)
+        return solve_quasipartition2(reduction.sizes, reduction.parameters)
+
+    witness = benchmark(reduce_and_solve)
+    assert witness is not None  # (3,1,2,2,5,3) has a balanced half
+
+    table = record_table(
+        run_e14_quasipartition2(trials=10, rng=np.random.default_rng(14))
+    )
+    row = table.as_dicts()[0]
+    assert row["equivalences_hold"] == row["trials"]

@@ -1,0 +1,18 @@
+"""E15 — the clustered-probability exhaustive scheme (Section 5)."""
+
+import numpy as np
+
+from repro.core import clustered_exhaustive
+from repro.distributions import clustered_instance
+from repro.experiments import run_e15_clustered
+
+
+def test_e15_clustered_scheme(benchmark, record_table):
+    instance = clustered_instance(2, 10, 3, rng=np.random.default_rng(15), num_levels=2)
+    result = benchmark(clustered_exhaustive, instance)
+    assert len(result.clusters) <= 2
+
+    table = record_table(
+        run_e15_clustered(trials=5, rng=np.random.default_rng(150))
+    )
+    assert all(value == "True" for value in table.column("scheme_optimal"))

@@ -1,0 +1,19 @@
+"""E16 — the Section 4.1 O(c) scan stays within 4/3 of optimal."""
+
+import numpy as np
+
+from repro.core import two_device_two_round_heuristic
+from repro.distributions import instance_family
+from repro.experiments import run_e16_four_thirds
+
+
+def test_e16_four_thirds(benchmark, record_table):
+    instance = instance_family("hotspot", 2, 50, 2, rng=np.random.default_rng(16))
+    result = benchmark(two_device_two_round_heuristic, instance)
+    assert 1 <= result.first_round_size < 50
+
+    table = record_table(
+        run_e16_four_thirds(trials=20, rng=np.random.default_rng(160))
+    )
+    for row in table.as_dicts():
+        assert row["max_ratio"] <= row["bound"] + 1e-9

@@ -1,0 +1,19 @@
+"""E17 — the Section 5 lifting (c, 2, d) -> (c+1, m, d+1)."""
+
+import numpy as np
+
+from repro.experiments import run_e17_lifting
+
+
+def test_e17_lifting(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e17_lifting,
+            kwargs={"trials": 4, "num_cells": 4, "rng": np.random.default_rng(17)},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    assert all(value == "True" for value in table.column("first_group_is_extra"))
+    for gap in table.column("gap"):
+        assert -1e-9 <= gap < 0.5  # near-optimal continuation

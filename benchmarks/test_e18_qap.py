@@ -1,0 +1,17 @@
+"""E18 — the Section 5.1 QAP formulation cross-check."""
+
+import numpy as np
+
+from repro.distributions import instance_family
+from repro.experiments import run_e18_qap
+from repro.hardness import formulate_qap, solve_qap_bruteforce
+
+
+def test_e18_qap(benchmark, record_table):
+    instance = instance_family("dirichlet", 2, 6, 6, rng=np.random.default_rng(18))
+    formulation = formulate_qap(instance)
+    _pi, objective = benchmark(solve_qap_bruteforce, formulation)
+    assert 0 < float(objective) < 6
+
+    table = record_table(run_e18_qap(trials=4, rng=np.random.default_rng(180)))
+    assert all(value == "True" for value in table.column("agree"))

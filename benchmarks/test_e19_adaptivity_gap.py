@@ -1,0 +1,20 @@
+"""E19 — the adaptivity gap: optimal oblivious vs optimal adaptive."""
+
+import numpy as np
+
+from repro.core import optimal_adaptive_expected_paging
+from repro.distributions import instance_family
+from repro.experiments import run_e19_adaptivity_gap
+
+
+def test_e19_adaptivity_gap(benchmark, record_table):
+    instance = instance_family("dirichlet", 2, 7, 3, rng=np.random.default_rng(19))
+    result = benchmark(optimal_adaptive_expected_paging, instance)
+    assert 1.0 <= float(result.expected_paging) <= 7.0
+
+    table = record_table(
+        run_e19_adaptivity_gap(trials=5, rng=np.random.default_rng(190))
+    )
+    for row in table.as_dicts():
+        assert row["mean_gap"] >= 1.0 - 1e-9
+        assert row["mean_adaptive_opt"] <= row["mean_oblivious_opt"] + 1e-9

@@ -1,0 +1,29 @@
+"""E20 — imperfect detection: cyclic paging under the collision model."""
+
+import numpy as np
+
+from repro.core import ConstantDetection, expected_paging_imperfect_monte_carlo, optimal_single_user
+from repro.distributions import zipf_instance
+from repro.experiments import run_e20_imperfect_detection
+
+
+def test_e20_imperfect_detection(benchmark, record_table):
+    rng = np.random.default_rng(20)
+    instance = zipf_instance(1, 8, 3, rng=rng)
+    plan = optimal_single_user(instance)
+    estimate = benchmark.pedantic(
+        expected_paging_imperfect_monte_carlo,
+        args=(instance, plan.strategy, ConstantDetection(0.7)),
+        kwargs={"trials": 2_000, "rng": np.random.default_rng(7)},
+        rounds=1,
+        iterations=1,
+    )
+    assert estimate > float(plan.expected_paging)  # misses cost extra sweeps
+
+    table = record_table(
+        run_e20_imperfect_detection(trials=2_000, rng=np.random.default_rng(200))
+    )
+    rows = table.as_dicts()
+    assert rows[0]["q"] == 1.0
+    for row in rows:
+        assert row["multi_heuristic_mc"] <= row["multi_blanket_mc"] + 1e-9

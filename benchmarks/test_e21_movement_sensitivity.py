@@ -1,0 +1,25 @@
+"""E21 — sensitivity to the "no movement during search" assumption."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_e21_movement_sensitivity
+
+
+def test_e21_movement_sensitivity(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e21_movement_sensitivity,
+            kwargs={"trials": 2_500, "rng": np.random.default_rng(21)},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    rows = table.as_dicts()
+    # mobility 0 must reproduce the stationary model (Lemma 2.1).
+    assert rows[0]["d2_inflation"] == pytest.approx(1.0, abs=0.05)
+    assert rows[0]["d5_inflation"] == pytest.approx(1.0, abs=0.05)
+    assert rows[0]["d2_miss_rate"] == 0.0
+    # Miss rates grow with mobility, and the longer strategy misses more.
+    assert rows[-1]["d2_miss_rate"] <= rows[-1]["d5_miss_rate"] + 0.02
+    assert rows[-1]["d5_miss_rate"] > 0.0

@@ -1,0 +1,55 @@
+"""E22 — large-scale planning: the vectorized Fig. 1 heuristic.
+
+Production location areas have hundreds of cells; this benchmark shows the
+numpy planner handles c = 800 with a 5-round budget comfortably and agrees
+with the pure-Python reference where both run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    conference_call_heuristic,
+    conference_call_heuristic_fast,
+)
+from repro.experiments.tables import ExperimentTable
+
+
+def _instance(num_cells, num_devices=4, max_rounds=5, seed=22):
+    rng = np.random.default_rng(seed)
+    matrix = rng.dirichlet(np.ones(num_cells), size=num_devices)
+    return PagingInstance.from_array(matrix, max_rounds=max_rounds)
+
+
+@pytest.mark.parametrize("num_cells", [200, 800])
+def test_e22_fast_planner(benchmark, num_cells):
+    instance = _instance(num_cells)
+    result = benchmark(conference_call_heuristic_fast, instance)
+    assert sum(result.group_sizes) == num_cells
+
+
+def test_e22_agreement_table(benchmark, record_table):
+    def build():
+        table = ExperimentTable(
+            "E22",
+            "Large-scale planning: fast vs reference heuristic",
+            ["c", "reference_ep", "fast_ep", "agree"],
+        )
+        for c in (50, 120, 250):
+            instance = _instance(c)
+            reference = conference_call_heuristic(instance)
+            fast = conference_call_heuristic_fast(instance)
+            table.add_row(
+                c,
+                float(reference.expected_paging),
+                float(fast.expected_paging),
+                str(
+                    abs(float(reference.expected_paging) - float(fast.expected_paging))
+                    < 1e-9
+                ),
+            )
+        return table
+
+    table = record_table(benchmark.pedantic(build, rounds=1, iterations=1))
+    assert all(value == "True" for value in table.column("agree"))

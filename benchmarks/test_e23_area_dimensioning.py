@@ -1,0 +1,31 @@
+"""E23 — location-area dimensioning (the intro's LA-design trade-off)."""
+
+from repro.experiments import run_e23_area_dimensioning
+
+
+def test_e23_area_dimensioning(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e23_area_dimensioning,
+            kwargs={
+                "area_counts": (1, 2, 4, 8, 16),
+                "call_rates": (0.05, 0.4),
+                "horizon": 300,
+            },
+            rounds=1,
+            iterations=1,
+        )
+    )
+    rows = table.as_dicts()
+    low = [row for row in rows if row["call_rate"] == 0.05]
+    high = [row for row in rows if row["call_rate"] == 0.4]
+    # Reports grow with area count; blanket paging-per-call shrinks.
+    assert low[0]["reports"] == 0  # one area: never crosses a boundary
+    assert low[-1]["reports"] > low[1]["reports"]
+    assert high[-1]["blanket_paged"] < high[0]["blanket_paged"]
+    # Low rate: coarse best for blanket.  High rate: fine best.
+    assert min(low, key=lambda r: r["blanket_total"])["areas"] <= 2
+    assert min(high, key=lambda r: r["blanket_total"])["areas"] >= 8
+    # The heuristic improves (or matches) every operating point.
+    for row in rows:
+        assert row["heuristic_total"] <= row["blanket_total"] + 1e-9

@@ -1,0 +1,25 @@
+"""E24 — the independence assumption under correlated participants."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_e24_correlation_sensitivity
+
+
+def test_e24_correlation_sensitivity(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e24_correlation_sensitivity,
+            kwargs={"trials": 8, "rng": np.random.default_rng(24)},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    rows = table.as_dicts()
+    assert rows[0]["cohesion"] == 0.0
+    assert rows[0]["true_over_believed"] == pytest.approx(1.0, abs=1e-9)
+    ratios = [row["true_over_believed"] for row in rows]
+    # Stronger cohesion means the independent model over-estimates more.
+    assert ratios[-1] < ratios[0]
+    for ratio in ratios:
+        assert ratio <= 1.0 + 1e-9

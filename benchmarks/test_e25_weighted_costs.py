@@ -1,0 +1,28 @@
+"""E25 — heterogeneous paging costs (the §5.1 Search Theory direction)."""
+
+import numpy as np
+import pytest
+
+from repro.core import weighted_heuristic
+from repro.distributions import instance_family
+from repro.experiments import run_e25_weighted_costs
+
+
+def test_e25_weighted_costs(benchmark, record_table):
+    rng = np.random.default_rng(25)
+    instance = instance_family("hotspot", 3, 12, 3, rng=rng)
+    costs = [float(v) for v in rng.uniform(1.0, 5.0, size=12)]
+    result = benchmark(weighted_heuristic, instance, costs)
+    assert float(result.expected_cost) <= sum(costs)
+
+    table = record_table(
+        run_e25_weighted_costs(trials=6, rng=np.random.default_rng(250))
+    )
+    rows = table.as_dicts()
+    assert rows[0]["density_ep"] == pytest.approx(rows[0]["weight_order_ep"])
+    for row in rows:
+        # Density ordering dominates the naive weight ordering on average
+        # and stays anchored to the exact optimum.
+        assert row["density_ep"] <= row["weight_order_ep"] + 1e-9
+        assert row["density_ep"] >= row["optimal_ep"] - 1e-9
+        assert row["density_ep"] <= row["optimal_ep"] * 1.10

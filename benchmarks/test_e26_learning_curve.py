@@ -1,0 +1,24 @@
+"""E26 — what the learned location profiles are worth end to end."""
+
+import numpy as np
+
+from repro.experiments import run_e26_learning_curve
+
+
+def test_e26_learning_curve(benchmark, record_table):
+    table = record_table(
+        benchmark.pedantic(
+            run_e26_learning_curve,
+            kwargs={"horizon": 800, "buckets": 4},
+            rounds=1,
+            iterations=1,
+        )
+    )
+    rows = table.as_dicts()
+    online = [row["online_prior"] for row in rows if not np.isnan(row["online_prior"])]
+    uniform = [
+        row["uniform_prior"] for row in rows if not np.isnan(row["uniform_prior"])
+    ]
+    # Learned profiles beat the uniform ablation overall.
+    assert float(np.mean(online)) < float(np.mean(uniform))
+    assert all(row["calls"] >= 0 for row in rows)

@@ -1,0 +1,54 @@
+"""Dimensioning location areas: how multi-round paging moves the optimum.
+
+An operator partitions a coverage area into location areas (LAs).  Small
+areas mean frequent boundary-crossing reports; large areas mean expensive
+searches.  This example sweeps the granularity at a low and a high call
+rate, under both the GSM blanket pager and the paper's multi-round
+heuristic, and prints the total wireless usage per operating point.
+
+Run:  python examples/area_dimensioning.py
+"""
+
+from repro.cellnet import best_operating_point, sweep_location_area_sizes
+
+AREA_COUNTS = (1, 2, 4, 8, 16)
+
+
+def sweep(call_rate: float) -> None:
+    print(f"call rate {call_rate}/step")
+    header = f"  {'areas':>5} {'reports':>8} {'blanket total':>14} {'heuristic total':>16}"
+    print(header)
+    print("  " + "-" * (len(header) - 2))
+    blanket = sweep_location_area_sizes(
+        radius=3, area_counts=AREA_COUNTS, horizon=400, call_rate=call_rate,
+        pager="blanket", seed=23,
+    )
+    heuristic = sweep_location_area_sizes(
+        radius=3, area_counts=AREA_COUNTS, horizon=400, call_rate=call_rate,
+        pager="heuristic", seed=23,
+    )
+    for flat, staged in zip(blanket, heuristic):
+        print(
+            f"  {flat.num_areas:>5} {flat.reports:>8} "
+            f"{flat.total_wireless:>14} {staged.total_wireless:>16}"
+        )
+    best_flat = best_operating_point(blanket)
+    best_staged = best_operating_point(heuristic)
+    print(
+        f"  best: blanket {best_flat.num_areas} areas "
+        f"({best_flat.total_wireless} msgs), heuristic "
+        f"{best_staged.num_areas} areas ({best_staged.total_wireless} msgs)\n"
+    )
+
+
+def main() -> None:
+    print("37-cell hexagonal network, 5 devices, LA-crossing reports\n")
+    sweep(0.05)
+    sweep(0.4)
+    print("Low rates reward coarse areas (reports dominate); high rates reward")
+    print("fine areas (paging dominates).  The delay-constrained heuristic")
+    print("lowers the total at every point by making each search cheaper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""End-to-end demo: conference calls inside a simulated GSM-style network.
+
+Builds a hexagonal coverage area with four location areas, lets six devices
+roam under a gravity (hotspot) mobility model, and handles a stream of
+conference-call requests under three paging policies — the GSM blanket page,
+the paper's delay-constrained heuristic, and the adaptive replanner — with
+identical mobility and call streams so the link-usage numbers are directly
+comparable (the Section 1.1 motivation, measured).
+
+Run:  python examples/cellular_system.py
+"""
+
+import numpy as np
+
+from repro.cellnet import (
+    CellTopology,
+    CellularSimulator,
+    GravityMobility,
+    LocationAreaPlan,
+    SimulationConfig,
+)
+
+RADIUS = 3
+DEVICES = 6
+AREAS = 4
+HORIZON = 800
+CALL_RATE = 0.08
+MAX_ROUNDS = 3
+SEED = 2002
+
+
+def run_policy(pager: str) -> dict:
+    rng = np.random.default_rng(SEED)
+    topology = CellTopology.hexagonal_disk(RADIUS)
+    plan = LocationAreaPlan.by_bfs(topology, AREAS)
+    attraction = np.random.default_rng(SEED + 1).uniform(
+        0.5, 3.0, size=topology.num_cells
+    )
+    models = [GravityMobility(topology, attraction) for _ in range(DEVICES)]
+    config = SimulationConfig(
+        horizon=HORIZON,
+        call_rate=CALL_RATE,
+        max_paging_rounds=MAX_ROUNDS,
+        reporting="la",
+        pager=pager,
+    )
+    simulator = CellularSimulator(topology, plan, models, config, rng=rng)
+    return simulator.run().summary()
+
+
+def main() -> None:
+    topology = CellTopology.hexagonal_disk(RADIUS)
+    print(f"network: {topology.num_cells} hexagonal cells, {AREAS} location areas, "
+          f"{DEVICES} devices, horizon {HORIZON} steps")
+    print(f"paging delay budget: {MAX_ROUNDS} rounds per search\n")
+
+    results = {pager: run_policy(pager) for pager in ("blanket", "heuristic", "adaptive")}
+    blanket = results["blanket"]["mean_cells_per_call"]
+
+    header = f"{'policy':<10} {'calls':>6} {'cells/call':>11} {'rounds/call':>12} {'saving':>8}"
+    print(header)
+    print("-" * len(header))
+    for pager, summary in results.items():
+        saving = 1.0 - summary["mean_cells_per_call"] / blanket if blanket else 0.0
+        print(
+            f"{pager:<10} {summary['calls']:>6.0f} "
+            f"{summary['mean_cells_per_call']:>11.2f} "
+            f"{summary['mean_rounds_per_call']:>12.2f} {saving:>8.1%}"
+        )
+
+    print("\nThe heuristic trades one extra round of delay for fewer cells paged —")
+    print("exactly the delay/bandwidth trade-off the paper optimizes.")
+
+
+if __name__ == "__main__":
+    main()

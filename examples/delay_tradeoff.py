@@ -1,0 +1,39 @@
+"""The delay/paging trade-off curve, as an ASCII chart.
+
+The core tension of the paper: more paging rounds (delay) buy fewer expected
+cells paged (wireless bandwidth).  This example sweeps the round budget d
+from 1 (blanket) to c (fully sequential) for a two-party call and charts the
+optimal and heuristic expected paging side by side.
+
+Run:  python examples/delay_tradeoff.py
+"""
+
+import numpy as np
+
+from repro.core import conference_call_heuristic, optimal_strategy
+from repro.distributions import zipf_instance
+
+
+def bar(value: float, scale: float, width: int = 40) -> str:
+    filled = int(round(value / scale * width))
+    return "#" * filled
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    m, c = 2, 12
+    base = zipf_instance(m, c, c, rng=rng, exponent=1.2)
+    print(f"two-party conference call, {c} cells, Zipf location profiles\n")
+    print(f"{'d':>2}  {'optimal':>8}  {'heuristic':>9}  chart (expected cells paged)")
+    print("-" * 72)
+    for d in range(1, c + 1):
+        instance = base.with_max_rounds(d)
+        optimal = float(optimal_strategy(instance).expected_paging)
+        heuristic = float(conference_call_heuristic(instance).expected_paging)
+        print(f"{d:>2}  {optimal:>8.3f}  {heuristic:>9.3f}  {bar(optimal, c)}")
+    print("\nEP falls monotonically with the delay budget (paper Section 2):")
+    print("each extra round lets the search stop before paging unlikely cells.")
+
+
+if __name__ == "__main__":
+    main()

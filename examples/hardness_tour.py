@@ -1,0 +1,102 @@
+"""A guided tour of the NP-hardness machinery (Section 3 of the paper).
+
+Walks the full reduction chain on concrete numbers:
+
+1. a Partition instance is reduced to Quasipartition2 (Lemma 3.7),
+2. a Quasipartition1 instance is embedded into a Conference Call instance
+   whose optimal expected paging hits the Lemma 3.2 lower bound exactly when
+   a quasipartition exists, and
+3. the Section 4.3 gadget shows the heuristic's 320/317 performance gap.
+
+Run:  python examples/hardness_tour.py
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    conference_call_heuristic,
+    lower_bound_instance,
+    optimal_strategy,
+)
+from repro.hardness import (
+    PartitionInstance,
+    extract_partition_witness,
+    has_quasipartition1,
+    reduce_partition_to_quasipartition2,
+    reduce_quasipartition1_to_conference_call,
+    solve_partition,
+    solve_quasipartition1,
+    solve_quasipartition2,
+    verify_partition,
+)
+
+
+def partition_to_quasipartition() -> None:
+    print("=" * 70)
+    print("Step 1 — Partition -> Quasipartition2 (Lemma 3.7)")
+    instance = PartitionInstance((3, 1, 2, 2))
+    witness = solve_partition(instance)
+    print(f"Partition sizes {instance.sizes}: witness {witness} "
+          f"(sum {sum(instance.sizes[i] for i in witness)} of {instance.total})")
+
+    reduction = reduce_partition_to_quasipartition2(instance)
+    print(f"constructed {len(reduction.sizes)} Quasipartition2 sizes "
+          f"(h={reduction.h}, padding 2^{reduction.padding_exponent})")
+    quasi_witness = solve_quasipartition2(reduction.sizes, reduction.parameters)
+    recovered = extract_partition_witness(reduction, quasi_witness)
+    print(f"quasipartition witness maps back to Partition witness {recovered}: "
+          f"valid={verify_partition(instance, recovered)}")
+
+
+def quasipartition_to_conference_call() -> None:
+    print("=" * 70)
+    print("Step 2 — Quasipartition1 -> Conference Call (Lemma 3.2)")
+    sizes = [Fraction(v) for v in (3, 1, 2, 2, 1, 3)]
+    print(f"sizes {tuple(int(s) for s in sizes)}: "
+          f"quasipartition exists = {has_quasipartition1(sizes)} "
+          f"(witness {solve_quasipartition1(sizes)})")
+
+    reduction = reduce_quasipartition1_to_conference_call(sizes)
+    optimum = optimal_strategy(reduction.instance)
+    print(f"gadget: m=2, d=2, c={reduction.instance.num_cells}")
+    print(f"lower bound  LB = {reduction.lower_bound} = "
+          f"{float(reduction.lower_bound):.6f}")
+    print(f"optimal EP      = {optimum.expected_paging} = "
+          f"{float(optimum.expected_paging):.6f}")
+    print(f"EP == LB (iff a quasipartition exists): "
+          f"{optimum.expected_paging == reduction.lower_bound}")
+    print(f"first paged group encodes the witness: "
+          f"{reduction.witness_from_strategy(optimum.strategy)}")
+
+    # And a no-instance for contrast.
+    no_sizes = [Fraction(v) for v in (1, 1, 9)]
+    no_reduction = reduce_quasipartition1_to_conference_call(no_sizes)
+    no_optimum = optimal_strategy(no_reduction.instance)
+    print(f"\nno-instance {tuple(int(s) for s in no_sizes)}: optimal EP "
+          f"{no_optimum.expected_paging} > LB {no_reduction.lower_bound} -> "
+          f"{no_optimum.expected_paging > no_reduction.lower_bound}")
+
+
+def heuristic_gap() -> None:
+    print("=" * 70)
+    print("Step 3 — the Section 4.3 heuristic gap (320/317)")
+    instance = lower_bound_instance()
+    optimum = optimal_strategy(instance)
+    heuristic = conference_call_heuristic(instance)
+    print(f"optimal strategy pages {sorted(optimum.strategy.group(0))} first: "
+          f"EP = {optimum.expected_paging}")
+    print(f"heuristic pages        {sorted(heuristic.strategy.group(0))} first: "
+          f"EP = {heuristic.expected_paging}")
+    ratio = Fraction(heuristic.expected_paging) / Fraction(optimum.expected_paging)
+    print(f"ratio = {ratio} (~{float(ratio):.5f}), the paper's lower bound on "
+          f"the heuristic's performance")
+
+
+def main() -> None:
+    partition_to_quasipartition()
+    quasipartition_to_conference_call()
+    heuristic_gap()
+
+
+if __name__ == "__main__":
+    main()

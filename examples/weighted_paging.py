@@ -1,0 +1,70 @@
+"""Heterogeneous paging costs: when cells are not created equal.
+
+A macro cell with six sectors broadcasts on more channels than a small cell,
+so paging it costs more airtime.  This example gives the busiest cells the
+highest paging costs (the realistic worst case: people cluster where
+capacity is scarce) and compares:
+
+* the paper's weight ordering (probability mass only),
+* the density ordering (mass per unit of cost), and
+* the exact weighted optimum,
+
+all with optimal cut points.  The density ordering is the Fig. 1 recipe with
+one substitution in the sort key — and it tracks the optimum.
+
+Run:  python examples/weighted_paging.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    by_expected_devices,
+    optimal_weighted_strategy,
+    weighted_heuristic,
+)
+from repro.core.weighted import optimize_cuts_weighted
+from repro.distributions import zipf_instance
+
+
+def weight_order_cost(instance, costs, rounds):
+    """The pure weight ordering, priced under the true costs."""
+    order = by_expected_devices(instance)
+    finds = instance.prefix_find_probabilities(order)
+    prefix_costs = [0.0]
+    for cell in order:
+        prefix_costs.append(prefix_costs[-1] + costs[cell])
+    _sizes, value = optimize_cuts_weighted(finds, prefix_costs, rounds)
+    return float(value)
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    m, c, d = 3, 10, 3
+    instance = zipf_instance(m, c, d, rng=rng, exponent=1.2)
+
+    # Sector counts / channel loads vary by a factor of ~8 across sites.
+    costs = [float(v) for v in rng.uniform(1.0, 8.0, size=c)]
+
+    print(f"{m} participants, {c} cells, {d} rounds")
+    print("cell costs (airtime units):",
+          " ".join(f"{cost:.1f}" for cost in costs), "\n")
+
+    weight_value = weight_order_cost(instance, costs, d)
+    density = weighted_heuristic(instance, costs)
+    exact = optimal_weighted_strategy(instance, costs)
+
+    print(f"weight ordering (paper's key):  {weight_value:8.3f} airtime")
+    print(f"density ordering (mass/cost):   {float(density.expected_cost):8.3f} airtime")
+    print(f"exact weighted optimum:         {float(exact.expected_cost):8.3f} airtime")
+
+    penalty = weight_value / float(exact.expected_cost) - 1.0
+    recovered = weight_value - float(density.expected_cost)
+    print(f"\nignoring costs leaves {penalty:.1%} on the table;")
+    print(f"one sort-key change recovers {recovered:.3f} airtime per call.")
+    print("\nfirst round under each ordering:")
+    print(f"  density : cells {sorted(density.strategy.group(0))}")
+    print(f"  optimum : cells {sorted(exact.strategy.group(0))}")
+
+
+if __name__ == "__main__":
+    main()

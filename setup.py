@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+All metadata lives in ``pyproject.toml``; this file only enables the legacy
+``pip install -e . --no-use-pep517`` editable path on offline machines where
+PEP 517 build isolation cannot fetch ``wheel``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,73 @@
+"""repro — a reproduction of Bar-Noy & Malewicz (PODC 2002).
+
+*Establishing wireless conference calls under delay constraints.*
+
+The package implements the Conference Call paging problem end to end: the
+probabilistic location model, the e/(e-1)-approximation heuristic (Fig. 1 of
+the paper), exact solvers, the NP-hardness reduction gadgets, the Section 5
+extensions (adaptive, Yellow Pages, Signature, bandwidth caps), synthetic
+location distributions, and a cellular-network simulator that recreates the
+motivating GSM/IS-41 setting.
+
+Quickstart::
+
+    import numpy as np
+    from repro import PagingInstance, conference_call_heuristic, expected_paging
+
+    rng = np.random.default_rng(7)
+    matrix = rng.dirichlet(np.ones(16), size=3)       # 3 devices, 16 cells
+    instance = PagingInstance.from_array(matrix, max_rounds=4)
+    plan = conference_call_heuristic(instance)
+    print(plan.group_sizes, float(plan.expected_paging))
+"""
+
+from .core import (
+    APPROXIMATION_FACTOR,
+    PagingInstance,
+    Strategy,
+    adaptive_expected_paging,
+    adaptive_search,
+    conference_call_heuristic,
+    expected_paging,
+    expected_paging_float,
+    optimal_single_user,
+    optimal_strategy,
+    optimize_over_order,
+    signature_heuristic,
+    two_device_two_round_heuristic,
+    yellow_pages_greedy,
+)
+from .errors import (
+    InfeasibleError,
+    InvalidInstanceError,
+    InvalidStrategyError,
+    ReproError,
+    SimulationError,
+    SolverLimitError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPROXIMATION_FACTOR",
+    "InfeasibleError",
+    "InvalidInstanceError",
+    "InvalidStrategyError",
+    "PagingInstance",
+    "ReproError",
+    "SimulationError",
+    "SolverLimitError",
+    "Strategy",
+    "adaptive_expected_paging",
+    "adaptive_search",
+    "conference_call_heuristic",
+    "expected_paging",
+    "expected_paging_float",
+    "optimal_single_user",
+    "optimal_strategy",
+    "optimize_over_order",
+    "signature_heuristic",
+    "two_device_two_round_heuristic",
+    "yellow_pages_greedy",
+    "__version__",
+]

@@ -1,0 +1,65 @@
+"""Numeric verification of the paper's analysis and ratio measurement."""
+
+from .convexity import (
+    ExtremumCheck,
+    alpha_monotonicity,
+    grid_check_lemma31,
+    grid_check_lemma34,
+    lemma31_stationarity_residual,
+    lemma34_claimed_chain,
+    refine_lemma31_with_scipy,
+    refine_lemma34_with_scipy,
+)
+from .propositions import (
+    E_FACTOR,
+    InequalityCheck,
+    check_lemma44,
+    check_lemma45,
+    check_proposition41,
+    check_proposition42,
+    lemma45_margin,
+    proposition42_margin,
+)
+from .sensitivity import (
+    MovementSensitivityResult,
+    measure_movement_sensitivity,
+    simulate_search_with_movement,
+)
+from .ratio import (
+    RatioSample,
+    RatioSummary,
+    compare_strategies,
+    measure_ratio,
+    measure_special_case_ratio,
+    ratio_sweep_summary,
+    sweep_ratios,
+)
+
+__all__ = [
+    "E_FACTOR",
+    "ExtremumCheck",
+    "InequalityCheck",
+    "MovementSensitivityResult",
+    "RatioSample",
+    "RatioSummary",
+    "alpha_monotonicity",
+    "check_lemma44",
+    "check_lemma45",
+    "check_proposition41",
+    "check_proposition42",
+    "compare_strategies",
+    "grid_check_lemma31",
+    "grid_check_lemma34",
+    "lemma31_stationarity_residual",
+    "lemma34_claimed_chain",
+    "lemma45_margin",
+    "measure_movement_sensitivity",
+    "measure_ratio",
+    "measure_special_case_ratio",
+    "simulate_search_with_movement",
+    "proposition42_margin",
+    "ratio_sweep_summary",
+    "refine_lemma31_with_scipy",
+    "refine_lemma34_with_scipy",
+    "sweep_ratios",
+]

@@ -1,0 +1,196 @@
+"""Numeric verification of the convex-analysis lemmas (Sections 2-3).
+
+The NP-hardness proofs hinge on two extremum claims:
+
+* **Lemma 3.1** — ``f(x, y) = (c - y)((1 - 3/(2c)) y + x)(y - x)`` on
+  ``[0, 1] x [0, c]`` attains its unique global maximum at ``(1/2, 2c/3)``
+  with value ``4c^3/27 - 2c^2/9 + c/12``.
+* **Lemma 3.4** — over chains ``0 <= b_1 <= ... <= b_d = c`` the sum
+  ``sum_r (b_{r+1} - b_r) b_r^m`` is maximized at the ``alpha/b`` recursion
+  point, which is the unique interior stationary point.
+
+Both are checked here by dense grid search, stationarity of the closed-form
+point, and (when scipy is importable) numeric optimization — the reproduction
+of experiments E4 and E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bounds import (
+    b_sequence,
+    lemma31_function,
+    lemma31_maximum,
+    lemma34_objective,
+)
+
+
+@dataclass(frozen=True)
+class ExtremumCheck:
+    """Result of comparing a claimed maximum against a numeric search."""
+
+    claimed_point: Tuple[float, ...]
+    claimed_value: float
+    best_found_point: Tuple[float, ...]
+    best_found_value: float
+
+    @property
+    def claim_holds(self) -> bool:
+        """True when no searched point beats the claimed maximum."""
+        return self.best_found_value <= self.claimed_value + 1e-9
+
+
+def grid_check_lemma31(num_cells: int, *, grid: int = 200) -> ExtremumCheck:
+    """Dense grid search of ``f`` against the ``(1/2, 2c/3)`` closed form."""
+    c = float(num_cells)
+    xs = np.linspace(0.0, 1.0, grid + 1)
+    ys = np.linspace(0.0, c, grid + 1)
+    best_value = -np.inf
+    best_point = (0.0, 0.0)
+    for x in xs:
+        values = (c - ys) * ((1 - 1.5 / c) * ys + x) * (ys - x)
+        index = int(np.argmax(values))
+        if values[index] > best_value:
+            best_value = float(values[index])
+            best_point = (float(x), float(ys[index]))
+    return ExtremumCheck(
+        claimed_point=(0.5, 2.0 * c / 3.0),
+        claimed_value=float(lemma31_maximum(c)),
+        best_found_point=best_point,
+        best_found_value=best_value,
+    )
+
+
+def refine_lemma31_with_scipy(num_cells: int) -> Optional[ExtremumCheck]:
+    """Local maximization from many starts (None when scipy is unavailable)."""
+    try:
+        from scipy.optimize import minimize
+    except ImportError:  # pragma: no cover - scipy is installed in CI
+        return None
+    c = float(num_cells)
+
+    def negative_f(point: np.ndarray) -> float:
+        return -float(lemma31_function(point[0], point[1], c))
+
+    best_value = -np.inf
+    best_point = (0.0, 0.0)
+    rng = np.random.default_rng(0)
+    starts = [(0.5, 2 * c / 3)] + [
+        (float(rng.uniform(0, 1)), float(rng.uniform(0, c))) for _ in range(20)
+    ]
+    for start in starts:
+        result = minimize(
+            negative_f,
+            np.array(start),
+            bounds=[(0.0, 1.0), (0.0, c)],
+            method="L-BFGS-B",
+        )
+        if -result.fun > best_value:
+            best_value = float(-result.fun)
+            best_point = (float(result.x[0]), float(result.x[1]))
+    return ExtremumCheck(
+        claimed_point=(0.5, 2.0 * c / 3.0),
+        claimed_value=float(lemma31_maximum(c)),
+        best_found_point=best_point,
+        best_found_value=best_value,
+    )
+
+
+def lemma31_stationarity_residual(num_cells: int) -> Tuple[float, float]:
+    """Numeric gradient of ``f`` at the claimed maximum (should vanish)."""
+    c = float(num_cells)
+    x0, y0 = 0.5, 2.0 * c / 3.0
+    h = 1e-6
+    df_dx = (
+        float(lemma31_function(x0 + h, y0, c)) - float(lemma31_function(x0 - h, y0, c))
+    ) / (2 * h)
+    df_dy = (
+        float(lemma31_function(x0, y0 + h, c)) - float(lemma31_function(x0, y0 - h, c))
+    ) / (2 * h)
+    return df_dx, df_dy
+
+
+def lemma34_claimed_chain(
+    num_devices: int, num_rounds: int, num_cells: float
+) -> Tuple[float, ...]:
+    """``(b_1, ..., b_d)`` from the alpha recursion (the claimed maximizer)."""
+    return tuple(float(v) for v in b_sequence(num_devices, num_rounds, num_cells)[1:])
+
+
+def grid_check_lemma34(
+    num_devices: int,
+    num_rounds: int,
+    num_cells: float,
+    *,
+    samples: int = 200_000,
+    rng: Optional[np.random.Generator] = None,
+) -> ExtremumCheck:
+    """Random chains vs. the alpha-recursion chain for the Lemma 3.4 sum."""
+    m, d, c = num_devices, num_rounds, float(num_cells)
+    if rng is None:
+        rng = np.random.default_rng(1234)
+    claimed = lemma34_claimed_chain(m, d, c)
+    claimed_value = float(lemma34_objective(list(claimed), m))
+    # Random monotone chains b_1 <= ... <= b_d = c.
+    draws = np.sort(rng.uniform(0.0, c, size=(samples, d - 1)), axis=1)
+    chains = np.concatenate([draws, np.full((samples, 1), c)], axis=1)
+    diffs = np.diff(np.concatenate([np.zeros((samples, 1)), chains], axis=1), axis=1)
+    # objective = sum_{r=1}^{d-1} (b_{r+1} - b_r) b_r^m
+    values = np.einsum("ij,ij->i", diffs[:, 1:], chains[:, :-1] ** m)
+    index = int(np.argmax(values))
+    return ExtremumCheck(
+        claimed_point=claimed,
+        claimed_value=claimed_value,
+        best_found_point=tuple(float(v) for v in chains[index]),
+        best_found_value=float(values[index]),
+    )
+
+
+def refine_lemma34_with_scipy(
+    num_devices: int, num_rounds: int, num_cells: float
+) -> Optional[ExtremumCheck]:
+    """Constrained maximization of the chain sum (None without scipy)."""
+    try:
+        from scipy.optimize import minimize
+    except ImportError:  # pragma: no cover
+        return None
+    m, d, c = num_devices, num_rounds, float(num_cells)
+    claimed = lemma34_claimed_chain(m, d, c)
+    claimed_value = float(lemma34_objective(list(claimed), m))
+
+    def negative(objective_point: np.ndarray) -> float:
+        chain = np.concatenate([np.sort(objective_point), [c]])
+        return -float(lemma34_objective(list(chain), m))
+
+    best_value = -np.inf
+    best_chain: Sequence[float] = claimed
+    rng = np.random.default_rng(7)
+    starts = [np.array(claimed[:-1])] + [
+        np.sort(rng.uniform(0, c, size=d - 1)) for _ in range(10)
+    ]
+    for start in starts:
+        result = minimize(
+            negative, start, bounds=[(0.0, c)] * (d - 1), method="L-BFGS-B"
+        )
+        if -result.fun > best_value:
+            best_value = float(-result.fun)
+            best_chain = tuple(float(v) for v in np.sort(result.x)) + (c,)
+    return ExtremumCheck(
+        claimed_point=claimed,
+        claimed_value=claimed_value,
+        best_found_point=tuple(best_chain),
+        best_found_value=best_value,
+    )
+
+
+def alpha_monotonicity(num_devices: int, num_rounds: int) -> bool:
+    """Lemma 3.4's side claim: ``m/(m+1) = alpha_1 < ... < alpha_{d-1} < 1``."""
+    from ..core.bounds import alpha_sequence
+
+    alphas = alpha_sequence(num_devices, num_rounds)
+    ordered = all(alphas[i] < alphas[i + 1] for i in range(len(alphas) - 1))
+    return ordered and alphas[0] == num_devices / (num_devices + 1) and alphas[-1] < 1

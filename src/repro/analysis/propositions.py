@@ -1,0 +1,179 @@
+"""Numeric checks of the approximation-proof inequalities (Section 4).
+
+* **Proposition 4.1** — for ``1 <= x <= 2`` and ``a_i, b_i >= 0`` with
+  ``a_i + b_i <= 1`` and ``a_1 + a_2 >= x - (b_1 + b_2)``:
+  ``(a_1 + b_1)(a_2 + b_2) >= x - 1``.
+* **Lemma 4.4** — the ``m``-fold generalization:
+  ``prod_i (a_i + b_i) >= x - m + 1`` under the analogous constraints.
+* **Proposition 4.2** — for ``0 < s <= c`` and ``1 <= x <= 2``:
+  ``c - s(x - 1) <= (4/3)(c - s (x/2)^2)``.
+* **Lemma 4.5** — the e/(e-1) analogue over cubes ``[m-1, m]^k``.
+
+Each check samples the constraint set (densely and adversarially at the
+boundary, where the strictly-convex bound functions attain their maxima) and
+reports the worst margin; the tests assert the margins are non-negative.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+E_FACTOR = math.e / (math.e - 1.0)
+
+
+@dataclass(frozen=True)
+class InequalityCheck:
+    """Worst observed margin of an inequality over its sampled domain."""
+
+    worst_margin: float
+    worst_point: Tuple[float, ...]
+    samples: int
+
+    @property
+    def holds(self) -> bool:
+        return self.worst_margin >= -1e-9
+
+
+def check_proposition41(
+    *, samples: int = 50_000, rng: Optional[np.random.Generator] = None
+) -> InequalityCheck:
+    """Sample the Proposition 4.1 constraint set; margin = product - (x - 1)."""
+    if rng is None:
+        rng = np.random.default_rng(41)
+    worst = np.inf
+    worst_point: Tuple[float, ...] = ()
+    count = 0
+    for _ in range(samples):
+        b = rng.uniform(0.0, 1.0, size=2)
+        a = rng.uniform(0.0, 1.0 - b)
+        x = float(rng.uniform(1.0, 2.0))
+        if a.sum() < x - b.sum():
+            # Project onto the binding constraint, as the proof does: shrink x
+            # so that a_1 + a_2 >= x - (b_1 + b_2) holds with equality.
+            x = float(a.sum() + b.sum())
+            if x < 1.0:
+                continue
+        count += 1
+        margin = float((a[0] + b[0]) * (a[1] + b[1]) - (x - 1.0))
+        if margin < worst:
+            worst = margin
+            worst_point = (float(a[0]), float(a[1]), float(b[0]), float(b[1]), x)
+    return InequalityCheck(worst_margin=worst, worst_point=worst_point, samples=count)
+
+
+def check_lemma44(
+    num_devices: int,
+    *,
+    samples: int = 50_000,
+    rng: Optional[np.random.Generator] = None,
+) -> InequalityCheck:
+    """Sample the Lemma 4.4 constraint set; margin = product - (x - m + 1)."""
+    m = num_devices
+    if m < 2:
+        raise ValueError("Lemma 4.4 requires m >= 2")
+    if rng is None:
+        rng = np.random.default_rng(44)
+    worst = np.inf
+    worst_point: Tuple[float, ...] = ()
+    count = 0
+    for _ in range(samples):
+        b = rng.uniform(0.0, 1.0, size=m)
+        a = rng.uniform(0.0, 1.0 - b)
+        x = float(rng.uniform(m - 1.0, m))
+        if a.sum() < x - b.sum():
+            x = float(a.sum() + b.sum())
+            if x < m - 1.0:
+                continue
+        count += 1
+        margin = float(np.prod(a + b) - (x - m + 1.0))
+        if margin < worst:
+            worst = margin
+            worst_point = tuple(float(v) for v in a) + tuple(float(v) for v in b) + (x,)
+    return InequalityCheck(worst_margin=worst, worst_point=worst_point, samples=count)
+
+
+def proposition42_margin(s: float, x: float, c: float) -> float:
+    """``(4/3)(c - s (x/2)^2) - (c - s(x - 1))`` — non-negative by Prop 4.2."""
+    return (4.0 / 3.0) * (c - s * (x / 2.0) ** 2) - (c - s * (x - 1.0))
+
+
+def check_proposition42(
+    *, num_cells: float = 10.0, grid: int = 400
+) -> InequalityCheck:
+    """Grid the Proposition 4.2 domain ``0 < s <= c, 1 <= x <= 2``."""
+    c = float(num_cells)
+    worst = np.inf
+    worst_point: Tuple[float, ...] = ()
+    count = 0
+    for s in np.linspace(c / grid, c, grid):
+        xs = np.linspace(1.0, 2.0, grid)
+        margins = (4.0 / 3.0) * (c - s * (xs / 2.0) ** 2) - (c - s * (xs - 1.0))
+        count += len(xs)
+        index = int(np.argmin(margins))
+        if margins[index] < worst:
+            worst = float(margins[index])
+            worst_point = (float(s), float(xs[index]))
+    return InequalityCheck(worst_margin=worst, worst_point=worst_point, samples=count)
+
+
+def lemma45_margin(
+    xs: Tuple[float, ...],
+    sizes: Tuple[float, ...],
+    num_devices: int,
+    num_cells: float,
+) -> float:
+    """``e/(e-1) * RHS - LHS`` of Lemma 4.5 for one point (non-negative).
+
+    ``xs = (x_1..x_k)`` with ``m-1 <= x_i <= m`` and ``sizes = (s_2..s_d)``
+    positive with sum at most ``c``; ``k <= d - 1``.
+    """
+    m, c = num_devices, float(num_cells)
+    k = len(xs)
+    left = c - sum(sizes[r] * (xs[r] - m + 1.0) for r in range(k))
+    tail = sum(sizes[k:])  # sizes[0] holds s_2, so s_{k+2} starts at index k
+    right = c - sum(sizes[r] * (xs[r] / m) ** m for r in range(k)) - tail / math.e
+    return E_FACTOR * right - left
+
+
+def check_lemma45(
+    num_devices: int,
+    num_rounds: int,
+    *,
+    num_cells: float = 20.0,
+    samples: int = 20_000,
+    rng: Optional[np.random.Generator] = None,
+) -> InequalityCheck:
+    """Sample random (x, s) configurations plus all boundary corners."""
+    m, d, c = num_devices, num_rounds, float(num_cells)
+    if rng is None:
+        rng = np.random.default_rng(45)
+    worst = np.inf
+    worst_point: Tuple[float, ...] = ()
+    count = 0
+    for k in range(1, d):
+        # Boundary corners x_i in {m-1, m} dominate by strict convexity.
+        for corner in itertools.product((m - 1.0, float(m)), repeat=k):
+            sizes = tuple(float(v) for v in rng.uniform(0.1, 1.0, size=d - 1))
+            scale = c / max(sum(sizes), 1e-12)
+            sizes = tuple(v * min(1.0, scale) for v in sizes)
+            margin = lemma45_margin(corner, sizes, m, c)
+            count += 1
+            if margin < worst:
+                worst = margin
+                worst_point = corner + sizes
+        for _ in range(samples // max(1, d - 1)):
+            xs = tuple(float(v) for v in rng.uniform(m - 1.0, m, size=k))
+            sizes = tuple(float(v) for v in rng.uniform(0.01, 1.0, size=d - 1))
+            scale = c / max(sum(sizes), 1e-12)
+            sizes = tuple(v * min(1.0, scale) for v in sizes)
+            margin = lemma45_margin(xs, sizes, m, c)
+            count += 1
+            if margin < worst:
+                worst = margin
+                worst_point = xs + sizes
+    return InequalityCheck(worst_margin=worst, worst_point=worst_point, samples=count)

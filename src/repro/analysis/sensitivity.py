@@ -1,0 +1,133 @@
+"""Sensitivity to the stationarity assumption (experiment E21).
+
+The model of Section 1.2 assumes devices do not move during the search.
+Real searches take a few paging rounds, and a fast device can slip from an
+unpaged cell into an already-paged one (the search then exhausts the
+strategy without finding it and must fall back to a sweep).
+
+This module simulates searches where each device, between rounds, moves to a
+uniformly random neighbor cell with probability ``mobility`` (on a cell
+graph, or to any cell when none is given), and measures
+
+* how often the strategy misses a device, and
+* the realized paging cost including a whole-area fallback sweep.
+
+This quantifies how quickly the paper's optimization degrades as the
+stationarity assumption weakens — and shows that the delay budget ``d``
+itself is the exposure knob (longer searches give devices more chances to
+escape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.instance import PagingInstance
+from ..core.strategy import Strategy
+
+
+@dataclass(frozen=True)
+class MovementSensitivityResult:
+    """Monte-Carlo outcome of searching a moving population."""
+
+    mobility: float
+    trials: int
+    mean_cells_paged: float
+    miss_rate: float
+    stationary_expectation: float
+
+    @property
+    def cost_inflation(self) -> float:
+        """Realized cost relative to the stationary model's promise."""
+        if self.stationary_expectation <= 0:
+            return 1.0
+        return self.mean_cells_paged / self.stationary_expectation
+
+
+def _move(
+    cell: int,
+    num_cells: int,
+    mobility: float,
+    rng: np.random.Generator,
+    neighbors: Optional[Sequence[Sequence[int]]],
+) -> int:
+    if rng.random() >= mobility:
+        return cell
+    if neighbors is not None:
+        options = neighbors[cell]
+        if not options:
+            return cell
+        return int(options[rng.integers(len(options))])
+    return int(rng.integers(num_cells))
+
+
+def simulate_search_with_movement(
+    instance: PagingInstance,
+    strategy: Strategy,
+    mobility: float,
+    rng: np.random.Generator,
+    *,
+    neighbors: Optional[Sequence[Sequence[int]]] = None,
+) -> tuple:
+    """One search against a moving population.
+
+    Returns ``(cells_paged, missed)`` where ``missed`` indicates that the
+    strategy finished without locating every device and a fallback sweep of
+    the remaining cells was billed (as a real system would page system-wide).
+    """
+    c = instance.num_cells
+    locations = list(instance.sample_locations(rng))
+    remaining = set(range(instance.num_devices))
+    paged_cells: set = set()
+    paged = 0
+    for round_index, group in enumerate(strategy.groups):
+        if round_index > 0:
+            for device in list(remaining):
+                locations[device] = _move(
+                    locations[device], c, mobility, rng, neighbors
+                )
+        paged += len(group)
+        paged_cells |= group
+        for device in list(remaining):
+            if locations[device] in group:
+                remaining.discard(device)
+        if not remaining:
+            return paged, False
+    # The strategy was exhausted: devices moved into already-paged cells, so
+    # the system falls back to one blanket sweep of the whole area.
+    paged += c
+    return paged, True
+
+
+def measure_movement_sensitivity(
+    instance: PagingInstance,
+    strategy: Strategy,
+    mobility: float,
+    *,
+    trials: int,
+    rng: np.random.Generator,
+    neighbors: Optional[Sequence[Sequence[int]]] = None,
+) -> MovementSensitivityResult:
+    """Monte-Carlo sweep of :func:`simulate_search_with_movement`."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    from ..core.expected_paging import expected_paging_float
+
+    total = 0
+    misses = 0
+    for _ in range(trials):
+        cost, missed = simulate_search_with_movement(
+            instance, strategy, mobility, rng, neighbors=neighbors
+        )
+        total += cost
+        misses += int(missed)
+    return MovementSensitivityResult(
+        mobility=mobility,
+        trials=trials,
+        mean_cells_paged=total / trials,
+        miss_rate=misses / trials,
+        stationary_expectation=expected_paging_float(instance, strategy),
+    )

@@ -1,0 +1,105 @@
+"""A synthetic cellular network: the substrate the paper's optimizer serves.
+
+Hexagonal cell geometry, mobility models, GSM-style location areas and
+reporting policies, a location registry, and a time-stepped simulator whose
+conference-call searches are driven by the paper's paging strategies.
+"""
+
+from .calls import ConferenceCallRequest, PoissonConferenceCalls
+from .database import LocationRegistry, RegistryRecord
+from .geometry import HEX_DIRECTIONS, Hex, hex_disk, hex_rectangle, ring
+from .location_areas import LocationAreaPlan
+from .metrics import CallRecord, LinkUsageMetrics
+from .mobility import (
+    GravityMobility,
+    MobilityModel,
+    RandomWalk,
+    RandomWaypoint,
+    generate_trace,
+    stationary_distribution,
+)
+from .planning import (
+    AreaSweepPoint,
+    best_operating_point,
+    sweep_location_area_sizes,
+)
+from .paging import (
+    PAGER_FACTORIES,
+    AdaptivePager,
+    BlanketPager,
+    CostAwarePager,
+    HeuristicPager,
+    PagingOutcome,
+    build_sub_instance,
+    page_with_strategy,
+)
+from .render import (
+    render_cell_map,
+    render_location_areas,
+    render_strategy,
+    strategy_summary,
+)
+from .reporting import (
+    AlwaysReport,
+    DistanceReport,
+    LACrossingReport,
+    MoveContext,
+    NeverReport,
+    ReportingPolicy,
+    TimerReport,
+)
+from .simulator import (
+    CellularSimulator,
+    DeviceState,
+    SimulationConfig,
+    SimulationReport,
+)
+from .topology import CellTopology
+
+__all__ = [
+    "HEX_DIRECTIONS",
+    "PAGER_FACTORIES",
+    "AdaptivePager",
+    "AlwaysReport",
+    "AreaSweepPoint",
+    "best_operating_point",
+    "sweep_location_area_sizes",
+    "BlanketPager",
+    "CallRecord",
+    "CellTopology",
+    "CostAwarePager",
+    "CellularSimulator",
+    "ConferenceCallRequest",
+    "DeviceState",
+    "DistanceReport",
+    "GravityMobility",
+    "Hex",
+    "HeuristicPager",
+    "LACrossingReport",
+    "LinkUsageMetrics",
+    "LocationAreaPlan",
+    "LocationRegistry",
+    "MobilityModel",
+    "MoveContext",
+    "NeverReport",
+    "PagingOutcome",
+    "PoissonConferenceCalls",
+    "RandomWalk",
+    "RandomWaypoint",
+    "RegistryRecord",
+    "ReportingPolicy",
+    "SimulationConfig",
+    "SimulationReport",
+    "TimerReport",
+    "build_sub_instance",
+    "generate_trace",
+    "hex_disk",
+    "hex_rectangle",
+    "page_with_strategy",
+    "render_cell_map",
+    "render_location_areas",
+    "render_strategy",
+    "ring",
+    "strategy_summary",
+    "stationary_distribution",
+]

@@ -1,0 +1,91 @@
+"""Call arrival processes: what triggers a search.
+
+Conference-call requests arrive over time and name the set of devices that
+must be located before the call can be set up (the paper's motivating
+operation).  :class:`PoissonConferenceCalls` draws per-step Bernoulli
+arrivals (the discrete-time Poisson analogue) with a configurable party-size
+distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ConferenceCallRequest:
+    """One conference-call setup request."""
+
+    time: int
+    participants: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.participants)
+
+
+class PoissonConferenceCalls:
+    """Bernoulli-per-step arrivals of conference calls.
+
+    Parameters
+    ----------
+    rate:
+        Probability of an arrival in each time step (``0 <= rate <= 1``).
+    num_devices:
+        Pool of devices participants are drawn from.
+    size_weights:
+        Unnormalized weights over party sizes ``2..len(weights)+1``; defaults
+        to mostly 2-3 party calls with an occasional larger conference.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        num_devices: int,
+        *,
+        size_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise SimulationError("rate must lie in [0, 1]")
+        if num_devices < 2:
+            raise SimulationError("conference calls need at least 2 devices")
+        if size_weights is None:
+            size_weights = (0.5, 0.3, 0.15, 0.05)
+        weights = np.asarray(list(size_weights), dtype=float)
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise SimulationError("size_weights must be non-negative, not all zero")
+        max_size = min(len(weights) + 1, num_devices)
+        weights = weights[: max_size - 1]
+        self._rate = rate
+        self._num_devices = num_devices
+        self._sizes = np.arange(2, max_size + 1)
+        self._size_probabilities = weights / weights.sum()
+
+    def maybe_arrival(
+        self, time: int, rng: np.random.Generator
+    ) -> Optional[ConferenceCallRequest]:
+        """An arrival this step, or ``None``."""
+        if rng.random() >= self._rate:
+            return None
+        size = int(rng.choice(self._sizes, p=self._size_probabilities))
+        participants = tuple(
+            int(device)
+            for device in sorted(rng.choice(self._num_devices, size=size, replace=False))
+        )
+        return ConferenceCallRequest(time=time, participants=participants)
+
+    def sample_schedule(
+        self, horizon: int, rng: np.random.Generator
+    ) -> List[ConferenceCallRequest]:
+        """All arrivals over ``horizon`` steps (for replay-style experiments)."""
+        out = []
+        for time in range(horizon):
+            request = self.maybe_arrival(time, rng)
+            if request is not None:
+                out.append(request)
+        return out

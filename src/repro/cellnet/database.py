@@ -1,0 +1,74 @@
+"""The location registry: the wired-backbone database of Section 1.1.
+
+GSM MAP and IS-41 persist, per device, the most recently reported location
+area in a database reachable over the wired backbone (the HLR/VLR pair).
+:class:`LocationRegistry` models exactly that: the *system's belief* about
+each device, which can lag reality between reports — the uncertainty the
+paging optimizer exists to handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+@dataclass
+class RegistryRecord:
+    """What the system knows about one device."""
+
+    reported_area: int
+    reported_cell: Optional[int]
+    updated_at: int
+    #: set when the device is on an active call and thus precisely located
+    confirmed_cell: Optional[int] = None
+
+
+@dataclass
+class LocationRegistry:
+    """Per-device location beliefs with update accounting."""
+
+    _records: Dict[int, RegistryRecord] = field(default_factory=dict)
+    updates_processed: int = 0
+
+    def register(self, device: int, area: int, cell: Optional[int], time: int) -> None:
+        """Initial attach (power-on registration)."""
+        self._records[device] = RegistryRecord(
+            reported_area=area, reported_cell=cell, updated_at=time
+        )
+
+    def report(self, device: int, area: int, cell: Optional[int], time: int) -> None:
+        """A location update message arriving over a wireless link."""
+        record = self._require(device)
+        record.reported_area = area
+        record.reported_cell = cell
+        record.updated_at = time
+        record.confirmed_cell = None
+        self.updates_processed += 1
+
+    def confirm(self, device: int, cell: int, area: int, time: int) -> None:
+        """Exact location learned as a side effect (e.g. found by paging)."""
+        record = self._require(device)
+        record.reported_area = area
+        record.reported_cell = cell
+        record.confirmed_cell = cell
+        record.updated_at = time
+
+    def invalidate_confirmation(self, device: int) -> None:
+        """The device moved since the last confirmation; the fix is stale."""
+        record = self._require(device)
+        record.confirmed_cell = None
+
+    def lookup(self, device: int) -> RegistryRecord:
+        """The system's current belief (raises for unknown devices)."""
+        return self._require(device)
+
+    def known_devices(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._records))
+
+    def _require(self, device: int) -> RegistryRecord:
+        if device not in self._records:
+            raise SimulationError(f"device {device} never registered")
+        return self._records[device]

@@ -1,0 +1,92 @@
+"""Hexagonal cell geometry.
+
+Cellular coverage is classically modeled as a hexagonal tiling: each base
+station's range is a hexagon and every interior cell has six neighbors.  We
+use axial coordinates ``(q, r)`` (pointy-top orientation); the standard cube
+distance gives the hop metric used by location-area construction and the
+distance-based reporting policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+#: Axial-coordinate offsets of the six hexagonal neighbors.
+HEX_DIRECTIONS: Tuple[Tuple[int, int], ...] = (
+    (1, 0),
+    (1, -1),
+    (0, -1),
+    (-1, 0),
+    (-1, 1),
+    (0, 1),
+)
+
+
+@dataclass(frozen=True, order=True)
+class Hex:
+    """An axial-coordinate hexagonal cell position."""
+
+    q: int
+    r: int
+
+    @property
+    def s(self) -> int:
+        """The implicit third cube coordinate (``q + r + s = 0``)."""
+        return -self.q - self.r
+
+    def neighbors(self) -> Tuple["Hex", ...]:
+        """The six adjacent positions."""
+        return tuple(Hex(self.q + dq, self.r + dr) for dq, dr in HEX_DIRECTIONS)
+
+    def distance(self, other: "Hex") -> int:
+        """Hex (cube) distance: the minimum number of neighbor hops."""
+        return max(
+            abs(self.q - other.q), abs(self.r - other.r), abs(self.s - other.s)
+        )
+
+    def to_cartesian(self, size: float = 1.0) -> Tuple[float, float]:
+        """Center of the hexagon in the plane (pointy-top layout)."""
+        x = size * (3.0**0.5) * (self.q + self.r / 2.0)
+        y = size * 1.5 * self.r
+        return x, y
+
+
+def hex_disk(radius: int) -> List[Hex]:
+    """All hexes within ``radius`` hops of the origin (a disk-shaped area).
+
+    A disk of radius ``R`` has ``1 + 3 R (R + 1)`` cells — the usual shape of
+    a planned coverage area around a central site.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    cells = []
+    for q in range(-radius, radius + 1):
+        for r in range(max(-radius, -q - radius), min(radius, -q + radius) + 1):
+            cells.append(Hex(q, r))
+    return sorted(cells)
+
+
+def hex_rectangle(rows: int, cols: int) -> List[Hex]:
+    """A ``rows x cols`` parallelogram of hexes (row-major order)."""
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be positive")
+    cells = []
+    for row in range(rows):
+        for col in range(cols):
+            # Offset rows so the patch looks rectangular rather than sheared.
+            cells.append(Hex(col - row // 2, row))
+    return cells
+
+
+def ring(center: Hex, radius: int) -> Iterator[Hex]:
+    """The hexes exactly ``radius`` hops from ``center``."""
+    if radius == 0:
+        yield center
+        return
+    position = Hex(center.q + HEX_DIRECTIONS[4][0] * radius, center.r + HEX_DIRECTIONS[4][1] * radius)
+    for direction in range(6):
+        for _ in range(radius):
+            yield position
+            dq, dr = HEX_DIRECTIONS[direction]
+            position = Hex(position.q + dq, position.r + dr)

@@ -1,0 +1,83 @@
+"""Wireless-link usage accounting.
+
+The paper's efficiency measure is usage of wireless links: uplink location
+updates plus downlink paging messages.  :class:`LinkUsageMetrics` counts
+both, broken down per call, so the end-to-end experiment can reproduce the
+reporting/paging trade-off curve of Section 1.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class CallRecord:
+    """Per-call search accounting."""
+
+    time: int
+    participants: int
+    cells_paged: int
+    rounds_used: int
+    used_fallback: bool
+
+
+@dataclass
+class LinkUsageMetrics:
+    """Aggregated wireless-link usage over a simulation run."""
+
+    report_messages: int = 0
+    registration_messages: int = 0
+    cells_paged: int = 0
+    calls_handled: int = 0
+    fallback_searches: int = 0
+    rounds_histogram: Dict[int, int] = field(default_factory=dict)
+    call_records: List[CallRecord] = field(default_factory=list)
+
+    def record_report(self) -> None:
+        self.report_messages += 1
+
+    def record_registration(self) -> None:
+        self.registration_messages += 1
+
+    def record_call(self, record: CallRecord) -> None:
+        self.calls_handled += 1
+        self.cells_paged += record.cells_paged
+        if record.used_fallback:
+            self.fallback_searches += 1
+        self.rounds_histogram[record.rounds_used] = (
+            self.rounds_histogram.get(record.rounds_used, 0) + 1
+        )
+        self.call_records.append(record)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_wireless_messages(self) -> int:
+        """Uplink reports plus downlink pages — the paper's cost measure."""
+        return self.report_messages + self.cells_paged
+
+    @property
+    def mean_cells_per_call(self) -> float:
+        if self.calls_handled == 0:
+            return 0.0
+        return self.cells_paged / self.calls_handled
+
+    @property
+    def mean_rounds_per_call(self) -> float:
+        if self.calls_handled == 0:
+            return 0.0
+        total = sum(rounds * count for rounds, count in self.rounds_histogram.items())
+        return total / self.calls_handled
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict for tables and benchmark output."""
+        return {
+            "calls": float(self.calls_handled),
+            "reports": float(self.report_messages),
+            "cells_paged": float(self.cells_paged),
+            "mean_cells_per_call": self.mean_cells_per_call,
+            "mean_rounds_per_call": self.mean_rounds_per_call,
+            "fallbacks": float(self.fallback_searches),
+            "total_wireless": float(self.total_wireless_messages),
+        }

@@ -1,0 +1,152 @@
+"""Mobility models for devices roaming the cell topology.
+
+Three classical models, all exposing the same one-step interface so the
+simulator and the trace-based distribution estimator can swap them freely:
+
+* :class:`RandomWalk` — stay put with some probability, otherwise hop to a
+  uniformly random neighboring cell.
+* :class:`RandomWaypoint` — pick a random destination cell, walk a shortest
+  path toward it (optionally pausing), then pick a new destination.
+* :class:`GravityMobility` — neighbor choice biased by per-cell attraction
+  weights (hotspots), producing the skewed stationary distributions that the
+  paging optimizer thrives on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .topology import CellTopology
+
+
+class MobilityModel(Protocol):
+    """One device's movement rule: current cell in, next cell out."""
+
+    def step(self, cell: int, rng: np.random.Generator) -> int:
+        """The cell occupied after one time step."""
+        ...
+
+
+class RandomWalk:
+    """Stay with probability ``stay_probability``, else hop to a neighbor."""
+
+    def __init__(self, topology: CellTopology, *, stay_probability: float = 0.4) -> None:
+        if not 0 <= stay_probability < 1:
+            raise SimulationError("stay_probability must lie in [0, 1)")
+        self._topology = topology
+        self._stay = stay_probability
+
+    def step(self, cell: int, rng: np.random.Generator) -> int:
+        if rng.random() < self._stay:
+            return cell
+        neighbors = self._topology.neighbors(cell)
+        if not neighbors:
+            return cell
+        return int(neighbors[rng.integers(len(neighbors))])
+
+
+class RandomWaypoint:
+    """Walk shortest paths to random destinations, pausing in between.
+
+    Keeps one active path per device cell; because the model is stateful it
+    should not be shared between devices — the simulator instantiates one per
+    device.
+    """
+
+    def __init__(self, topology: CellTopology, *, pause_probability: float = 0.2) -> None:
+        if not 0 <= pause_probability < 1:
+            raise SimulationError("pause_probability must lie in [0, 1)")
+        self._topology = topology
+        self._pause = pause_probability
+        self._path: List[int] = []
+
+    def step(self, cell: int, rng: np.random.Generator) -> int:
+        if rng.random() < self._pause:
+            return cell
+        if not self._path or self._path[0] != cell:
+            destination = int(rng.integers(self._topology.num_cells))
+            self._path = self._topology.shortest_path(cell, destination)
+        if len(self._path) <= 1:
+            self._path = []
+            return cell
+        self._path = self._path[1:]
+        return self._path[0]
+
+
+class GravityMobility:
+    """Neighbor choice weighted by per-cell attraction (hotspot behavior)."""
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        attraction: Sequence[float],
+        *,
+        stay_bonus: float = 1.0,
+    ) -> None:
+        if len(attraction) != topology.num_cells:
+            raise SimulationError("need one attraction weight per cell")
+        if any(weight <= 0 for weight in attraction):
+            raise SimulationError("attraction weights must be positive")
+        if stay_bonus <= 0:
+            raise SimulationError("stay_bonus must be positive")
+        self._topology = topology
+        self._attraction = [float(weight) for weight in attraction]
+        self._stay_bonus = stay_bonus
+
+    def step(self, cell: int, rng: np.random.Generator) -> int:
+        candidates = [cell] + list(self._topology.neighbors(cell))
+        weights = np.array(
+            [self._attraction[cell] * self._stay_bonus]
+            + [self._attraction[neighbor] for neighbor in candidates[1:]]
+        )
+        weights = weights / weights.sum()
+        return int(rng.choice(candidates, p=weights))
+
+
+def generate_trace(
+    model: MobilityModel,
+    start_cell: int,
+    steps: int,
+    rng: np.random.Generator,
+) -> List[int]:
+    """A movement trace: the sequence of occupied cells, start included."""
+    if steps < 0:
+        raise SimulationError("steps must be non-negative")
+    trace = [start_cell]
+    cell = start_cell
+    for _ in range(steps):
+        cell = model.step(cell, rng)
+        trace.append(cell)
+    return trace
+
+
+def stationary_distribution(
+    model: MobilityModel,
+    topology: CellTopology,
+    *,
+    start_cell: int = 0,
+    burn_in: int = 500,
+    samples: int = 5_000,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Empirical long-run occupancy of a mobility model.
+
+    Used by the end-to-end experiment to obtain the "true" location
+    distribution against which the trace-based estimator is judged.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    cell = start_cell
+    for _ in range(burn_in):
+        cell = model.step(cell, rng)
+    counts: Dict[int, int] = {}
+    for _ in range(samples):
+        cell = model.step(cell, rng)
+        counts[cell] = counts.get(cell, 0) + 1
+    distribution = np.zeros(topology.num_cells)
+    for visited, count in counts.items():
+        distribution[visited] = count
+    return distribution / distribution.sum()

@@ -1,0 +1,106 @@
+"""Location-area dimensioning: how big should an LA be?
+
+The paper's introduction (citing Bar-Noy & Kessler and Abutaleb & Li) notes
+that the choice of location areas balances reporting traffic (devices report
+on every LA crossing — more, smaller areas mean more crossings) against
+paging traffic (a call pages within one area — bigger areas mean more cells
+per search).  Total wireless cost is therefore classically U-shaped in the
+area size.
+
+:func:`sweep_location_area_sizes` measures that curve on the simulator, for
+any paging policy — showing how the paper's multi-round paging shifts the
+optimal operating point toward *larger* areas (cheaper searches tolerate
+more uncertainty, so fewer reports are needed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+from .location_areas import LocationAreaPlan
+from .mobility import GravityMobility
+from .simulator import CellularSimulator, SimulationConfig
+from .topology import CellTopology
+
+
+@dataclass(frozen=True)
+class AreaSweepPoint:
+    """Measured cost of one location-area granularity."""
+
+    num_areas: int
+    mean_area_size: float
+    reports: int
+    cells_paged: int
+    total_wireless: int
+    calls: int
+
+    @property
+    def wireless_per_step(self) -> float:
+        return float(self.total_wireless)
+
+
+def sweep_location_area_sizes(
+    *,
+    radius: int = 3,
+    num_devices: int = 5,
+    area_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    horizon: int = 500,
+    call_rate: float = 0.08,
+    max_paging_rounds: int = 3,
+    pager: str = "heuristic",
+    seed: int = 23,
+) -> List[AreaSweepPoint]:
+    """Total wireless cost vs the number of location areas.
+
+    Every point replays the same seed, so mobility streams are comparable;
+    the registry, reporting (LA-crossing), and paging all adapt to the plan.
+    """
+    if not area_counts:
+        raise SimulationError("need at least one area count to sweep")
+    points = []
+    for num_areas in area_counts:
+        rng = np.random.default_rng(seed)
+        topology = CellTopology.hexagonal_disk(radius)
+        if not 1 <= num_areas <= topology.num_cells:
+            raise SimulationError(
+                f"cannot split {topology.num_cells} cells into {num_areas} areas"
+            )
+        plan = LocationAreaPlan.by_bfs(topology, num_areas)
+        attraction = np.random.default_rng(seed + 1).uniform(
+            0.5, 3.0, size=topology.num_cells
+        )
+        models = [
+            GravityMobility(topology, attraction) for _ in range(num_devices)
+        ]
+        config = SimulationConfig(
+            horizon=horizon,
+            call_rate=call_rate,
+            max_paging_rounds=max_paging_rounds,
+            reporting="la",
+            pager=pager,
+        )
+        simulator = CellularSimulator(topology, plan, models, config, rng=rng)
+        report = simulator.run()
+        metrics = report.metrics
+        points.append(
+            AreaSweepPoint(
+                num_areas=num_areas,
+                mean_area_size=topology.num_cells / num_areas,
+                reports=metrics.report_messages,
+                cells_paged=metrics.cells_paged,
+                total_wireless=metrics.total_wireless_messages,
+                calls=metrics.calls_handled,
+            )
+        )
+    return points
+
+
+def best_operating_point(points: Sequence[AreaSweepPoint]) -> AreaSweepPoint:
+    """The sweep point with the lowest total wireless usage."""
+    if not points:
+        raise SimulationError("empty sweep")
+    return min(points, key=lambda point: point.total_wireless)

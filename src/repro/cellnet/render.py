@@ -1,0 +1,116 @@
+"""ASCII rendering of networks, location areas, and paging plans.
+
+Purely presentational, but load-bearing for the examples and for debugging:
+seeing WHICH cells a round pages (and how location areas tile the map) makes
+the optimizer's choices legible.  Hexagonal layouts render in offset rows;
+non-geometric topologies fall back to an adjacency listing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from ..core.strategy import Strategy
+from .location_areas import LocationAreaPlan
+from .topology import CellTopology
+
+#: Symbols used for area / round labels (wraps past 36).
+_LABELS = "0123456789ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _label(index: int) -> str:
+    return _LABELS[index % len(_LABELS)]
+
+
+def _grid_layout(topology: CellTopology) -> Optional[Dict[int, tuple]]:
+    """Integer (row, col) layout from the recorded positions, or None."""
+    try:
+        positions = {
+            cell: topology.position(cell) for cell in range(topology.num_cells)
+        }
+    except Exception:
+        return None
+    ys = sorted({round(y, 6) for _x, y in positions.values()})
+    row_of = {y: i for i, y in enumerate(ys)}
+    layout = {}
+    for cell, (x, y) in positions.items():
+        layout[cell] = (row_of[round(y, 6)], x)
+    return layout
+
+
+def render_cell_map(
+    topology: CellTopology,
+    labels: Dict[int, str],
+    *,
+    legend: Optional[str] = None,
+) -> str:
+    """Render one character per cell at its (approximate) map position."""
+    layout = _grid_layout(topology)
+    lines = []
+    if layout is None:
+        for cell in range(topology.num_cells):
+            neighbor_list = ", ".join(map(str, topology.neighbors(cell)))
+            lines.append(f"cell {cell} [{labels.get(cell, '?')}] -- {neighbor_list}")
+    else:
+        rows: Dict[int, list] = {}
+        for cell, (row, x) in layout.items():
+            rows.setdefault(row, []).append((x, cell))
+        min_x = min(x for _row, x in layout.values())
+        for row in sorted(rows):
+            cells = sorted(rows[row])
+            # Two columns per unit of x keeps hexagonal offsets visible.
+            line: Dict[int, str] = {}
+            for x, cell in cells:
+                column = int(round((x - min_x) * 2))
+                line[column] = labels.get(cell, "?")
+            width = max(line) + 1
+            lines.append(
+                "".join(line.get(column, " ") for column in range(width)).rstrip()
+            )
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def render_location_areas(
+    topology: CellTopology, plan: LocationAreaPlan
+) -> str:
+    """Map view with one symbol per location area."""
+    labels = {
+        cell: _label(plan.area_of(cell)) for cell in range(topology.num_cells)
+    }
+    legend = "legend: symbol = location-area id"
+    return render_cell_map(topology, labels, legend=legend)
+
+
+def render_strategy(
+    topology: CellTopology,
+    strategy: Strategy,
+    *,
+    cell_order: Optional[Sequence[int]] = None,
+) -> str:
+    """Map view with one symbol per paging round (1 = first round).
+
+    ``cell_order`` maps strategy indices to topology cells when the strategy
+    was planned on a sub-instance (e.g. one location area).
+    """
+    mapping = (
+        {index: cell for index, cell in enumerate(cell_order)}
+        if cell_order is not None
+        else {cell: cell for cell in range(strategy.num_cells)}
+    )
+    labels = {cell: "." for cell in range(topology.num_cells)}
+    for round_index, group in enumerate(strategy.groups, start=1):
+        for index in group:
+            labels[mapping[index]] = _label(round_index)
+    legend = "legend: digit = paging round, '.' = outside the plan"
+    return render_cell_map(topology, labels, legend=legend)
+
+
+def strategy_summary(strategy: Strategy) -> str:
+    """One line per round: sizes and members."""
+    lines = []
+    for round_index, group in enumerate(strategy.groups, start=1):
+        members = ", ".join(map(str, sorted(group)))
+        lines.append(f"round {round_index} ({len(group)} cells): {members}")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Location-update (reporting) policies.
+
+The reporting/paging trade-off of Section 1.1: every report costs one uplink
+wireless message but shrinks the search space of later pagings.  Policies:
+
+* :class:`NeverReport` — pure paging (search the whole system on a call).
+* :class:`AlwaysReport` — report every cell change (paging becomes free).
+* :class:`LACrossingReport` — the GSM MAP / IS-41 standard: report when the
+  broadcast location-area id changes.
+* :class:`DistanceReport` — report after drifting ``k`` hops from the last
+  reported cell [Bar-Noy & Kessler 1993 family].
+* :class:`TimerReport` — report every ``T`` time steps regardless of motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from ..errors import SimulationError
+from .location_areas import LocationAreaPlan
+from .topology import CellTopology
+
+
+@dataclass(frozen=True)
+class MoveContext:
+    """Everything a policy may inspect when a device moves."""
+
+    device: int
+    old_cell: int
+    new_cell: int
+    time: int
+    last_reported_cell: Optional[int]
+    steps_since_report: int
+
+
+class ReportingPolicy(Protocol):
+    """Decides whether a move triggers a location-update message."""
+
+    def should_report(self, move: MoveContext) -> bool: ...
+
+
+class NeverReport:
+    """Devices stay silent; calls must search everywhere."""
+
+    def should_report(self, move: MoveContext) -> bool:
+        return False
+
+
+class AlwaysReport:
+    """Report every cell change (maximum uplink traffic, zero search)."""
+
+    def should_report(self, move: MoveContext) -> bool:
+        return move.old_cell != move.new_cell
+
+
+class LACrossingReport:
+    """The GSM MAP / IS-41 standard policy (paper Section 1.1)."""
+
+    def __init__(self, plan: LocationAreaPlan) -> None:
+        self._plan = plan
+
+    def should_report(self, move: MoveContext) -> bool:
+        return self._plan.crosses_boundary(move.old_cell, move.new_cell)
+
+
+class DistanceReport:
+    """Report when ``hop_distance(last_reported, here) >= threshold``."""
+
+    def __init__(self, topology: CellTopology, threshold: int) -> None:
+        if threshold < 1:
+            raise SimulationError("distance threshold must be at least 1")
+        self._topology = topology
+        self._threshold = threshold
+
+    def should_report(self, move: MoveContext) -> bool:
+        if move.last_reported_cell is None:
+            return True
+        return (
+            self._topology.hop_distance(move.last_reported_cell, move.new_cell)
+            >= self._threshold
+        )
+
+
+class TimerReport:
+    """Report every ``period`` steps (movement-independent heartbeat)."""
+
+    def __init__(self, period: int) -> None:
+        if period < 1:
+            raise SimulationError("period must be at least 1")
+        self._period = period
+
+    def should_report(self, move: MoveContext) -> bool:
+        return move.steps_since_report >= self._period

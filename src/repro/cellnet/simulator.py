@@ -1,0 +1,304 @@
+"""The discrete-time cellular-system simulator (the paper's Section 1 setting).
+
+Each time step: devices move under their mobility models, the reporting
+policy decides which send location updates (uplink cost), and conference-call
+requests arrive and trigger searches (downlink paging cost).  Per-device
+location distributions are *estimated online* from observed positions —
+exactly the profile-based approach the paper cites [15, 16] — and feed the
+paging optimizer restricted to the registry's candidate set.
+
+This is the substrate for experiment E13: the end-to-end comparison of
+blanket LA paging (the GSM MAP / IS-41 standard) against the paper's
+delay-constrained heuristic and its adaptive variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import SimulationError
+from .calls import ConferenceCallRequest, PoissonConferenceCalls
+from .database import LocationRegistry
+from .location_areas import LocationAreaPlan
+from .metrics import CallRecord, LinkUsageMetrics
+from .mobility import MobilityModel
+from .paging import PAGER_FACTORIES, PagingOutcome
+from .reporting import (
+    AlwaysReport,
+    DistanceReport,
+    LACrossingReport,
+    MoveContext,
+    NeverReport,
+    ReportingPolicy,
+    TimerReport,
+)
+from .topology import CellTopology
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of one simulation run."""
+
+    horizon: int = 1_000
+    call_rate: float = 0.05
+    max_paging_rounds: int = 3
+    reporting: str = "la"  # never | always | la | distance | timer
+    pager: str = "heuristic"  # blanket | heuristic | adaptive
+    distance_threshold: int = 2
+    timer_period: int = 20
+    prior_smoothing: float = 1.0
+    #: "online" learns per-device profiles from observed positions (the
+    #: paper's cited profile-based estimation); "uniform" never learns —
+    #: the ablation that shows what the profiles are worth.
+    prior_mode: str = "online"
+    #: mean call length in steps; while on a call a device talks to its base
+    #: station continuously, so the system tracks its cell exactly (paper
+    #: Section 1.1).  0 disables durations (calls are instantaneous).
+    mean_call_duration: int = 0
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise SimulationError("horizon must be positive")
+        if self.max_paging_rounds < 1:
+            raise SimulationError("max_paging_rounds must be positive")
+        if self.mean_call_duration < 0:
+            raise SimulationError("mean_call_duration must be non-negative")
+        if self.pager not in PAGER_FACTORIES:
+            raise SimulationError(
+                f"unknown pager {self.pager!r}; choose from {sorted(PAGER_FACTORIES)}"
+            )
+        if self.reporting not in ("never", "always", "la", "distance", "timer"):
+            raise SimulationError(f"unknown reporting policy {self.reporting!r}")
+        if self.prior_mode not in ("online", "uniform"):
+            raise SimulationError(f"unknown prior mode {self.prior_mode!r}")
+
+
+@dataclass
+class DeviceState:
+    """The simulator's ground truth for one device."""
+
+    cell: int
+    model: MobilityModel
+    last_reported_cell: int
+    steps_since_report: int = 0
+    visit_counts: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: on an active call through this time step (exclusive); 0 = idle
+    busy_until: int = 0
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Everything a run produced."""
+
+    metrics: LinkUsageMetrics
+    config: SimulationConfig
+    num_devices: int
+    num_cells: int
+
+    def summary(self) -> Dict[str, float]:
+        out = self.metrics.summary()
+        out["devices"] = float(self.num_devices)
+        out["cells"] = float(self.num_cells)
+        return out
+
+
+class CellularSimulator:
+    """Time-stepped mobile-network simulation with pluggable policies."""
+
+    def __init__(
+        self,
+        topology: CellTopology,
+        plan: LocationAreaPlan,
+        mobility_models: Sequence[MobilityModel],
+        config: SimulationConfig,
+        *,
+        rng: np.random.Generator,
+        initial_cells: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._topology = topology
+        self._plan = plan
+        self._config = config
+        self._rng = rng
+        self._registry = LocationRegistry()
+        self._metrics = LinkUsageMetrics()
+        self._pager = PAGER_FACTORIES[config.pager]()
+        self._policy = self._build_policy()
+        self._calls = PoissonConferenceCalls(
+            config.call_rate, len(mobility_models)
+        ) if len(mobility_models) >= 2 else None
+
+        c = topology.num_cells
+        self._devices: List[DeviceState] = []
+        for index, model in enumerate(mobility_models):
+            if initial_cells is not None:
+                cell = int(initial_cells[index])
+            else:
+                cell = int(rng.integers(c))
+            state = DeviceState(
+                cell=cell,
+                model=model,
+                last_reported_cell=cell,
+                visit_counts=np.full(c, config.prior_smoothing, dtype=float),
+            )
+            state.visit_counts[cell] += 1.0
+            self._devices.append(state)
+            self._registry.register(index, plan.area_of(cell), cell, time=0)
+            self._metrics.record_registration()
+
+    # ------------------------------------------------------------------
+    def _build_policy(self) -> ReportingPolicy:
+        config = self._config
+        if config.reporting == "never":
+            return NeverReport()
+        if config.reporting == "always":
+            return AlwaysReport()
+        if config.reporting == "la":
+            return LACrossingReport(self._plan)
+        if config.reporting == "distance":
+            return DistanceReport(self._topology, config.distance_threshold)
+        return TimerReport(config.timer_period)
+
+    # ------------------------------------------------------------------
+    def _candidate_cells(self, device: int) -> Tuple[int, ...]:
+        """Where the system will look, given its belief about the device."""
+        record = self._registry.lookup(device)
+        if record.confirmed_cell is not None:
+            return (record.confirmed_cell,)
+        config = self._config
+        if config.reporting == "always":
+            assert record.reported_cell is not None
+            return (record.reported_cell,)
+        if config.reporting == "la":
+            return self._plan.cells_of(record.reported_area)
+        if config.reporting == "distance":
+            assert record.reported_cell is not None
+            radius = config.distance_threshold
+            return tuple(
+                cell
+                for cell in range(self._topology.num_cells)
+                if self._topology.hop_distance(record.reported_cell, cell) <= radius
+            )
+        # never / timer: no usable bound — the whole network is a candidate.
+        return tuple(range(self._topology.num_cells))
+
+    def _prior(self, device: int) -> np.ndarray:
+        if self._config.prior_mode == "uniform":
+            c = self._topology.num_cells
+            return np.full(c, 1.0 / c)
+        counts = self._devices[device].visit_counts
+        return counts / counts.sum()
+
+    # ------------------------------------------------------------------
+    def _step_movement(self, time: int) -> None:
+        for index, state in enumerate(self._devices):
+            new_cell = state.model.step(state.cell, self._rng)
+            moved = new_cell != state.cell
+            old_cell = state.cell
+            state.cell = new_cell
+            state.steps_since_report += 1
+            state.visit_counts[new_cell] += 1.0
+            if moved:
+                if time < state.busy_until:
+                    # Mid-call handover: the base stations track the device,
+                    # so the system's fix stays exact (paper Section 1.1).
+                    self._registry.confirm(
+                        index, new_cell, self._plan.area_of(new_cell), time
+                    )
+                else:
+                    self._registry.invalidate_confirmation(index)
+            move = MoveContext(
+                device=index,
+                old_cell=old_cell,
+                new_cell=new_cell,
+                time=time,
+                last_reported_cell=state.last_reported_cell,
+                steps_since_report=state.steps_since_report,
+            )
+            if self._policy.should_report(move):
+                self._registry.report(
+                    index, self._plan.area_of(new_cell), new_cell, time
+                )
+                self._metrics.record_report()
+                state.last_reported_cell = new_cell
+                state.steps_since_report = 0
+
+    def _handle_call(self, request: ConferenceCallRequest) -> PagingOutcome:
+        participants = request.participants
+        # The search space is the union of the per-device candidate sets: the
+        # system must locate every participant, and Lemma 2.1's model treats
+        # the union as one location area with per-device conditional priors.
+        candidate_union: List[int] = sorted(
+            {
+                cell
+                for device in participants
+                for cell in self._candidate_cells(device)
+            }
+        )
+        priors = [self._prior(device) for device in participants]
+        true_cells = [self._devices[device].cell for device in participants]
+        outcome = self._pager.search(
+            priors,
+            candidate_union,
+            true_cells,
+            self._config.max_paging_rounds,
+            self._topology.num_cells,
+        )
+        duration = 0
+        if self._config.mean_call_duration > 0:
+            duration = 1 + int(
+                self._rng.geometric(1.0 / self._config.mean_call_duration)
+            )
+        for device, cell in outcome.found_cells.items():
+            actual = participants[device]
+            self._registry.confirm(
+                actual, cell, self._plan.area_of(cell), request.time
+            )
+            if duration:
+                self._devices[actual].busy_until = max(
+                    self._devices[actual].busy_until, request.time + duration
+                )
+        self._metrics.record_call(
+            CallRecord(
+                time=request.time,
+                participants=len(participants),
+                cells_paged=outcome.cells_paged,
+                rounds_used=outcome.rounds_used,
+                used_fallback=outcome.used_fallback,
+            )
+        )
+        return outcome
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationReport:
+        """Advance the system for ``horizon`` steps and report usage."""
+        for time in range(1, self._config.horizon + 1):
+            self._step_movement(time)
+            if self._calls is not None:
+                request = self._calls.maybe_arrival(time, self._rng)
+                if request is not None:
+                    self._handle_call(request)
+        return SimulationReport(
+            metrics=self._metrics,
+            config=self._config,
+            num_devices=len(self._devices),
+            num_cells=self._topology.num_cells,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> LinkUsageMetrics:
+        return self._metrics
+
+    @property
+    def registry(self) -> LocationRegistry:
+        return self._registry
+
+    def device_cell(self, device: int) -> int:
+        return self._devices[device].cell
+
+    def estimated_prior(self, device: int) -> np.ndarray:
+        """The online-estimated distribution (for estimation-quality checks)."""
+        return self._prior(device)

@@ -1,0 +1,133 @@
+"""Cell topology: the adjacency structure of a wireless coverage area.
+
+A :class:`CellTopology` wraps a networkx graph whose nodes are integer cell
+ids.  Builders cover the standard shapes (hexagonal disk, hexagonal
+rectangle, line, ring, torus grid); hop distances drive mobility models,
+location-area construction, and the distance reporting policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import SimulationError
+from .geometry import Hex, hex_disk, hex_rectangle
+
+
+class CellTopology:
+    """An undirected adjacency graph over cells ``0..c-1``."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        positions: Optional[Dict[int, Tuple[float, float]]] = None,
+    ) -> None:
+        expected = set(range(graph.number_of_nodes()))
+        if set(graph.nodes) != expected:
+            raise SimulationError(
+                "topology nodes must be the contiguous integers 0..c-1"
+            )
+        if graph.number_of_nodes() == 0:
+            raise SimulationError("topology needs at least one cell")
+        if not nx.is_connected(graph):
+            raise SimulationError("topology must be connected")
+        self._graph = graph
+        self._positions = dict(positions) if positions else {}
+        self._distances: Optional[Dict[int, Dict[int, int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.Graph:
+        return self._graph
+
+    @property
+    def num_cells(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def neighbors(self, cell: int) -> Tuple[int, ...]:
+        """Adjacent cells, sorted for determinism."""
+        return tuple(sorted(self._graph.neighbors(cell)))
+
+    def position(self, cell: int) -> Tuple[float, float]:
+        """Planar position of the cell center (for distance-flavored models)."""
+        if cell not in self._positions:
+            raise SimulationError(f"no position recorded for cell {cell}")
+        return self._positions[cell]
+
+    def hop_distance(self, source: int, target: int) -> int:
+        """Shortest-path hop count (all-pairs table computed lazily)."""
+        if self._distances is None:
+            self._distances = {
+                node: lengths
+                for node, lengths in nx.all_pairs_shortest_path_length(self._graph)
+            }
+        return self._distances[source][target]
+
+    def shortest_path(self, source: int, target: int) -> List[int]:
+        """One shortest path, endpoints included."""
+        return nx.shortest_path(self._graph, source, target)
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_hexes(cls, hexes: Sequence[Hex]) -> "CellTopology":
+        """Topology over explicit hex positions; adjacency = hex neighbors."""
+        index = {position: cell for cell, position in enumerate(hexes)}
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(hexes)))
+        for position, cell in index.items():
+            for neighbor in position.neighbors():
+                if neighbor in index:
+                    graph.add_edge(cell, index[neighbor])
+        positions = {
+            cell: position.to_cartesian() for position, cell in index.items()
+        }
+        return cls(graph, positions=positions)
+
+    @classmethod
+    def hexagonal_disk(cls, radius: int) -> "CellTopology":
+        """A disk-shaped hexagonal area (``1 + 3 R (R+1)`` cells)."""
+        return cls.from_hexes(hex_disk(radius))
+
+    @classmethod
+    def hexagonal_rectangle(cls, rows: int, cols: int) -> "CellTopology":
+        """A ``rows x cols`` hexagonal patch."""
+        return cls.from_hexes(hex_rectangle(rows, cols))
+
+    @classmethod
+    def line(cls, num_cells: int) -> "CellTopology":
+        """Cells along a highway: ``0 - 1 - ... - c-1``."""
+        graph = nx.path_graph(num_cells)
+        positions = {cell: (float(cell), 0.0) for cell in range(num_cells)}
+        return cls(graph, positions=positions)
+
+    @classmethod
+    def ring(cls, num_cells: int) -> "CellTopology":
+        """A ring road of cells."""
+        graph = nx.cycle_graph(num_cells)
+        return cls(graph)
+
+    @classmethod
+    def grid(cls, rows: int, cols: int) -> "CellTopology":
+        """A Manhattan grid of cells (4-neighbor, with boundary)."""
+        lattice = nx.grid_2d_graph(rows, cols)
+        mapping = {(row, col): row * cols + col for row, col in lattice.nodes}
+        graph = nx.relabel_nodes(lattice, mapping)
+        positions = {
+            row * cols + col: (float(col), float(row))
+            for row in range(rows)
+            for col in range(cols)
+        }
+        return cls(nx.Graph(graph), positions=positions)
+
+    @classmethod
+    def torus(cls, rows: int, cols: int) -> "CellTopology":
+        """A wrap-around rectangular grid (no boundary effects)."""
+        grid = nx.grid_2d_graph(rows, cols, periodic=True)
+        mapping = {(row, col): row * cols + col for row, col in grid.nodes}
+        graph = nx.relabel_nodes(grid, mapping)
+        return cls(nx.Graph(graph))

@@ -1,0 +1,280 @@
+"""Command-line interface: ``repro <command>``.
+
+Four commands cover the library's workflows:
+
+* ``repro plan`` — read a probability matrix from JSON and print a paging
+  strategy (heuristic, exact, or adaptive value).
+* ``repro simulate`` — run the cellular-network simulation and print the
+  link-usage summary.
+* ``repro experiments`` — regenerate experiment tables (all or by id).
+* ``repro gadget`` — run the Lemma 3.2 NP-hardness reduction on a list of
+  sizes and report whether the optimum hits the lower bound.
+
+JSON input format for ``plan``::
+
+    {"probabilities": [[0.5, 0.3, 0.2], [0.1, 0.4, 0.5]], "max_rounds": 2}
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from fractions import Fraction
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conference Call paging under delay constraints "
+        "(Bar-Noy & Malewicz, PODC 2002)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    plan = commands.add_parser("plan", help="plan a paging strategy from JSON")
+    plan.add_argument("input", help="path to a JSON instance file, or '-' for stdin")
+    plan.add_argument(
+        "--solver",
+        choices=("heuristic", "exact", "adaptive"),
+        default="heuristic",
+        help="heuristic (Fig. 1), exact (subset DP), or adaptive value",
+    )
+    plan.add_argument("--rounds", type=int, default=None, help="override the delay d")
+    plan.add_argument(
+        "--bandwidth", type=int, default=None, help="max cells paged per round"
+    )
+    plan.add_argument(
+        "--output", default=None, help="write the planned strategy to a JSON file"
+    )
+    plan.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the vectorized planner (large instances, heuristic only)",
+    )
+
+    simulate = commands.add_parser("simulate", help="run the cellular simulation")
+    simulate.add_argument("--radius", type=int, default=3, help="hex disk radius")
+    simulate.add_argument("--devices", type=int, default=6)
+    simulate.add_argument("--areas", type=int, default=4, help="location areas")
+    simulate.add_argument("--horizon", type=int, default=500, help="time steps")
+    simulate.add_argument("--call-rate", type=float, default=0.08)
+    simulate.add_argument(
+        "--pager", choices=("blanket", "heuristic", "adaptive"), default="heuristic"
+    )
+    simulate.add_argument(
+        "--reporting",
+        choices=("never", "always", "la", "distance", "timer"),
+        default="la",
+    )
+    simulate.add_argument("--rounds", type=int, default=3, help="paging delay budget")
+    simulate.add_argument("--seed", type=int, default=2002)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate experiment tables"
+    )
+    experiments.add_argument(
+        "ids", nargs="*", help="experiment ids (default: run everything)"
+    )
+    experiments.add_argument(
+        "--list", action="store_true", help="list known experiment ids and exit"
+    )
+
+    gadget = commands.add_parser(
+        "gadget", help="run the Lemma 3.2 reduction on comma-separated sizes"
+    )
+    gadget.add_argument("sizes", help="e.g. 3,1,2,2,1,3 (count divisible by 3)")
+
+    render = commands.add_parser(
+        "render", help="ASCII map of a hexagonal network's areas or a plan"
+    )
+    render.add_argument("--radius", type=int, default=3, help="hex disk radius")
+    render.add_argument("--areas", type=int, default=4, help="location areas")
+    render.add_argument(
+        "--plan",
+        default=None,
+        help="optionally: JSON instance file; renders its heuristic strategy",
+    )
+    render.add_argument("--rounds", type=int, default=3)
+    render.add_argument("--seed", type=int, default=2002)
+
+    return parser
+
+
+def _load_instance(path: str):
+    from .core import PagingInstance
+
+    if path == "-":
+        payload = json.load(sys.stdin)
+    else:
+        with open(path) as handle:
+            payload = json.load(handle)
+    if "probabilities" not in payload:
+        raise SystemExit("input JSON needs a 'probabilities' matrix")
+    matrix = np.asarray(payload["probabilities"], dtype=float)
+    max_rounds = int(payload.get("max_rounds", min(2, matrix.shape[1])))
+    return PagingInstance.from_array(matrix, max_rounds, allow_zero=True)
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    from .core import (
+        adaptive_expected_paging,
+        conference_call_heuristic,
+        conference_call_heuristic_fast,
+        optimal_strategy,
+    )
+    from .core.serialization import save
+
+    instance = _load_instance(args.input)
+    if args.rounds is not None:
+        instance = instance.with_max_rounds(args.rounds)
+    print(
+        f"instance: m={instance.num_devices} devices, c={instance.num_cells} "
+        f"cells, d={instance.max_rounds} rounds"
+    )
+    if args.solver == "adaptive":
+        value = adaptive_expected_paging(instance)
+        print(f"adaptive replanning expected paging: {float(value):.4f} cells")
+        return 0
+    if args.solver == "exact":
+        result = optimal_strategy(instance, max_group_size=args.bandwidth)
+        strategy = result.strategy
+        value = result.expected_paging
+        label = "exact optimal"
+    else:
+        planner = (
+            conference_call_heuristic_fast if args.fast else conference_call_heuristic
+        )
+        result = planner(instance, max_group_size=args.bandwidth)
+        strategy = result.strategy
+        value = result.expected_paging
+        label = "e/(e-1) heuristic"
+    for round_index, group in enumerate(strategy.groups, start=1):
+        print(f"  round {round_index}: page cells {sorted(group)}")
+    print(f"{label} expected paging: {float(value):.4f} of {instance.num_cells} cells")
+    if args.output:
+        save(strategy, args.output)
+        print(f"strategy written to {args.output}")
+    return 0
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    from .cellnet import (
+        CellTopology,
+        CellularSimulator,
+        GravityMobility,
+        LocationAreaPlan,
+        SimulationConfig,
+    )
+
+    rng = np.random.default_rng(args.seed)
+    topology = CellTopology.hexagonal_disk(args.radius)
+    plan = LocationAreaPlan.by_bfs(topology, args.areas)
+    attraction = np.random.default_rng(args.seed + 1).uniform(
+        0.5, 3.0, size=topology.num_cells
+    )
+    models = [GravityMobility(topology, attraction) for _ in range(args.devices)]
+    config = SimulationConfig(
+        horizon=args.horizon,
+        call_rate=args.call_rate,
+        max_paging_rounds=args.rounds,
+        reporting=args.reporting,
+        pager=args.pager,
+    )
+    simulator = CellularSimulator(topology, plan, models, config, rng=rng)
+    report = simulator.run()
+    print(
+        f"network: {topology.num_cells} cells, {args.areas} location areas, "
+        f"{args.devices} devices, horizon {args.horizon}"
+    )
+    for key, value in report.summary().items():
+        print(f"  {key:>20}: {value:.2f}")
+    return 0
+
+
+def _command_experiments(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS, main as run
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    print(run(args.ids or None))
+    return 0
+
+
+def _command_gadget(args: argparse.Namespace) -> int:
+    from .core import optimal_strategy
+    from .hardness import (
+        reduce_quasipartition1_to_conference_call,
+        solve_quasipartition1,
+    )
+
+    try:
+        sizes = [Fraction(part.strip()) for part in args.sizes.split(",")]
+    except ValueError as error:
+        raise SystemExit(f"could not parse sizes: {error}")
+    witness = solve_quasipartition1(sizes)
+    reduction = reduce_quasipartition1_to_conference_call(sizes)
+    optimum = optimal_strategy(reduction.instance)
+    hits = optimum.expected_paging == reduction.lower_bound
+    print(f"sizes: {[str(size) for size in sizes]}")
+    print(f"quasipartition witness: {witness}")
+    print(f"lower bound LB = {reduction.lower_bound} ({float(reduction.lower_bound):.6f})")
+    print(f"optimal EP     = {optimum.expected_paging} ({float(optimum.expected_paging):.6f})")
+    print(f"EP == LB (iff a quasipartition exists): {hits}")
+    if hits:
+        print(f"first paged group encodes the subset: {reduction.witness_from_strategy(optimum.strategy)}")
+    return 0
+
+
+def _command_render(args: argparse.Namespace) -> int:
+    from .cellnet import (
+        CellTopology,
+        LocationAreaPlan,
+        render_location_areas,
+        render_strategy,
+        strategy_summary,
+    )
+
+    topology = CellTopology.hexagonal_disk(args.radius)
+    plan = LocationAreaPlan.by_bfs(topology, args.areas)
+    print(f"network: {topology.num_cells} cells in a radius-{args.radius} hex disk")
+    print(render_location_areas(topology, plan))
+    if args.plan is not None:
+        from .core import conference_call_heuristic
+
+        instance = _load_instance(args.plan)
+        if instance.num_cells != topology.num_cells:
+            raise SystemExit(
+                f"instance has {instance.num_cells} cells; the rendered network "
+                f"has {topology.num_cells} (adjust --radius)"
+            )
+        result = conference_call_heuristic(
+            instance.with_max_rounds(min(args.rounds, instance.num_cells))
+        )
+        print()
+        print(render_strategy(topology, result.strategy))
+        print()
+        print(strategy_summary(result.strategy))
+        print(f"expected paging: {float(result.expected_paging):.4f} cells")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point (also installed as the ``repro`` console script)."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "plan": _command_plan,
+        "simulate": _command_simulate,
+        "experiments": _command_experiments,
+        "gadget": _command_gadget,
+        "render": _command_render,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

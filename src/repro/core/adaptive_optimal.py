@@ -1,0 +1,178 @@
+"""The exact optimal ADAPTIVE strategy, by dynamic programming.
+
+Section 5 of the paper raises adaptive strategies (choose each round's group
+after seeing which devices answered) and leaves their analysis open.  For
+small instances the optimal adaptive policy is computable exactly: the
+decision-relevant state is ``(set of cells already paged, set of devices
+still missing, rounds left)`` — the missing devices' conditional
+distributions are their priors restricted to the unpaged cells, which the
+mask determines.
+
+The value recursion is
+
+    V(mask, devices, t) = min over non-empty ext of the complement of
+        |ext| + sum over proper subsets B of `devices`
+                 Pr[exactly the devices of B miss ext] * V(mask|ext, B, t-1)
+
+with ``V(mask, {}, t) = 0`` and the last round forced to page everything
+left.  The resulting value is a true lower bound on every adaptive (and
+hence every oblivious) strategy, so ``optimal_oblivious / optimal_adaptive``
+measures the *adaptivity gap* — benchmark E19.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..errors import SolverLimitError
+from .instance import Number, PagingInstance
+
+#: The state space is 3^c-flavored; keep instances small.
+MAX_ADAPTIVE_CELLS = 12
+
+
+@dataclass(frozen=True)
+class AdaptiveOptimalResult:
+    """The optimal adaptive expected paging, with the first-round group."""
+
+    expected_paging: Number
+    first_group: Tuple[int, ...]
+
+
+def optimal_adaptive_expected_paging(
+    instance: PagingInstance, *, max_rounds: Optional[int] = None
+) -> AdaptiveOptimalResult:
+    """Exact minimum expected paging over all adaptive policies."""
+    c = instance.num_cells
+    if c > MAX_ADAPTIVE_CELLS:
+        raise SolverLimitError(
+            f"adaptive optimal solver limited to {MAX_ADAPTIVE_CELLS} cells"
+        )
+    m = instance.num_devices
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    d = min(d, c)
+    exact = instance.is_exact
+    zero: Number = Fraction(0) if exact else 0.0
+    one: Number = Fraction(1) if exact else 1.0
+    full = (1 << c) - 1
+    popcount = [bin(mask).count("1") for mask in range(full + 1)]
+
+    # Per-device subset sums P_i(mask).
+    sums: List[List[Number]] = []
+    for row in instance.rows:
+        device_sums = [zero] * (full + 1)
+        for mask in range(1, full + 1):
+            low = mask & (-mask)
+            device_sums[mask] = device_sums[mask ^ low] + row[low.bit_length() - 1]
+        sums.append(device_sums)
+
+    all_devices = frozenset(range(m))
+
+    @lru_cache(maxsize=None)
+    def value(mask: int, devices: FrozenSet[int], rounds_left: int) -> Number:
+        if not devices:
+            return zero
+        complement = full ^ mask
+        remaining_cells = popcount[complement]
+        if rounds_left <= 1:
+            return remaining_cells * one
+        best: Optional[Number] = None
+        best_is_all = False
+        # Conditional hit probability of each missing device for a given ext:
+        # q_i = P_i(ext) / P_i(complement).
+        denominators = {i: sums[i][complement] for i in devices}
+        sub = complement
+        while sub:
+            cost: Number = popcount[sub] * one
+            if sub != complement:
+                hit: Dict[int, Number] = {}
+                degenerate = False
+                for i in devices:
+                    if float(denominators[i]) <= 0.0:
+                        degenerate = True
+                        break
+                    hit[i] = sums[i][sub] / denominators[i]
+                if not degenerate:
+                    device_list = sorted(devices)
+                    for pattern in itertools.product(
+                        (False, True), repeat=len(device_list)
+                    ):
+                        missing = frozenset(
+                            device
+                            for device, found in zip(device_list, pattern)
+                            if not found
+                        )
+                        if not missing:
+                            continue
+                        probability = one
+                        for device, found in zip(device_list, pattern):
+                            q = hit[device]
+                            probability = probability * (q if found else one - q)
+                        if float(probability) <= 0.0:
+                            continue
+                        cost = cost + probability * value(
+                            mask | sub, missing, rounds_left - 1
+                        )
+            if best is None or cost < best:
+                best = cost
+                best_is_all = sub == complement
+            sub = (sub - 1) & complement
+        assert best is not None
+        return best
+
+    # Recover the optimal first group by re-evaluating the top level.
+    best_value: Optional[Number] = None
+    best_ext = full
+    sub = full
+    while sub:
+        cost: Number = popcount[sub] * one
+        if sub != full and d > 1:
+            device_list = list(range(m))
+            hit = {i: sums[i][sub] for i in device_list}  # P_i(full) = 1
+            for pattern in itertools.product((False, True), repeat=m):
+                missing = frozenset(
+                    device
+                    for device, found in zip(device_list, pattern)
+                    if not found
+                )
+                if not missing:
+                    continue
+                probability = one
+                for device, found in zip(device_list, pattern):
+                    q = hit[device]
+                    probability = probability * (q if found else one - q)
+                if float(probability) <= 0.0:
+                    continue
+                cost = cost + probability * value(sub, missing, d - 1)
+        elif sub != full:
+            sub = (sub - 1) & full
+            continue
+        if best_value is None or cost < best_value:
+            best_value = cost
+            best_ext = sub
+        sub = (sub - 1) & full
+    assert best_value is not None
+    first_group = tuple(j for j in range(c) if best_ext >> j & 1)
+    return AdaptiveOptimalResult(expected_paging=best_value, first_group=first_group)
+
+
+def adaptivity_gap(
+    instance: PagingInstance, *, max_rounds: Optional[int] = None
+) -> Tuple[Number, Number, float]:
+    """``(optimal_oblivious, optimal_adaptive, ratio)`` for one instance.
+
+    The ratio is at least 1; how large it can grow is the paper's open
+    question, which benchmark E19 probes empirically.
+    """
+    from .exact import optimal_strategy
+
+    oblivious = optimal_strategy(instance, max_rounds=max_rounds).expected_paging
+    adaptive = optimal_adaptive_expected_paging(
+        instance, max_rounds=max_rounds
+    ).expected_paging
+    ratio = float(oblivious) / float(adaptive) if float(adaptive) > 0 else 1.0
+    return oblivious, adaptive, ratio

@@ -1,0 +1,300 @@
+"""Adaptive search for the quorum problems (Yellow Pages / Signature).
+
+Section 5's adaptive idea applied to its own generalizations: when the goal
+is to find *k of m* devices, each round can replan using both the devices
+already found and the cells already cleared.  After a round:
+
+* devices found so far reduce the outstanding quorum;
+* devices not yet found are conditionally distributed over the unpaged
+  cells;
+
+so the continuation is a smaller Signature problem (Yellow Pages when the
+outstanding quorum is 1), replanned with the round budget left.  Expected
+paging is computed exactly by the same found-subset tree recursion as the
+Conference Call adaptive planner.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidInstanceError, InvalidStrategyError
+from .instance import Number, PagingInstance
+from .signature import SignatureResult, signature_heuristic
+
+QuorumPlanner = Callable[[PagingInstance, int], SignatureResult]
+
+
+@dataclass(frozen=True)
+class AdaptiveQuorumTrace:
+    """One adaptive quorum search run."""
+
+    groups: Tuple[Tuple[int, ...], ...]
+    cells_paged: int
+    rounds_used: int
+    devices_found: Tuple[int, ...]
+
+
+def _plan_group(
+    instance: PagingInstance,
+    device_subset: Sequence[int],
+    cell_subset: Sequence[int],
+    quorum: int,
+    rounds_left: int,
+    planner: QuorumPlanner,
+) -> Tuple[int, ...]:
+    cells = tuple(cell_subset)
+    if rounds_left <= 1 or len(cells) == 1:
+        return cells
+    effective_rounds = min(rounds_left, len(cells))
+    sub, mapping = instance.restrict(device_subset, cells, effective_rounds)
+    plan = planner(sub, quorum)
+    first = plan.strategy.group(0)
+    return tuple(sorted(mapping[j] for j in first))
+
+
+def adaptive_quorum_search(
+    instance: PagingInstance,
+    quorum: int,
+    locations: Sequence[int],
+    *,
+    planner: QuorumPlanner = signature_heuristic,
+) -> AdaptiveQuorumTrace:
+    """Run one adaptive search until ``quorum`` devices have answered."""
+    m = instance.num_devices
+    if not 1 <= quorum <= m:
+        raise InvalidInstanceError(
+            f"quorum must satisfy 1 <= k <= m={m}, got {quorum}"
+        )
+    if len(locations) != m:
+        raise InvalidStrategyError(f"expected {m} locations, got {len(locations)}")
+    remaining_devices = tuple(range(m))
+    remaining_cells = tuple(range(instance.num_cells))
+    outstanding = quorum
+    rounds_left = instance.max_rounds
+    paged = 0
+    groups = []
+    found: list = []
+    while outstanding > 0:
+        if rounds_left <= 0:
+            raise InvalidStrategyError(
+                "round budget exhausted before reaching the quorum"
+            )
+        group = _plan_group(
+            instance,
+            remaining_devices,
+            remaining_cells,
+            outstanding,
+            rounds_left,
+            planner,
+        )
+        groups.append(group)
+        paged += len(group)
+        group_set = set(group)
+        hits = tuple(
+            device for device in remaining_devices if locations[device] in group_set
+        )
+        found.extend(hits)
+        outstanding -= len(hits)
+        remaining_devices = tuple(
+            device for device in remaining_devices if device not in hits
+        )
+        remaining_cells = tuple(j for j in remaining_cells if j not in group_set)
+        rounds_left -= 1
+    return AdaptiveQuorumTrace(
+        groups=tuple(groups),
+        cells_paged=paged,
+        rounds_used=len(groups),
+        devices_found=tuple(sorted(found)),
+    )
+
+
+def adaptive_quorum_expected_paging(
+    instance: PagingInstance,
+    quorum: int,
+    *,
+    planner: QuorumPlanner = signature_heuristic,
+) -> Number:
+    """Exact expected paging of the adaptive quorum policy."""
+    m = instance.num_devices
+    if not 1 <= quorum <= m:
+        raise InvalidInstanceError(
+            f"quorum must satisfy 1 <= k <= m={m}, got {quorum}"
+        )
+    exact = instance.is_exact
+    one: Number = Fraction(1) if exact else 1.0
+
+    def recurse(
+        device_subset: Tuple[int, ...],
+        cell_subset: Tuple[int, ...],
+        outstanding: int,
+        rounds_left: int,
+    ) -> Number:
+        group = _plan_group(
+            instance, device_subset, cell_subset, outstanding, rounds_left, planner
+        )
+        cost: Number = len(group) * one
+        group_set = set(group)
+        next_cells = tuple(j for j in cell_subset if j not in group_set)
+        hit = []
+        for device in device_subset:
+            row = instance.row(device)
+            mass = sum((row[j] for j in cell_subset), start=0 * one)
+            inside = sum((row[j] for j in group), start=0 * one)
+            hit.append(inside / mass)
+        for pattern in itertools.product((False, True), repeat=len(device_subset)):
+            hits = sum(1 for was_found in pattern if was_found)
+            still_needed = outstanding - hits
+            if still_needed <= 0:
+                continue  # quorum reached on this branch: no further cost
+            probability = one
+            for was_found, q in zip(pattern, hit):
+                probability = probability * (q if was_found else one - q)
+            if float(probability) <= 0.0:
+                continue
+            missing = tuple(
+                device
+                for device, was_found in zip(device_subset, pattern)
+                if not was_found
+            )
+            if not next_cells:
+                raise InvalidStrategyError(
+                    "cells exhausted before the quorum was reached"
+                )
+            cost = cost + probability * recurse(
+                missing, next_cells, still_needed, rounds_left - 1
+            )
+        return cost
+
+    return recurse(
+        tuple(range(m)),
+        tuple(range(instance.num_cells)),
+        quorum,
+        instance.max_rounds,
+    )
+
+
+def adaptive_quorum_monte_carlo(
+    instance: PagingInstance,
+    quorum: int,
+    *,
+    trials: int,
+    rng: np.random.Generator,
+    planner: QuorumPlanner = signature_heuristic,
+) -> float:
+    """Monte-Carlo estimate of the adaptive quorum policy's expected paging."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    total = 0
+    for _ in range(trials):
+        locations = instance.sample_locations(rng)
+        total += adaptive_quorum_search(
+            instance, quorum, locations, planner=planner
+        ).cells_paged
+    return total / trials
+
+
+#: Cell cap for the exact adaptive-quorum DP (3^c-flavored state space).
+MAX_ADAPTIVE_CELLS = 12
+
+
+def optimal_adaptive_quorum_expected_paging(
+    instance: PagingInstance, quorum: int
+) -> Number:
+    """The exact optimal ADAPTIVE policy for the find-k-of-m objective.
+
+    Dynamic program over ``(paged-cell mask, missing-device set, outstanding
+    quorum, rounds left)`` — the quorum analogue of
+    :func:`repro.core.adaptive_optimal.optimal_adaptive_expected_paging`.
+    Small instances only.
+    """
+    from functools import lru_cache
+
+    from ..errors import SolverLimitError
+
+    c = instance.num_cells
+    if c > MAX_ADAPTIVE_CELLS:
+        raise SolverLimitError(
+            f"adaptive quorum solver limited to {MAX_ADAPTIVE_CELLS} cells"
+        )
+    m = instance.num_devices
+    if not 1 <= quorum <= m:
+        raise InvalidInstanceError(
+            f"quorum must satisfy 1 <= k <= m={m}, got {quorum}"
+        )
+    d = min(instance.max_rounds, c)
+    exact = instance.is_exact
+    zero: Number = Fraction(0) if exact else 0.0
+    one: Number = Fraction(1) if exact else 1.0
+    full = (1 << c) - 1
+    popcount = [bin(mask).count("1") for mask in range(full + 1)]
+
+    sums = []
+    for row in instance.rows:
+        device_sums = [zero] * (full + 1)
+        for mask in range(1, full + 1):
+            low = mask & (-mask)
+            device_sums[mask] = device_sums[mask ^ low] + row[low.bit_length() - 1]
+        sums.append(device_sums)
+
+    @lru_cache(maxsize=None)
+    def value(
+        mask: int, devices: frozenset, outstanding: int, rounds_left: int
+    ) -> Number:
+        if outstanding <= 0:
+            return zero
+        complement = full ^ mask
+        if rounds_left <= 1:
+            return popcount[complement] * one  # page everything left
+        best: Optional[Number] = None
+        denominators = {i: sums[i][complement] for i in devices}
+        device_list = sorted(devices)
+        sub = complement
+        while sub:
+            cost: Number = popcount[sub] * one
+            if sub != complement:
+                hit = {i: sums[i][sub] / denominators[i] for i in device_list}
+                for pattern in itertools.product(
+                    (False, True), repeat=len(device_list)
+                ):
+                    hits = sum(1 for was_found in pattern if was_found)
+                    still_needed = outstanding - hits
+                    if still_needed <= 0:
+                        continue
+                    probability = one
+                    for device, was_found in zip(device_list, pattern):
+                        q = hit[device]
+                        probability = probability * (q if was_found else one - q)
+                    if float(probability) <= 0.0:
+                        continue
+                    missing = frozenset(
+                        device
+                        for device, was_found in zip(device_list, pattern)
+                        if not was_found
+                    )
+                    cost = cost + probability * value(
+                        mask | sub, missing, still_needed, rounds_left - 1
+                    )
+            if best is None or cost < best:
+                best = cost
+            sub = (sub - 1) & complement
+        assert best is not None
+        return best
+
+    return value(0, frozenset(range(m)), quorum, d)
+
+
+def adaptive_yellow_pages_expected_paging(
+    instance: PagingInstance,
+    *,
+    planner: Optional[QuorumPlanner] = None,
+) -> Number:
+    """Adaptive Yellow Pages: find any one device, replanning each round."""
+    if planner is None:
+        planner = signature_heuristic
+    return adaptive_quorum_expected_paging(instance, 1, planner=planner)

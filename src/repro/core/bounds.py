@@ -1,0 +1,123 @@
+"""Bound constants and closed forms from the paper's analysis.
+
+* The Lemma 3.4 recursion ``alpha_1 = m/(m+1)``,
+  ``alpha_k = m/(m+1 - alpha_{k-1}^m)``, ``b_d = c``, ``b_{k-1} = alpha_{k-1} b_k``
+  gives the unique interior maximizer of ``sum_r (b_{r+1}-b_r) b_r^m`` and
+  hence the group-size profile at which the NP-hardness gadget's expected
+  paging bottoms out.
+* The Lemma 3.2 lower bound ``LB = c - f(1/2, 2c/3) / ((c-1/2)(c-1))`` with
+  ``f`` from Lemma 3.1 drives the ``m=2, d=2`` reduction.
+* ``e/(e-1)`` and ``4/3`` guarantee helpers round out the constants used by
+  the experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Sequence, Union
+
+Numeric = Union[float, Fraction]
+
+
+def alpha_sequence(num_devices: int, num_rounds: int, *, exact: bool = False):
+    """``alpha_1 .. alpha_{d-1}`` of Lemma 3.4 (monotonically increasing)."""
+    m, d = num_devices, num_rounds
+    if m < 2 or d < 2:
+        raise ValueError("Lemma 3.4 requires m >= 2 and d >= 2")
+    one = Fraction(1) if exact else 1.0
+    alphas = []
+    alpha = m / ((m + 1) * one)
+    alphas.append(alpha)
+    for _ in range(2, d):
+        alpha = m * one / (m + 1 - alpha**m)
+        alphas.append(alpha)
+    return tuple(alphas)
+
+
+def b_sequence(
+    num_devices: int, num_rounds: int, num_cells: Numeric, *, exact: bool = False
+):
+    """``b_0 = 0 < b_1 < ... < b_d = c`` of Lemma 3.4."""
+    alphas = alpha_sequence(num_devices, num_rounds, exact=exact)
+    one = Fraction(1) if exact else 1.0
+    values = [num_cells * one]
+    for alpha in reversed(alphas):
+        values.append(alpha * values[-1])
+    values.append(0 * one)
+    return tuple(reversed(values))
+
+
+def optimal_group_fractions(num_devices: int, num_rounds: int, *, exact: bool = False):
+    """``r_j = (b_j - b_{j-1}) / c``: the group-size fractions of Lemma 3.4."""
+    bs = b_sequence(num_devices, num_rounds, 1, exact=exact)
+    return tuple(bs[j] - bs[j - 1] for j in range(1, len(bs)))
+
+
+def optimal_mass_fractions(num_devices: int, num_rounds: int, *, exact: bool = False):
+    """Per-group mass fractions ``x_j`` of Lemma 3.4.
+
+    The equality condition fixes the *prefix* masses at ``b_r / (2c)``, so
+    group ``j < d`` holds ``(b_j - b_{j-1}) / (2c)`` of the size mass and the
+    last group the remainder.
+    """
+    bs = b_sequence(num_devices, num_rounds, 1, exact=exact)
+    one = Fraction(1) if exact else 1.0
+    xs = [(bs[j] - bs[j - 1]) / 2 for j in range(1, len(bs) - 1)]
+    xs.append(one - sum(xs))
+    return tuple(xs)
+
+
+def lemma31_function(x: Numeric, y: Numeric, num_cells: Numeric) -> Numeric:
+    """``f(x, y) = (c - y) ((1 - 3/(2c)) y + x)(y - x)`` from Lemma 3.1."""
+    c = num_cells
+    coefficient = 1 - Fraction(3, 2) / c if isinstance(c, Fraction) else 1 - 1.5 / c
+    return (c - y) * (coefficient * y + x) * (y - x)
+
+
+def lemma31_maximum(num_cells: Numeric) -> Numeric:
+    """``f(1/2, 2c/3) = 4c^3/27 - 2c^2/9 + c/12`` — the unique global maximum."""
+    c = num_cells
+    if isinstance(c, Fraction) or isinstance(c, int):
+        c = Fraction(c)
+        return Fraction(4, 27) * c**3 - Fraction(2, 9) * c**2 + c / 12
+    return 4.0 * c**3 / 27.0 - 2.0 * c**2 / 9.0 + c / 12.0
+
+
+def lemma32_lower_bound(num_cells: int) -> Fraction:
+    """``LB = c - f(1/2, 2c/3) / ((c - 1/2)(c - 1))`` from the reduction proof."""
+    c = Fraction(num_cells)
+    return c - lemma31_maximum(c) / ((c - Fraction(1, 2)) * (c - 1))
+
+
+def lemma34_objective(bs: Sequence[Numeric], num_devices: int) -> Numeric:
+    """``sum_{r=1}^{d-1} (b_{r+1} - b_r) b_r^m`` over a chain ``b_1..b_d``."""
+    total = 0 * bs[0]
+    for r in range(len(bs) - 1):
+        total = total + (bs[r + 1] - bs[r]) * bs[r] ** num_devices
+    return total
+
+
+def lemma34_lower_bound(
+    num_devices: int, num_rounds: int, num_cells: Numeric
+) -> float:
+    """The Lemma 3.4 bound ``c - (2c-1)^2/(4(c-1)c^{m+1}) * sum (b_{r+1}-b_r) b_r^m``."""
+    m, c = num_devices, float(num_cells)
+    bs = b_sequence(num_devices, num_rounds, c)
+    inner = lemma34_objective(bs[1:], m)  # the sum runs over b_1..b_d
+    return c - (2 * c - 1) ** 2 / (4 * (c - 1) * c ** (m + 1)) * inner
+
+
+def approximation_factor() -> float:
+    """The Theorem 4.8 guarantee ``e/(e-1)``."""
+    return math.e / (math.e - 1.0)
+
+
+def special_case_factor() -> float:
+    """The Section 4.1 guarantee ``4/3`` for ``m = 2, d = 2``."""
+    return 4.0 / 3.0
+
+
+def ratio_lower_bound() -> Fraction:
+    """The Section 4.3 lower bound ``320/317`` on the heuristic's ratio."""
+    return Fraction(320, 317)

@@ -1,0 +1,192 @@
+"""Exhaustive scheme for clustered probabilities (Section 5 of the paper).
+
+The paper sketches an approximation scheme for the subclass of instances
+whose probability values ``{p[i][j]}`` are covered by a constant number of
+short real intervals: cells whose probability columns agree (up to the
+interval resolution) are interchangeable, so a strategy is described by *how
+many* cells of each cluster go to each round rather than *which* cells.  With
+``T`` clusters and ``d`` rounds there are at most
+``prod_t C(n_t + d - 1, d - 1)`` count matrices — polynomial for constant
+``T`` and ``d`` — and the best of them can be found exhaustively.
+
+We implement the scheme concretely: cluster columns on a quantization grid,
+enumerate count matrices, realize each as a strategy (cells within a cluster
+are handed out in index order), and return the best.  When every cluster is a
+singleton this degenerates to full enumeration; the ``limit`` guard protects
+against that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import SolverLimitError
+from .expected_paging import expected_paging
+from .instance import Number, PagingInstance
+from .strategy import Strategy
+
+
+@dataclass(frozen=True)
+class ClusteredResult:
+    """Best cluster-symmetric strategy found by the exhaustive scheme."""
+
+    strategy: Strategy
+    expected_paging: Number
+    clusters: Tuple[Tuple[int, ...], ...]
+    count_matrix: Tuple[Tuple[int, ...], ...]
+
+
+def cluster_cells(
+    instance: PagingInstance, *, resolution: float = 1e-9
+) -> Tuple[Tuple[int, ...], ...]:
+    """Group cells whose probability columns agree up to ``resolution``.
+
+    Returns clusters as tuples of cell indices (each sorted, clusters ordered
+    by first member).  ``resolution`` is the interval length of the paper's
+    subclass; exact instances cluster on exact equality when it is 0.
+    """
+    buckets: Dict[Tuple, List[int]] = {}
+    for cell in range(instance.num_cells):
+        if resolution > 0:
+            key = tuple(
+                round(float(row[cell]) / resolution) for row in instance.rows
+            )
+        else:
+            key = tuple(row[cell] for row in instance.rows)
+        buckets.setdefault(key, []).append(cell)
+    clusters = sorted(buckets.values(), key=lambda cells: cells[0])
+    return tuple(tuple(cells) for cells in clusters)
+
+
+def _compositions(total: int, parts: int):
+    """All ways to split ``total`` into ``parts`` non-negative integers."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(total + 1):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first,) + rest
+
+
+def count_matrix_space(cluster_sizes: Sequence[int], num_rounds: int) -> int:
+    """How many count matrices the exhaustive scheme will enumerate."""
+    import math
+
+    total = 1
+    for size in cluster_sizes:
+        total *= math.comb(size + num_rounds - 1, num_rounds - 1)
+    return total
+
+
+def interval_scheme_error_bound(
+    num_devices: int, num_cells: int, width: float
+) -> float:
+    """Worst-case EP error of planning on interval-rounded probabilities.
+
+    Rounding every probability by at most ``width/2`` moves each prefix mass
+    ``P_i(L)`` by at most ``c * width / 2``, each ``m``-fold product by at
+    most ``m c width / 2``, and the telescoped EP of ANY strategy by at most
+    ``m c^2 width / 2``.  Solving exactly on the rounded instance therefore
+    yields a strategy within ``m c^2 width`` of the true optimum — the
+    approximation-scheme guarantee behind the Section 5 sketch (constant
+    interval count keeps the search polynomial; the width controls the
+    additive error).
+    """
+    return num_devices * num_cells**2 * width
+
+
+def interval_scheme(
+    instance: PagingInstance,
+    width: float,
+    *,
+    max_rounds: Optional[int] = None,
+    limit: int = 2_000_000,
+) -> ClusteredResult:
+    """The Section 5 approximation scheme for interval-covered probabilities.
+
+    Rounds every probability onto a grid of pitch ``width`` (so the value
+    set is covered by intervals of that length), solves the rounded instance
+    exactly by cluster-symmetric enumeration, and returns that strategy
+    *evaluated on the true instance*.  The returned EP is within
+    :func:`interval_scheme_error_bound` of the true optimum.
+    """
+    if width <= 0:
+        raise SolverLimitError("interval width must be positive")
+    c = instance.num_cells
+    rounded_rows = []
+    for row in instance.rows:
+        rounded = [round(float(p) / width) * width for p in row]
+        total = sum(rounded)
+        if total <= 0:
+            raise SolverLimitError("interval width too coarse: a row vanished")
+        rounded_rows.append([p / total for p in rounded])
+    rounded_instance = PagingInstance(
+        rounded_rows,
+        instance.max_rounds if max_rounds is None else max_rounds,
+        allow_zero=True,
+    )
+    rounded_result = clustered_exhaustive(
+        rounded_instance, max_rounds=max_rounds, resolution=width / 4, limit=limit
+    )
+    true_value = expected_paging(instance, rounded_result.strategy)
+    return ClusteredResult(
+        strategy=rounded_result.strategy,
+        expected_paging=true_value,
+        clusters=rounded_result.clusters,
+        count_matrix=rounded_result.count_matrix,
+    )
+
+
+def clustered_exhaustive(
+    instance: PagingInstance,
+    *,
+    max_rounds: Optional[int] = None,
+    resolution: float = 1e-9,
+    limit: int = 2_000_000,
+) -> ClusteredResult:
+    """Best strategy that treats same-cluster cells as interchangeable.
+
+    Exact on instances whose clusters are true equivalence classes (identical
+    columns): some optimal strategy is then cluster-symmetric, because
+    swapping two interchangeable cells never changes the expected paging.
+    """
+    clusters = cluster_cells(instance, resolution=resolution)
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    d = min(d, instance.num_cells)
+    space = count_matrix_space([len(cluster) for cluster in clusters], d)
+    if space > limit:
+        raise SolverLimitError(
+            f"{space} count matrices exceed the enumeration limit {limit}"
+        )
+
+    best_value: Optional[Number] = None
+    best: Optional[Tuple[Strategy, Tuple[Tuple[int, ...], ...]]] = None
+    per_cluster = [list(_compositions(len(cluster), d)) for cluster in clusters]
+    for counts in itertools.product(*per_cluster):
+        round_sizes = [
+            sum(counts[t][r] for t in range(len(clusters))) for r in range(d)
+        ]
+        if any(size == 0 for size in round_sizes):
+            continue  # strategies need non-empty groups
+        groups: List[List[int]] = [[] for _ in range(d)]
+        for cluster, allocation in zip(clusters, counts):
+            position = 0
+            for r, amount in enumerate(allocation):
+                groups[r].extend(cluster[position : position + amount])
+                position += amount
+        strategy = Strategy(groups)
+        value = expected_paging(instance, strategy)
+        if best_value is None or value < best_value:
+            best_value = value
+            best = (strategy, counts)
+    if best is None or best_value is None:
+        raise SolverLimitError("no feasible count matrix (fewer cells than rounds?)")
+    strategy, counts = best
+    return ClusteredResult(
+        strategy=strategy,
+        expected_paging=best_value,
+        clusters=clusters,
+        count_matrix=tuple(tuple(row) for row in counts),
+    )

@@ -1,0 +1,161 @@
+"""Exact solvers for the Section 5 stopping-rule variants.
+
+Lemma 2.1's telescoping holds for any stopping rule that depends only on the
+*set* of cells paged so far: ``EP = c - sum_r |S_{r+1}| F(L_r)`` where
+``F(L)`` is the probability that the search would already have stopped with
+prefix ``L``.  Hence the subset dynamic program of :mod:`repro.core.exact`
+generalizes verbatim — only the mask-indexed ``F`` table changes:
+
+* Conference Call: ``F(L) = prod_i P_i(L)``;
+* Yellow Pages:    ``F(L) = 1 - prod_i (1 - P_i(L))``;
+* Signature (k):   ``F(L) = Pr[#devices in L >= k]`` (Poisson-binomial).
+
+This module provides those exact optima, which the E11 experiments use as
+ground truth for the variant heuristics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import SolverLimitError
+from .instance import Number, PagingInstance
+from .signature import expected_paging_signature, poisson_binomial_tail
+from .strategy import Strategy
+from .yellow_pages import expected_paging_yellow
+
+#: Same tractability cap as the Conference Call subset DP.
+MAX_EXACT_CELLS = 18
+
+
+@dataclass(frozen=True)
+class VariantExactResult:
+    """An optimal strategy for a variant stopping rule."""
+
+    strategy: Strategy
+    expected_paging: Number
+    rule: str
+
+
+def _mask_device_sums(instance: PagingInstance) -> List[List[Number]]:
+    """Per-device subset sums ``P_i(mask)`` via lowest-set-bit DP."""
+    c = instance.num_cells
+    zero: Number = Fraction(0) if instance.is_exact else 0.0
+    size = 1 << c
+    sums: List[List[Number]] = []
+    for row in instance.rows:
+        device_sums = [zero] * size
+        for mask in range(1, size):
+            low = mask & (-mask)
+            device_sums[mask] = device_sums[mask ^ low] + row[low.bit_length() - 1]
+        sums.append(device_sums)
+    return sums
+
+
+def _optimal_by_mask_stops(
+    instance: PagingInstance,
+    finds: Sequence[Number],
+    d: int,
+    rule: str,
+    evaluate: Callable[[PagingInstance, Strategy], Number],
+) -> VariantExactResult:
+    """Subset DP over prefixes, generic in the stop-probability table."""
+    c = instance.num_cells
+    full = (1 << c) - 1
+    popcount = [bin(mask).count("1") for mask in range(full + 1)]
+    minus_infinity = float("-inf")
+    bonus: List = [minus_infinity] * (full + 1)
+    bonus[full] = 0 * finds[full]
+    choice: List[List[int]] = []
+
+    for t in range(1, d + 1):
+        new_bonus: List = [minus_infinity] * (full + 1)
+        new_choice = [0] * (full + 1)
+        for mask in range(full + 1):
+            complement = full ^ mask
+            if popcount[complement] < t:
+                continue
+            find_here = finds[mask]
+            best = minus_infinity
+            best_ext = 0
+            sub = complement
+            while sub:
+                tail = bonus[mask | sub]
+                if tail != minus_infinity:
+                    value = popcount[sub] * find_here + tail
+                    if value > best:
+                        best = value
+                        best_ext = sub
+                sub = (sub - 1) & complement
+            if best != minus_infinity:
+                new_bonus[mask] = best
+                new_choice[mask] = best_ext
+        bonus = new_bonus
+        choice.append(new_choice)
+
+    groups = []
+    mask = 0
+    for t in range(d, 0, -1):
+        ext = choice[t - 1][mask]
+        groups.append([j for j in range(c) if ext >> j & 1])
+        mask |= ext
+    strategy = Strategy(groups)
+    return VariantExactResult(
+        strategy=strategy,
+        expected_paging=evaluate(instance, strategy),
+        rule=rule,
+    )
+
+
+def optimal_yellow_pages(
+    instance: PagingInstance, *, max_rounds: Optional[int] = None
+) -> VariantExactResult:
+    """The exact optimal strategy for the find-ANY stopping rule."""
+    c = instance.num_cells
+    if c > MAX_EXACT_CELLS:
+        raise SolverLimitError(f"exact solver limited to {MAX_EXACT_CELLS} cells")
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    d = min(d, c)
+    one: Number = Fraction(1) if instance.is_exact else 1.0
+    sums = _mask_device_sums(instance)
+    size = 1 << c
+    finds: List[Number] = [one] * size
+    for mask in range(size):
+        survive = one
+        for device_sums in sums:
+            survive = survive * (one - device_sums[mask])
+        finds[mask] = one - survive
+    return _optimal_by_mask_stops(
+        instance, finds, d, "yellow-pages", expected_paging_yellow
+    )
+
+
+def optimal_signature(
+    instance: PagingInstance,
+    quorum: int,
+    *,
+    max_rounds: Optional[int] = None,
+) -> VariantExactResult:
+    """The exact optimal strategy for the find-at-least-k stopping rule."""
+    c = instance.num_cells
+    if c > MAX_EXACT_CELLS:
+        raise SolverLimitError(f"exact solver limited to {MAX_EXACT_CELLS} cells")
+    if not 1 <= quorum <= instance.num_devices:
+        raise ValueError(
+            f"quorum must satisfy 1 <= k <= m={instance.num_devices}, got {quorum}"
+        )
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    d = min(d, c)
+    sums = _mask_device_sums(instance)
+    size = 1 << c
+    finds = [
+        poisson_binomial_tail([device_sums[mask] for device_sums in sums], quorum)
+        for mask in range(size)
+    ]
+
+    def evaluate(inst: PagingInstance, strategy: Strategy) -> Number:
+        return expected_paging_signature(inst, strategy, quorum)
+
+    return _optimal_by_mask_stops(instance, finds, d, f"signature-{quorum}", evaluate)

@@ -1,0 +1,178 @@
+"""Expected-paging evaluation (Lemma 2.1 of the paper).
+
+For a strategy ``S_1, ..., S_t`` the expected number of cells paged until all
+devices are found is::
+
+    EP = c - sum_{r=1}^{t-1} |S_{r+1}| * prod_{i=1}^{m} P_i(L_r)
+
+where ``L_r = S_1 ∪ ... ∪ S_r`` and ``P_i(L)`` is the probability that device
+``i`` lies in ``L``.  This module provides exact (Fraction), float, and
+Monte-Carlo evaluators plus the stopping-round distribution.  The generic
+entry point :func:`expected_paging_from_stop_probabilities` is shared by the
+Yellow Pages and Signature variants (Section 5), whose stopping events differ
+but whose cost telescopes identically.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidStrategyError
+from .instance import Number, PagingInstance
+from .strategy import Strategy
+
+StopProbability = Callable[[FrozenSet[int]], Number]
+
+
+def _check_compatible(instance: PagingInstance, strategy: Strategy) -> None:
+    if strategy.num_cells != instance.num_cells:
+        raise InvalidStrategyError(
+            f"strategy covers {strategy.num_cells} cells, instance has "
+            f"{instance.num_cells}"
+        )
+
+
+def all_found_probability(
+    instance: PagingInstance, cells: FrozenSet[int]
+) -> Number:
+    """``prod_i P_i(cells)``: the chance every device lies within ``cells``."""
+    one: Number = Fraction(1) if instance.is_exact else 1.0
+    product = one
+    for row in instance.rows:
+        product = product * sum((row[j] for j in cells), start=0 * one)
+    return product
+
+
+def stop_probabilities(
+    instance: PagingInstance, strategy: Strategy
+) -> Tuple[Number, ...]:
+    """``Pr[F_r]`` for ``r = 1..t``: all devices found by end of round ``r``."""
+    _check_compatible(instance, strategy)
+    return tuple(
+        all_found_probability(instance, prefix) for prefix in strategy.prefixes()
+    )
+
+
+def expected_paging_from_stop_probabilities(
+    strategy: Strategy, stops: Sequence[Number]
+) -> Number:
+    """Telescoped expected paging given per-round stopping probabilities.
+
+    ``stops[r-1]`` must be the probability that the search stops on or before
+    round ``r``; ``stops[-1]`` must equal 1 (the search always terminates by
+    the last round).  This is the telescoping identity in the proof of
+    Lemma 2.1 and holds for any prefix-monotone stopping rule.
+    """
+    sizes = strategy.group_sizes()
+    total = sum(sizes)
+    cost: Number = total
+    for r in range(len(sizes) - 1):
+        cost = cost - sizes[r + 1] * stops[r]
+    return cost
+
+
+def expected_paging(instance: PagingInstance, strategy: Strategy) -> Number:
+    """Expected cells paged until all devices are found (Lemma 2.1).
+
+    Returns a :class:`~fractions.Fraction` when the instance is exact and a
+    float otherwise.
+    """
+    stops = stop_probabilities(instance, strategy)
+    return expected_paging_from_stop_probabilities(strategy, stops)
+
+
+def expected_paging_float(instance: PagingInstance, strategy: Strategy) -> float:
+    """Float-valued expected paging regardless of the instance's arithmetic."""
+    return float(expected_paging(instance, strategy))
+
+
+def stopping_round_distribution(
+    instance: PagingInstance, strategy: Strategy
+) -> Tuple[Number, ...]:
+    """``Pr[search lasts exactly r rounds]`` for ``r = 1..t``.
+
+    From the proof of Lemma 2.1: ``Pr[exactly r] = Pr[F_r] - Pr[F_{r-1}]``.
+    """
+    stops = stop_probabilities(instance, strategy)
+    zero: Number = Fraction(0) if instance.is_exact else 0.0
+    previous = zero
+    out: List[Number] = []
+    for value in stops:
+        out.append(value - previous)
+        previous = value
+    return tuple(out)
+
+
+def expected_paging_by_definition(
+    instance: PagingInstance, strategy: Strategy
+) -> Number:
+    """Expected paging computed straight from the definition (no telescoping).
+
+    ``EP = sum_r (|S_1| + ... + |S_r|) * Pr[search lasts exactly r rounds]``.
+    Slower than :func:`expected_paging`; used to cross-check Lemma 2.1.
+    """
+    sizes = strategy.group_sizes()
+    exact = stopping_round_distribution(instance, strategy)
+    paged = 0
+    total: Number = Fraction(0) if instance.is_exact else 0.0
+    for r, probability in enumerate(exact):
+        paged += sizes[r]
+        total = total + paged * probability
+    return total
+
+
+def expected_rounds(instance: PagingInstance, strategy: Strategy) -> Number:
+    """Expected number of rounds until the search stops."""
+    exact = stopping_round_distribution(instance, strategy)
+    total: Number = Fraction(0) if instance.is_exact else 0.0
+    for r, probability in enumerate(exact, start=1):
+        total = total + r * probability
+    return total
+
+
+def simulate_paging(
+    instance: PagingInstance,
+    strategy: Strategy,
+    locations: Sequence[int],
+) -> Tuple[int, int]:
+    """Run one search against fixed device locations.
+
+    Returns ``(cells_paged, rounds_used)``.  The search pages groups in order
+    and stops as soon as the paged prefix contains every device.
+    """
+    _check_compatible(instance, strategy)
+    if len(locations) != instance.num_devices:
+        raise InvalidStrategyError(
+            f"expected {instance.num_devices} device locations, got {len(locations)}"
+        )
+    remaining = set(locations)
+    paged = 0
+    for round_index, group in enumerate(strategy.groups, start=1):
+        paged += len(group)
+        remaining -= group
+        if not remaining:
+            return paged, round_index
+    raise InvalidStrategyError(
+        f"locations {tuple(locations)} not covered by the strategy"
+    )
+
+
+def expected_paging_monte_carlo(
+    instance: PagingInstance,
+    strategy: Strategy,
+    *,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo estimate of expected paging; cross-checks the closed form."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    total = 0
+    for _ in range(trials):
+        locations = instance.sample_locations(rng)
+        paged, _rounds = simulate_paging(instance, strategy, locations)
+        total += paged
+    return total / trials

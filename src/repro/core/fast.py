@@ -1,0 +1,121 @@
+"""Vectorized planning for large location areas.
+
+The reference implementation of the Lemma 4.7 dynamic program is pure Python
+— transparent, exact-arithmetic-capable, and `O(c(m + dc))`, but with a
+per-iteration interpreter cost that bites when a location area has hundreds
+or thousands of cells.  This module re-implements the cut optimization with
+numpy:
+
+* the prefix stop probabilities ``F[k]`` come from one ``cumsum`` +
+  ``prod`` over the device axis, and
+* each DP level is one broadcast ``max`` over a ``(c+1) x (c+1)``
+  lower-triangular value matrix (``best[prev] + (j - prev) F[prev]``),
+  optionally banded by the bandwidth cap.
+
+That is ``O(d c^2)`` like the reference, but at numpy speed — planning a
+2 000-cell area in well under a second (benchmark E22).  Results are
+bit-for-bit float-identical to the reference on the same order, which the
+tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InfeasibleError
+from .dp import OrderedDPResult
+from .instance import PagingInstance
+from .strategy import Strategy
+
+
+def prefix_stop_probabilities_fast(
+    matrix: np.ndarray, order: Sequence[int]
+) -> np.ndarray:
+    """``F[k] = prod_i P_i(first k cells of order)`` for ``k = 0..c``.
+
+    ``matrix`` is the ``m x c`` probability array; one vectorized pass.
+    """
+    ordered = matrix[:, list(order)]
+    prefix_sums = np.concatenate(
+        [np.zeros((matrix.shape[0], 1)), np.cumsum(ordered, axis=1)], axis=1
+    )
+    return np.prod(prefix_sums, axis=0)
+
+
+def optimize_cuts_fast(
+    prefix_stops: np.ndarray,
+    num_rounds: int,
+    *,
+    max_group_size: Optional[int] = None,
+) -> Tuple[Tuple[int, ...], float]:
+    """Vectorized equivalent of :func:`repro.core.dp.optimize_cuts`.
+
+    Returns ``(group_sizes, expected_paging)`` maximizing the telescoped
+    bonus ``sum_r (j_{r+1} - j_r) F[j_r]`` over cut sequences.
+    """
+    finds = np.asarray(prefix_stops, dtype=float)
+    c = len(finds) - 1
+    d = int(num_rounds)
+    if not 1 <= d <= c:
+        raise InfeasibleError(f"number of rounds must satisfy 1 <= d <= {c}, got {d}")
+    b = c if max_group_size is None else int(max_group_size)
+    if b < 1 or d * b < c:
+        raise InfeasibleError(
+            f"cannot page {c} cells within {d} rounds of at most {b} cells each"
+        )
+
+    positions = np.arange(c + 1)
+    # gaps[prev, j] = j - prev for prev < j <= prev + b, else -inf sentinel.
+    gap_matrix = positions[None, :] - positions[:, None]
+    valid = (gap_matrix >= 1) & (gap_matrix <= b)
+
+    neg_inf = -np.inf
+    best = np.where((positions >= 1) & (positions <= b), 0.0, neg_inf)
+    parents = []
+    for _level in range(2, d + 1):
+        # candidate[prev, j] = best[prev] + (j - prev) * F[prev]
+        candidate = best[:, None] + gap_matrix * finds[:, None]
+        candidate = np.where(valid & np.isfinite(best)[:, None], candidate, neg_inf)
+        parent = np.argmax(candidate, axis=0)
+        best = candidate[parent, positions]
+        parents.append(parent)
+
+    if not np.isfinite(best[c]):
+        raise InfeasibleError("no feasible cut sequence (check group-size cap)")
+    cuts = [c]
+    for parent in reversed(parents):
+        cuts.append(int(parent[cuts[-1]]))
+    cuts.append(0)
+    cuts.reverse()
+    sizes = tuple(cuts[r + 1] - cuts[r] for r in range(d))
+    return sizes, float(c - best[c])
+
+
+def conference_call_heuristic_fast(
+    instance: PagingInstance,
+    *,
+    max_rounds: Optional[int] = None,
+    max_group_size: Optional[int] = None,
+) -> OrderedDPResult:
+    """Numpy-accelerated Fig. 1 heuristic (float arithmetic only).
+
+    Identical strategy and value as
+    :func:`repro.core.heuristic.conference_call_heuristic` up to float
+    round-off; use the reference for exact (Fraction) instances.
+    """
+    matrix = instance.as_array()
+    weights = matrix.sum(axis=0)
+    # Sort by descending weight, ties by index — matching the reference.
+    order = tuple(int(j) for j in np.lexsort((np.arange(len(weights)), -weights)))
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    finds = prefix_stop_probabilities_fast(matrix, order)
+    sizes, value = optimize_cuts_fast(finds, d, max_group_size=max_group_size)
+    strategy = Strategy.from_order_and_sizes(order, sizes)
+    return OrderedDPResult(
+        strategy=strategy,
+        expected_paging=value,
+        order=order,
+        group_sizes=sizes,
+    )

@@ -1,0 +1,120 @@
+"""A line-by-line transliteration of the paper's Fig. 1 pseudocode.
+
+The paper's only figure is the pseudocode of the approximation algorithm
+(lines 01-29).  This module reproduces it *verbatim* — same 1-indexed
+arrays, same loop bounds, same update order — as a fidelity reference.  The
+production implementation (:mod:`repro.core.dp` / :mod:`repro.core.heuristic`)
+is tested to produce the same group sizes and value as this transliteration.
+
+Paper pseudocode (Fig. 1)::
+
+    01 approximation( in: c, m, d, p_{i,j} ; out: g_r, 1 <= r <= d )
+    04 array X[1..d; 1..c], F[1..c], E[1..d; 1..c], S[1..m]
+    07 for i = 1 to m:            S[i] = 0
+    09 for j = 1 to c:
+    10   for i = 1 to m:          S[i] = S[i] + p_{i,j}
+    12   F[j] = 1
+    13   for i = 1 to m:          F[j] = F[j] * S[i]
+    15 for k = 1 to c:            E[1,k] = k ; X[1,k] = k
+    18 for l = 2 to d:
+    19   for k = l to c:
+    20     E[l,k] = infinity
+    21     for x = 1 to k - l + 1:
+    22       v = x + (1 - F[c-k+x]) / (1 - F[c-k]) * E[l-1, k-x]
+    23       if v < E[l,k]:  E[l,k] = v ; X[l,k] = x
+    26 w = c
+    27 for l = d downto 1:
+    28   g_{d-l+1} = X[l,w] ; w = w - X[l,w]
+
+Note the pseudocode assumes cells are already sorted by non-increasing
+``sum_i p[i][j]`` (Section 4's sequencing step); :func:`fig1_approximation`
+accepts the probabilities as given, matching the paper's calling convention,
+and :func:`fig1_heuristic` adds the sort.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from ..errors import InvalidInstanceError
+from .instance import PagingInstance
+from .ordering import by_expected_devices
+from .strategy import Strategy
+
+
+def fig1_approximation(
+    c: int, m: int, d: int, p: Sequence[Sequence[float]]
+) -> Tuple[int, ...]:
+    """The Fig. 1 algorithm, verbatim: returns the group sizes ``g_1..g_d``.
+
+    ``p[i][j]`` is 0-indexed here but consumed in the paper's j = 1..c order;
+    the cells are assumed pre-sorted by non-increasing column sums.
+    """
+    if not 1 <= d <= c:
+        raise InvalidInstanceError(f"need 1 <= d <= c, got d={d}, c={c}")
+    if len(p) != m or any(len(row) != c for row in p):
+        raise InvalidInstanceError("probability matrix must be m x c")
+
+    infinity = float("inf")
+    # 1-indexed arrays, as in the paper (index 0 unused).
+    X = [[0] * (c + 1) for _ in range(d + 1)]
+    F = [0.0] * (c + 1)
+    E = [[infinity] * (c + 1) for _ in range(d + 1)]
+    S = [0.0] * (m + 1)
+
+    # lines 07-08
+    for i in range(1, m + 1):
+        S[i] = 0.0
+    # lines 09-14
+    for j in range(1, c + 1):
+        for i in range(1, m + 1):
+            S[i] = S[i] + float(p[i - 1][j - 1])
+        F[j] = 1.0
+        for i in range(1, m + 1):
+            F[j] = F[j] * S[i]
+
+    # lines 15-17
+    for k in range(1, c + 1):
+        E[1][k] = k
+        X[1][k] = k
+    # lines 18-25
+    for l in range(2, d + 1):
+        for k in range(l, c + 1):
+            E[l][k] = infinity
+            for x in range(1, k - l + 2):
+                survivors = 1.0 - (F[c - k] if c - k >= 1 else 0.0)
+                if survivors <= 0.0:
+                    v = float(x)
+                else:
+                    v = x + (1.0 - F[c - k + x]) / survivors * E[l - 1][k - x]
+                if v < E[l][k]:
+                    E[l][k] = v
+                    X[l][k] = x
+
+    # lines 26-29
+    g = [0] * (d + 1)
+    w = c
+    for l in range(d, 0, -1):
+        g[d - l + 1] = X[l][w]
+        w = w - X[l][w]
+    return tuple(g[1:])
+
+
+def fig1_heuristic(instance: PagingInstance) -> Tuple[Strategy, float]:
+    """Section 4's full heuristic: sort by weight, then run Fig. 1.
+
+    Returns the strategy and its expected paging (float), for comparison
+    against :func:`repro.core.heuristic.conference_call_heuristic`.
+    """
+    order = by_expected_devices(instance)
+    matrix: List[List[float]] = [
+        [float(instance.probability(i, j)) for j in order]
+        for i in range(instance.num_devices)
+    ]
+    sizes = fig1_approximation(
+        instance.num_cells, instance.num_devices, instance.max_rounds, matrix
+    )
+    strategy = Strategy.from_order_and_sizes(order, sizes)
+    from .expected_paging import expected_paging_float
+
+    return strategy, expected_paging_float(instance, strategy)

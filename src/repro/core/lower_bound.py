@@ -1,0 +1,70 @@
+"""The Section 4.3 lower-bound instance for the heuristic's performance ratio.
+
+With ``m = 2``, ``c = 8``, ``d = 2``, probabilities ``p[0][0] = 2/7``,
+``p[1][0] = p[0][6] = p[0][7] = 0`` and ``1/7`` elsewhere, the optimal
+strategy pages cells ``{1..5}`` (0-based) first for an expected paging of
+``317/49``, while the weight-ordered heuristic pages ``{0..4}`` first and
+pays ``320/49`` — a ratio of ``320/317``.
+
+The paper notes the example can be made independent of tie-breaking by an
+epsilon perturbation; :func:`perturbed_instance` reproduces that variant.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Tuple
+
+from .instance import PagingInstance
+from .strategy import Strategy
+
+#: Optimal expected paging of the Section 4.3 instance.
+OPTIMAL_VALUE = Fraction(317, 49)
+
+#: Heuristic expected paging of the Section 4.3 instance.
+HEURISTIC_VALUE = Fraction(320, 49)
+
+#: The resulting lower bound on the heuristic's performance ratio.
+RATIO = Fraction(320, 317)
+
+
+def lower_bound_instance() -> PagingInstance:
+    """The exact ``m=2, c=8, d=2`` instance of Section 4.3."""
+    seventh = Fraction(1, 7)
+    device_one = [Fraction(2, 7)] + [seventh] * 5 + [Fraction(0), Fraction(0)]
+    device_two = [Fraction(0)] + [seventh] * 7
+    return PagingInstance([device_one, device_two], max_rounds=2, allow_zero=True)
+
+
+def optimal_first_round() -> Tuple[int, ...]:
+    """Cells the optimal strategy pages first (0-based): cells 2..6 of the paper."""
+    return (1, 2, 3, 4, 5)
+
+
+def heuristic_first_round() -> Tuple[int, ...]:
+    """Cells the heuristic pages first (0-based): cells 1..5 of the paper."""
+    return (0, 1, 2, 3, 4)
+
+
+def optimal_strategy_of_instance() -> Strategy:
+    """The optimal two-round strategy of the Section 4.3 instance."""
+    first = set(optimal_first_round())
+    second = set(range(8)) - first
+    return Strategy([sorted(first), sorted(second)])
+
+
+def perturbed_instance(epsilon: Fraction = Fraction(1, 10_000)) -> PagingInstance:
+    """A tie-break-free variant: boost the weight of cell 0 by ``epsilon``.
+
+    Moving ``epsilon`` of device 1's mass from cell 6 (paper cell 7) onto
+    cell 0 makes cell 0 strictly the heaviest, so any weight-nonincreasing
+    ordering must start with it — forcing the heuristic into the ``{0..4}``
+    first round without relying on tie-breaking, while the optimal strategy
+    still pages ``{1..5}`` first for small enough ``epsilon``.
+    """
+    if not 0 < epsilon < Fraction(1, 7):
+        raise ValueError("epsilon must lie strictly between 0 and 1/7")
+    seventh = Fraction(1, 7)
+    device_one = [Fraction(2, 7)] + [seventh] * 5 + [Fraction(0), Fraction(0)]
+    device_two = [epsilon] + [seventh] * 6 + [seventh - epsilon]
+    return PagingInstance([device_one, device_two], max_rounds=2, allow_zero=True)

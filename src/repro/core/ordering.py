@@ -1,0 +1,79 @@
+"""Cell orderings used by the paging heuristics.
+
+The paper's e/(e-1) heuristic (Section 4) fixes a *sequence* of cells and then
+optimizes only the cut points between rounds.  The sequence it analyzes orders
+cells by non-increasing expected number of devices ``sum_i p[i][j]``.  Other
+orderings are provided for baselines, the Yellow Pages variant, and the m = 1
+classical problem.
+
+All orderings break ties by cell index so results are deterministic — the
+paper's own Section 4.3 lower-bound instance relies on this tie-break (and
+notes an epsilon-perturbation argument that removes the reliance, which
+:mod:`repro.core.lower_bound` also reproduces).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from .instance import PagingInstance
+
+
+def by_expected_devices(instance: PagingInstance) -> Tuple[int, ...]:
+    """Cells by non-increasing ``sum_i p[i][j]`` — the paper's heuristic order."""
+    weights = instance.cell_weights()
+    return tuple(sorted(range(instance.num_cells), key=lambda j: (-weights[j], j)))
+
+
+def by_device_probability(instance: PagingInstance, device: int) -> Tuple[int, ...]:
+    """Cells by non-increasing probability of one device (optimal for m = 1)."""
+    row = instance.row(device)
+    return tuple(sorted(range(instance.num_cells), key=lambda j: (-row[j], j)))
+
+
+def by_max_probability(instance: PagingInstance) -> Tuple[int, ...]:
+    """Cells by non-increasing ``max_i p[i][j]`` — a Yellow Pages ordering."""
+    rows = instance.rows
+    return tuple(
+        sorted(
+            range(instance.num_cells),
+            key=lambda j: (-max(float(row[j]) for row in rows), j),
+        )
+    )
+
+
+def by_miss_probability(instance: PagingInstance) -> Tuple[int, ...]:
+    """Cells by non-decreasing ``prod_i (1 - p[i][j])``.
+
+    Greedy for the Yellow Pages stopping rule: pages first the cells with the
+    highest chance of containing *at least one* device.
+    """
+    rows = instance.rows
+    return tuple(
+        sorted(
+            range(instance.num_cells),
+            key=lambda j: (np.prod([1.0 - float(row[j]) for row in rows]), j),
+        )
+    )
+
+
+def identity(instance: PagingInstance) -> Tuple[int, ...]:
+    """Cells in index order (a deliberately uninformed baseline)."""
+    return tuple(range(instance.num_cells))
+
+
+def random_order(instance: PagingInstance, rng: np.random.Generator) -> Tuple[int, ...]:
+    """A uniformly random permutation of the cells (baseline)."""
+    return tuple(int(j) for j in rng.permutation(instance.num_cells))
+
+
+def validate_order(order: Sequence[int], num_cells: int) -> Tuple[int, ...]:
+    """Check that ``order`` is a permutation of ``0..num_cells-1``."""
+    order = tuple(int(j) for j in order)
+    if sorted(order) != list(range(num_cells)):
+        raise ValueError(
+            f"order must be a permutation of 0..{num_cells - 1}, got {order}"
+        )
+    return order

@@ -1,0 +1,114 @@
+"""JSON (de)serialization for instances and strategies.
+
+Lets plans cross process boundaries: the CLI reads instances from JSON, and
+operators can persist the strategies the optimizer produced.  Exact
+instances serialize probabilities as ``"numerator/denominator"`` strings so
+a round trip loses nothing; float instances serialize as numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, Union
+
+from ..errors import InvalidInstanceError, InvalidStrategyError
+from .instance import PagingInstance
+from .strategy import Strategy
+
+#: Format version embedded in every document.
+FORMAT_VERSION = 1
+
+
+def _encode_probability(value) -> Union[str, float]:
+    if isinstance(value, Fraction):
+        return f"{value.numerator}/{value.denominator}"
+    if isinstance(value, int):
+        return f"{value}/1"
+    return float(value)
+
+
+def _decode_probability(value) -> Union[Fraction, float]:
+    if isinstance(value, str):
+        return Fraction(value)
+    return float(value)
+
+
+def instance_to_dict(instance: PagingInstance) -> Dict[str, Any]:
+    """A JSON-ready representation of a :class:`PagingInstance`."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "paging-instance",
+        "num_devices": instance.num_devices,
+        "num_cells": instance.num_cells,
+        "max_rounds": instance.max_rounds,
+        "exact": instance.is_exact,
+        "probabilities": [
+            [_encode_probability(p) for p in row] for row in instance.rows
+        ],
+    }
+
+
+def instance_from_dict(payload: Dict[str, Any]) -> PagingInstance:
+    """Rebuild an instance from :func:`instance_to_dict` output."""
+    if payload.get("kind") != "paging-instance":
+        raise InvalidInstanceError(
+            f"expected a paging-instance document, got kind={payload.get('kind')!r}"
+        )
+    rows = [
+        [_decode_probability(p) for p in row] for row in payload["probabilities"]
+    ]
+    return PagingInstance(
+        rows, payload["max_rounds"], allow_zero=True
+    )
+
+
+def strategy_to_dict(strategy: Strategy) -> Dict[str, Any]:
+    """A JSON-ready representation of a :class:`Strategy`."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "paging-strategy",
+        "num_cells": strategy.num_cells,
+        "groups": [sorted(group) for group in strategy.groups],
+    }
+
+
+def strategy_from_dict(payload: Dict[str, Any]) -> Strategy:
+    """Rebuild a strategy from :func:`strategy_to_dict` output."""
+    if payload.get("kind") != "paging-strategy":
+        raise InvalidStrategyError(
+            f"expected a paging-strategy document, got kind={payload.get('kind')!r}"
+        )
+    return Strategy(payload["groups"])
+
+
+def dumps(obj: Union[PagingInstance, Strategy], *, indent: int = 2) -> str:
+    """Serialize an instance or strategy to a JSON string."""
+    if isinstance(obj, PagingInstance):
+        return json.dumps(instance_to_dict(obj), indent=indent)
+    if isinstance(obj, Strategy):
+        return json.dumps(strategy_to_dict(obj), indent=indent)
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def loads(text: str) -> Union[PagingInstance, Strategy]:
+    """Deserialize a JSON string produced by :func:`dumps`."""
+    payload = json.loads(text)
+    kind = payload.get("kind")
+    if kind == "paging-instance":
+        return instance_from_dict(payload)
+    if kind == "paging-strategy":
+        return strategy_from_dict(payload)
+    raise InvalidInstanceError(f"unknown document kind {kind!r}")
+
+
+def save(obj: Union[PagingInstance, Strategy], path: str) -> None:
+    """Write an instance or strategy to a JSON file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(obj) + "\n")
+
+
+def load(path: str) -> Union[PagingInstance, Strategy]:
+    """Read an instance or strategy from a JSON file."""
+    with open(path) as handle:
+        return loads(handle.read())

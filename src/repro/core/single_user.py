@@ -1,0 +1,83 @@
+"""Optimal paging for a single device (the classical ``m = 1`` problem).
+
+The paper builds on the result [Goodman–Krishnan–Sugla 1996; Madhavapeddy et
+al. 1996; Rose–Yates 1995] that for one device the problem is solvable
+optimally in polynomial time: sort cells by non-increasing probability and
+optimize the cut points by dynamic programming.  For ``m = 1`` the Section 4
+heuristic coincides with this optimum (Lemma 4.6 notes ``EP_T / EP_S <= 1``).
+
+This module exposes that special case directly, plus the closed form for the
+uniform distribution used by the paper's Section 1.1 example (``EP = 3c/4``
+for ``d = 2``).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from ..errors import InvalidInstanceError
+from .dp import OrderedDPResult, optimize_over_order
+from .instance import Number, PagingInstance
+from .ordering import by_device_probability
+
+
+def optimal_single_user(
+    instance: PagingInstance,
+    *,
+    max_rounds: Optional[int] = None,
+    max_group_size: Optional[int] = None,
+) -> OrderedDPResult:
+    """The optimal strategy for ``m = 1`` (probability-sorted DP)."""
+    if instance.num_devices != 1:
+        raise InvalidInstanceError(
+            f"optimal_single_user requires m = 1, got m = {instance.num_devices}"
+        )
+    order = by_device_probability(instance, 0)
+    return optimize_over_order(
+        instance,
+        order,
+        max_rounds=max_rounds,
+        max_group_size=max_group_size,
+    )
+
+
+def uniform_expected_paging(num_cells: int, max_rounds: int) -> Fraction:
+    """Closed-form optimal EP for one uniformly distributed device.
+
+    With equal group sizes ``c/d`` (assuming ``d | c``), round ``r`` is reached
+    with probability ``1 - (r-1)/d``, so::
+
+        EP = c/d * sum_{r=1}^{d} (1 - (r-1)/d) = c (d + 1) / (2 d)
+
+    For ``d = 2`` this is the paper's ``3c/4`` example (Section 1.1).
+    """
+    c, d = num_cells, max_rounds
+    if d < 1 or d > c:
+        raise InvalidInstanceError(f"need 1 <= d <= c, got d={d}, c={c}")
+    if c % d != 0:
+        raise InvalidInstanceError(
+            f"closed form assumes d divides c, got c={c}, d={d}"
+        )
+    return Fraction(c * (d + 1), 2 * d)
+
+
+def expected_paging_for_sizes(
+    probabilities: Sequence[Number], sizes: Sequence[int]
+) -> Number:
+    """EP of paging a sorted single-device distribution with given group sizes.
+
+    ``probabilities`` must already be in paging order.  A convenience used by
+    tests and the delay-tradeoff experiment.
+    """
+    total_cells = len(probabilities)
+    if sum(sizes) != total_cells:
+        raise InvalidInstanceError("sizes must partition the cells")
+    ep: Number = total_cells
+    prefix: Number = 0
+    position = 0
+    for r in range(len(sizes) - 1):
+        position += sizes[r]
+        prefix = sum(probabilities[:position], start=0 * probabilities[0])
+        ep = ep - sizes[r + 1] * prefix
+    return ep

@@ -1,0 +1,161 @@
+"""Paging strategies: ordered partitions of the cell set into rounds.
+
+A strategy ``S_1, ..., S_t`` (Section 1.2 of the paper) pages the cells of
+``S_r`` in round ``r`` and stops after the first round whose prefix covers all
+devices.  Group order matters; order within a group does not.  Strategies are
+immutable and hashable so they can key caches and be compared in tests.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Sequence, Tuple
+
+from ..errors import InvalidStrategyError
+
+
+class Strategy:
+    """An ordered partition of ``{0, ..., c-1}`` into non-empty groups."""
+
+    __slots__ = ("_groups", "_num_cells")
+
+    def __init__(self, groups: Iterable[Iterable[int]]) -> None:
+        normalized: Tuple[FrozenSet[int], ...] = tuple(
+            frozenset(int(cell) for cell in group) for group in groups
+        )
+        if not normalized:
+            raise InvalidStrategyError("a strategy needs at least one group")
+        seen: set = set()
+        for index, group in enumerate(normalized):
+            if not group:
+                raise InvalidStrategyError(f"group {index} is empty")
+            overlap = seen & group
+            if overlap:
+                raise InvalidStrategyError(
+                    f"cells {sorted(overlap)} appear in more than one group"
+                )
+            seen |= group
+        num_cells = len(seen)
+        if seen != set(range(num_cells)):
+            raise InvalidStrategyError(
+                "groups must partition the contiguous cell range 0..c-1; "
+                f"got cell set {sorted(seen)}"
+            )
+        self._groups = normalized
+        self._num_cells = num_cells
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def groups(self) -> Tuple[FrozenSet[int], ...]:
+        """The groups in paging order."""
+        return self._groups
+
+    @property
+    def length(self) -> int:
+        """The number of rounds ``t``."""
+        return len(self._groups)
+
+    @property
+    def num_cells(self) -> int:
+        """The number of cells ``c`` covered by the strategy."""
+        return self._num_cells
+
+    def group(self, round_index: int) -> FrozenSet[int]:
+        """The set of cells paged in round ``round_index`` (0-based)."""
+        return self._groups[round_index]
+
+    def group_sizes(self) -> Tuple[int, ...]:
+        """``(|S_1|, ..., |S_t|)``."""
+        return tuple(len(g) for g in self._groups)
+
+    def prefixes(self) -> Tuple[FrozenSet[int], ...]:
+        """The cumulative sets ``L_r = S_1 ∪ ... ∪ S_r`` for ``r = 1..t``."""
+        out = []
+        acc: FrozenSet[int] = frozenset()
+        for group in self._groups:
+            acc = acc | group
+            out.append(acc)
+        return tuple(out)
+
+    def round_of_cell(self, cell: int) -> int:
+        """The 0-based round in which ``cell`` is paged."""
+        for index, group in enumerate(self._groups):
+            if cell in group:
+                return index
+        raise InvalidStrategyError(f"cell {cell} is not covered by this strategy")
+
+    def cells_in_order(self) -> Tuple[int, ...]:
+        """Cells listed group by group (sorted within each group)."""
+        out = []
+        for group in self._groups:
+            out.extend(sorted(group))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_assignment(cls, rounds: Sequence[int]) -> "Strategy":
+        """Build from a per-cell round assignment ``rounds[cell] -> round``.
+
+        Round labels must form the contiguous range ``0..t-1``.
+        """
+        if not rounds:
+            raise InvalidStrategyError("assignment must be non-empty")
+        t = max(rounds) + 1
+        groups = [[] for _ in range(t)]
+        for cell, r in enumerate(rounds):
+            if not 0 <= r < t:
+                raise InvalidStrategyError(f"round label {r} out of range")
+            groups[r].append(cell)
+        return cls(groups)
+
+    @classmethod
+    def from_order_and_sizes(
+        cls, order: Sequence[int], sizes: Sequence[int]
+    ) -> "Strategy":
+        """Cut an ordering of the cells into consecutive groups of given sizes."""
+        if sum(sizes) != len(order):
+            raise InvalidStrategyError(
+                f"group sizes {tuple(sizes)} do not sum to {len(order)} cells"
+            )
+        groups = []
+        position = 0
+        for size in sizes:
+            if size <= 0:
+                raise InvalidStrategyError("group sizes must be positive")
+            groups.append(order[position : position + size])
+            position += size
+        return cls(groups)
+
+    @classmethod
+    def single_round(cls, num_cells: int) -> "Strategy":
+        """The trivial ``d = 1`` strategy that pages everything at once."""
+        return cls([range(num_cells)])
+
+    @classmethod
+    def sequential(cls, num_cells: int) -> "Strategy":
+        """The ``d = c`` strategy paging one cell per round in index order."""
+        return cls([[cell] for cell in range(num_cells)])
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __iter__(self):
+        return iter(self._groups)
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Strategy):
+            return NotImplemented
+        return self._groups == other._groups
+
+    def __hash__(self) -> int:
+        return hash(self._groups)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        rendered = ", ".join("{" + ", ".join(map(str, sorted(g))) + "}" for g in self._groups)
+        return f"Strategy([{rendered}])"

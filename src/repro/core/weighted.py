@@ -1,0 +1,234 @@
+"""Heterogeneous paging costs (the Search Theory cost model, §5.1).
+
+The paper's related-work section points at Search Theory [Stone 1975], where
+each lookup carries its own cost.  In cellular terms: paging a macro cell
+with many sectors, or a congested cell, costs more than paging a femto cell.
+The model generalizes cleanly — replace *cells paged* with *cost paid*:
+
+    EP_w = W([c]) - sum_{r=1}^{t-1} W(S_{r+1}) * F(L_r),    W(S) = sum_{j in S} w_j
+
+which telescopes exactly like Lemma 2.1.  Over a fixed cell order, the cut
+objective couples only consecutive cut points (with weighted gaps), so the
+same quadratic DP applies; and the exact subset DP carries over with
+``W(ext)`` in place of ``|ext|``.
+
+The natural ordering heuristic becomes *density*: sort cells by
+``sum_i p[i][j] / w_j`` — probability mass per unit of paging cost —
+degenerating to the paper's weight order at uniform costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import InfeasibleError, SolverLimitError
+from .expected_paging import stop_probabilities
+from .instance import Number, PagingInstance
+from .strategy import Strategy
+
+#: Same tractability cap as the other subset DPs.
+MAX_EXACT_CELLS = 18
+
+
+def _validate_costs(costs: Sequence[Number], num_cells: int) -> Tuple[Number, ...]:
+    costs = tuple(costs)
+    if len(costs) != num_cells:
+        raise InfeasibleError(
+            f"need one cost per cell ({num_cells}), got {len(costs)}"
+        )
+    if any(float(cost) <= 0 for cost in costs):
+        raise InfeasibleError("paging costs must be strictly positive")
+    return costs
+
+
+@dataclass(frozen=True)
+class WeightedResult:
+    """A strategy with its expected paging cost."""
+
+    strategy: Strategy
+    expected_cost: Number
+    order: Tuple[int, ...]
+
+
+def weighted_expected_paging(
+    instance: PagingInstance, strategy: Strategy, costs: Sequence[Number]
+) -> Number:
+    """Expected total paging cost (weighted Lemma 2.1)."""
+    costs = _validate_costs(costs, instance.num_cells)
+    stops = stop_probabilities(instance, strategy)
+    total = sum(costs)
+    value: Number = total
+    groups = strategy.groups
+    for r in range(len(groups) - 1):
+        group_cost = sum(costs[j] for j in groups[r + 1])
+        value = value - group_cost * stops[r]
+    return value
+
+
+def by_density(
+    instance: PagingInstance, costs: Sequence[Number]
+) -> Tuple[int, ...]:
+    """Cells by non-increasing ``sum_i p[i][j] / w_j`` (mass per cost)."""
+    costs = _validate_costs(costs, instance.num_cells)
+    weights = instance.cell_weights()
+    return tuple(
+        sorted(
+            range(instance.num_cells),
+            key=lambda j: (-float(weights[j]) / float(costs[j]), j),
+        )
+    )
+
+
+def optimize_cuts_weighted(
+    prefix_stops: Sequence[Number],
+    prefix_costs: Sequence[Number],
+    num_rounds: int,
+) -> Tuple[Tuple[int, ...], Number]:
+    """Optimal cut points for weighted costs over a fixed order.
+
+    ``prefix_costs[j]`` is the cost of the first ``j`` cells of the order;
+    maximizes ``sum_r (prefix_costs[j_{r+1}] - prefix_costs[j_r]) F[j_r]``.
+    Returns ``(group_sizes, expected_cost)``.
+    """
+    finds = tuple(prefix_stops)
+    wsum = tuple(prefix_costs)
+    c = len(finds) - 1
+    if len(wsum) != c + 1:
+        raise InfeasibleError("prefix_costs must align with prefix_stops")
+    d = int(num_rounds)
+    if not 1 <= d <= c:
+        raise InfeasibleError(f"number of rounds must satisfy 1 <= d <= {c}")
+    minus_infinity = float("-inf")
+    zero = 0 * finds[c]
+
+    best: List = [zero] * (c + 1)
+    best[0] = minus_infinity
+    parents = []
+    for _level in range(2, d + 1):
+        new_best: List = [minus_infinity] * (c + 1)
+        parent = [0] * (c + 1)
+        for j in range(1, c + 1):
+            for prev in range(1, j):
+                tail = best[prev]
+                if tail == minus_infinity:
+                    continue
+                value = tail + (wsum[j] - wsum[prev]) * finds[prev]
+                if value > new_best[j]:
+                    new_best[j] = value
+                    parent[j] = prev
+        best = new_best
+        parents.append(parent)
+
+    if best[c] == minus_infinity:
+        raise InfeasibleError("no feasible cut sequence")
+    cuts = [c]
+    for parent in reversed(parents):
+        cuts.append(parent[cuts[-1]])
+    cuts.append(0)
+    cuts.reverse()
+    sizes = tuple(cuts[r + 1] - cuts[r] for r in range(d))
+    return sizes, wsum[c] - best[c]
+
+
+def weighted_heuristic(
+    instance: PagingInstance,
+    costs: Sequence[Number],
+    *,
+    max_rounds: Optional[int] = None,
+) -> WeightedResult:
+    """Density ordering + weighted cut DP (the Fig. 1 analogue)."""
+    costs = _validate_costs(costs, instance.num_cells)
+    order = by_density(instance, costs)
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    finds = instance.prefix_find_probabilities(order)
+    prefix_costs: List[Number] = [0 * costs[0]]
+    for cell in order:
+        prefix_costs.append(prefix_costs[-1] + costs[cell])
+    sizes, value = optimize_cuts_weighted(finds, prefix_costs, d)
+    strategy = Strategy.from_order_and_sizes(order, sizes)
+    return WeightedResult(strategy=strategy, expected_cost=value, order=order)
+
+
+def optimal_weighted_strategy(
+    instance: PagingInstance,
+    costs: Sequence[Number],
+    *,
+    max_rounds: Optional[int] = None,
+) -> WeightedResult:
+    """Exact minimum expected cost by the weighted subset DP (small c)."""
+    c = instance.num_cells
+    if c > MAX_EXACT_CELLS:
+        raise SolverLimitError(f"exact solver limited to {MAX_EXACT_CELLS} cells")
+    costs = _validate_costs(costs, c)
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    d = min(d, c)
+    exact = instance.is_exact and all(
+        isinstance(cost, (int, Fraction)) for cost in costs
+    )
+    one: Number = Fraction(1) if exact else 1.0
+
+    full = (1 << c) - 1
+    popcount = [bin(mask).count("1") for mask in range(full + 1)]
+    # F(mask) and W(mask) tables.
+    zero: Number = 0 * one
+    device_sums: List[List[Number]] = []
+    for row in instance.rows:
+        sums = [zero] * (full + 1)
+        for mask in range(1, full + 1):
+            low = mask & (-mask)
+            sums[mask] = sums[mask ^ low] + row[low.bit_length() - 1]
+        device_sums.append(sums)
+    finds = [one] * (full + 1)
+    mask_cost = [zero] * (full + 1)
+    for mask in range(full + 1):
+        value = one
+        for sums in device_sums:
+            value = value * sums[mask]
+        finds[mask] = value
+        if mask:
+            low = mask & (-mask)
+            mask_cost[mask] = mask_cost[mask ^ low] + costs[low.bit_length() - 1]
+
+    minus_infinity = float("-inf")
+    bonus: List = [minus_infinity] * (full + 1)
+    bonus[full] = zero
+    choice: List[List[int]] = []
+    for t in range(1, d + 1):
+        new_bonus: List = [minus_infinity] * (full + 1)
+        new_choice = [0] * (full + 1)
+        for mask in range(full + 1):
+            complement = full ^ mask
+            if popcount[complement] < t:
+                continue
+            find_here = finds[mask]
+            best = minus_infinity
+            best_ext = 0
+            sub = complement
+            while sub:
+                tail = bonus[mask | sub]
+                if tail != minus_infinity:
+                    value = mask_cost[sub] * find_here + tail
+                    if value > best:
+                        best = value
+                        best_ext = sub
+                sub = (sub - 1) & complement
+            if best != minus_infinity:
+                new_bonus[mask] = best
+                new_choice[mask] = best_ext
+        bonus = new_bonus
+        choice.append(new_choice)
+
+    groups = []
+    mask = 0
+    for t in range(d, 0, -1):
+        ext = choice[t - 1][mask]
+        groups.append([j for j in range(c) if ext >> j & 1])
+        mask |= ext
+    strategy = Strategy(groups)
+    return WeightedResult(
+        strategy=strategy,
+        expected_cost=weighted_expected_paging(instance, strategy, costs),
+        order=tuple(range(c)),
+    )

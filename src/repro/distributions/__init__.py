@@ -1,0 +1,49 @@
+"""Synthetic location distributions and trace-based estimation."""
+
+from .correlated import (
+    AnchoredPopulation,
+    anchored_population,
+    model_error,
+)
+from .estimation import (
+    empirical_distribution,
+    estimation_report,
+    instance_from_traces,
+    kl_divergence,
+    recency_weighted_distribution,
+    total_variation,
+)
+from .generators import (
+    FAMILY_NAMES,
+    adversarial_instance,
+    clustered_instance,
+    dirichlet_instance,
+    geometric_instance,
+    hotspot_instance,
+    instance_family,
+    two_tier_instance,
+    uniform_instance,
+    zipf_instance,
+)
+
+__all__ = [
+    "AnchoredPopulation",
+    "FAMILY_NAMES",
+    "adversarial_instance",
+    "anchored_population",
+    "model_error",
+    "clustered_instance",
+    "dirichlet_instance",
+    "empirical_distribution",
+    "estimation_report",
+    "geometric_instance",
+    "hotspot_instance",
+    "instance_family",
+    "instance_from_traces",
+    "kl_divergence",
+    "recency_weighted_distribution",
+    "total_variation",
+    "two_tier_instance",
+    "uniform_instance",
+    "zipf_instance",
+]

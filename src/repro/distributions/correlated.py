@@ -1,0 +1,146 @@
+"""Correlated device locations: stressing the independence assumption.
+
+The paper's model assumes device locations are independent (Section 1.2).
+Conference-call participants, however, often travel together — colleagues in
+one building, a family in one car.  This module generates *correlated* joint
+location distributions with prescribed marginals so the optimizer (which
+only sees marginals) can be evaluated against the truth:
+
+* :class:`AnchoredPopulation` — with probability ``cohesion`` a trial is
+  "anchored": every device sits in one common cell drawn from the anchor
+  distribution; otherwise devices draw independently from their own
+  distributions.  The marginal of device ``i`` is then
+  ``cohesion * anchor + (1 - cohesion) * individual_i``, which
+  :meth:`AnchoredPopulation.marginal_instance` hands to the planner.
+
+Expected paging under the true joint law is computed exactly by mixing the
+two regimes (the anchored regime stops at the round containing the common
+cell), so experiment E24 can chart model error as cohesion grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.instance import PagingInstance
+from ..core.strategy import Strategy
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class AnchoredPopulation:
+    """A cohesion-mixture joint distribution over device locations."""
+
+    anchor: Tuple[float, ...]
+    individual: Tuple[Tuple[float, ...], ...]
+    cohesion: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.cohesion <= 1.0:
+            raise InvalidInstanceError("cohesion must lie in [0, 1]")
+        if abs(sum(self.anchor) - 1.0) > 1e-9:
+            raise InvalidInstanceError("anchor distribution must sum to 1")
+        for row in self.individual:
+            if len(row) != len(self.anchor):
+                raise InvalidInstanceError("all distributions need equal length")
+            if abs(sum(row) - 1.0) > 1e-9:
+                raise InvalidInstanceError("individual rows must sum to 1")
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.individual)
+
+    @property
+    def num_cells(self) -> int:
+        return len(self.anchor)
+
+    # ------------------------------------------------------------------
+    def marginal_instance(self, max_rounds: int) -> PagingInstance:
+        """What the system believes: the (correct) marginals, assumed independent."""
+        rows = []
+        for row in self.individual:
+            rows.append(
+                [
+                    self.cohesion * a + (1.0 - self.cohesion) * p
+                    for a, p in zip(self.anchor, row)
+                ]
+            )
+        return PagingInstance(rows, max_rounds, allow_zero=True)
+
+    def sample_locations(self, rng: np.random.Generator) -> Tuple[int, ...]:
+        """Draw one joint outcome from the true (correlated) law."""
+        cells = np.arange(self.num_cells)
+        if rng.random() < self.cohesion:
+            common = int(rng.choice(cells, p=np.asarray(self.anchor)))
+            return tuple(common for _ in range(self.num_devices))
+        return tuple(
+            int(rng.choice(cells, p=np.asarray(row))) for row in self.individual
+        )
+
+    # ------------------------------------------------------------------
+    def true_expected_paging(self, strategy: Strategy) -> float:
+        """Exact EP under the correlated law (mixture of the two regimes).
+
+        Anchored regime: all devices share one cell, so the search stops at
+        the round paging that cell — ``EP = sum_j anchor_j * L(j)``.
+        Independent regime: the standard Lemma 2.1 product form with the
+        individual distributions.
+        """
+        c = self.num_cells
+        prefix_cost = {}
+        cumulative = 0
+        for group in strategy.groups:
+            cumulative += len(group)
+            for cell in group:
+                prefix_cost[cell] = cumulative
+        anchored = sum(
+            probability * prefix_cost[cell]
+            for cell, probability in enumerate(self.anchor)
+        )
+        independent_instance = PagingInstance(
+            [list(row) for row in self.individual],
+            strategy.length,
+            allow_zero=True,
+        )
+        from ..core.expected_paging import expected_paging_float
+
+        independent = expected_paging_float(independent_instance, strategy)
+        return self.cohesion * anchored + (1.0 - self.cohesion) * independent
+
+
+def anchored_population(
+    num_devices: int,
+    num_cells: int,
+    cohesion: float,
+    *,
+    rng: np.random.Generator,
+    anchor_concentration: float = 0.5,
+    individual_concentration: float = 1.0,
+) -> AnchoredPopulation:
+    """A random anchored population with Dirichlet components."""
+    if num_devices < 1 or num_cells < 1:
+        raise InvalidInstanceError("need at least one device and one cell")
+    anchor = rng.dirichlet(np.full(num_cells, anchor_concentration))
+    individual = rng.dirichlet(
+        np.full(num_cells, individual_concentration), size=num_devices
+    )
+    return AnchoredPopulation(
+        anchor=tuple(float(p) for p in anchor),
+        individual=tuple(tuple(float(p) for p in row) for row in individual),
+        cohesion=cohesion,
+    )
+
+
+def model_error(
+    population: AnchoredPopulation, strategy: Strategy, max_rounds: int
+) -> Tuple[float, float]:
+    """``(believed_ep, true_ep)`` for a strategy planned on the marginals."""
+    believed_instance = population.marginal_instance(max_rounds)
+    from ..core.expected_paging import expected_paging_float
+
+    believed = expected_paging_float(believed_instance, strategy)
+    true = population.true_expected_paging(strategy)
+    return believed, true

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so that callers can catch library-specific failures without catching unrelated
+bugs.  The subclasses mirror the main failure categories: malformed problem
+data, malformed strategies, infeasible requests, and solver-internal limits.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class InvalidInstanceError(ReproError, ValueError):
+    """A probability matrix or problem parameter fails validation.
+
+    Raised for non-stochastic rows, non-positive probabilities when zeros are
+    disallowed, inconsistent dimensions, or out-of-range delay bounds.
+    """
+
+
+class InvalidStrategyError(ReproError, ValueError):
+    """A paging strategy is not an ordered partition of the cell set."""
+
+
+class InfeasibleError(ReproError, ValueError):
+    """The requested optimization has no feasible solution.
+
+    For example a bandwidth-limited search with ``d * b < c`` cannot cover
+    every cell within the delay constraint.
+    """
+
+
+class SolverLimitError(ReproError, RuntimeError):
+    """An exact solver was asked to enumerate a space larger than its cap."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event cellular simulator reached an inconsistent state."""

@@ -1,0 +1,126 @@
+"""Run every experiment and render the full report.
+
+``python -m repro.experiments.runner`` regenerates all experiment tables —
+the per-table functions are also what the benchmark suite calls, so the
+printed report and the benchmark assertions always agree.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .advanced import (
+    run_e19_adaptivity_gap,
+    run_e20_imperfect_detection,
+    run_e21_movement_sensitivity,
+    run_e23_area_dimensioning,
+    run_e24_correlation_sensitivity,
+    run_e25_weighted_costs,
+    run_e26_learning_curve,
+)
+from .approximation import (
+    run_e03_ratio_sweep,
+    run_e08_single_user_optimal,
+    run_e09_delay_tradeoff,
+    run_e10_adaptive,
+)
+from .extensions import (
+    run_e11_signature_sweep,
+    run_e11_yellow_pages,
+    run_e12_bandwidth,
+    run_e15_clustered,
+)
+from .hardness_experiments import (
+    run_e06_reduction_general,
+    run_e06_reduction_m2d2,
+    run_e14_quasipartition2,
+    run_e17_lifting,
+    run_e18_qap,
+)
+from .paper_claims import (
+    run_e01_uniform_single_user,
+    run_e02_lower_bound,
+    run_e04_lemma31,
+    run_e05_lemma34,
+    run_e16_four_thirds,
+)
+from .system import run_e07_dp_scaling, run_e13_cellnet, run_e13_reporting_tradeoff
+from .tables import ExperimentTable, render_all
+
+#: Every experiment, in paper order.  Keys match DESIGN.md's index.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
+    "E1": run_e01_uniform_single_user,
+    "E2": run_e02_lower_bound,
+    "E3": run_e03_ratio_sweep,
+    "E4": run_e04_lemma31,
+    "E5": run_e05_lemma34,
+    "E6": run_e06_reduction_m2d2,
+    "E6b": run_e06_reduction_general,
+    "E7": run_e07_dp_scaling,
+    "E8": run_e08_single_user_optimal,
+    "E9": run_e09_delay_tradeoff,
+    "E10": run_e10_adaptive,
+    "E11a": run_e11_yellow_pages,
+    "E11b": run_e11_signature_sweep,
+    "E12": run_e12_bandwidth,
+    "E13": run_e13_cellnet,
+    "E13b": run_e13_reporting_tradeoff,
+    "E14": run_e14_quasipartition2,
+    "E15": run_e15_clustered,
+    "E16": run_e16_four_thirds,
+    "E17": run_e17_lifting,
+    "E18": run_e18_qap,
+    "E19": run_e19_adaptivity_gap,
+    "E20": run_e20_imperfect_detection,
+    "E21": run_e21_movement_sensitivity,
+    "E23": run_e23_area_dimensioning,
+    "E24": run_e24_correlation_sensitivity,
+    "E25": run_e25_weighted_costs,
+    "E26": run_e26_learning_curve,
+}
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+) -> List[ExperimentTable]:
+    """Run the named experiments (all of them by default)."""
+    selected = list(EXPERIMENTS) if names is None else list(names)
+    tables = []
+    for name in selected:
+        if name not in EXPERIMENTS:
+            raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
+        tables.append(EXPERIMENTS[name]())
+    return tables
+
+
+def save_report(
+    directory: str, names: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Run experiments and persist each table as ``.txt`` and ``.csv``.
+
+    Returns the paths written.  This is what keeps the plain-text report and
+    plot-ready data in sync with one run.
+    """
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for table in run_experiments(names):
+        stem = os.path.join(directory, table.experiment_id.lower())
+        with open(stem + ".txt", "w") as handle:
+            handle.write(table.render() + "\n")
+        with open(stem + ".csv", "w") as handle:
+            handle.write(table.to_csv())
+        written.extend([stem + ".txt", stem + ".csv"])
+    return written
+
+
+def main(names: Optional[Sequence[str]] = None) -> str:
+    """Render the selected experiments as one report string."""
+    return render_all(run_experiments(names))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    import sys
+
+    print(main(sys.argv[1:] or None))

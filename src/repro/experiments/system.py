@@ -1,0 +1,187 @@
+"""System-level experiments (E7, E13).
+
+* E7 — the Theorem 4.8 complexity claim: heuristic runtime grows as
+  ``O(c (m + d c))``.  The benchmark measures wall time; this module supplies
+  the workload grid and a normalized-cost check.
+* E13 — the end-to-end cellular simulation: conference calls in a GSM-style
+  system under blanket LA paging vs the paper's heuristic vs the adaptive
+  variant, with identical mobility and call streams.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..cellnet.location_areas import LocationAreaPlan
+from ..cellnet.mobility import GravityMobility
+from ..cellnet.simulator import CellularSimulator, SimulationConfig
+from ..cellnet.topology import CellTopology
+from ..core.heuristic import conference_call_heuristic
+from ..distributions.generators import dirichlet_instance
+from .tables import ExperimentTable
+
+
+def heuristic_workload(
+    num_devices: int, num_cells: int, max_rounds: int, *, seed: int = 7
+):
+    """A deterministic instance for timing runs."""
+    rng = np.random.default_rng(seed)
+    return dirichlet_instance(num_devices, num_cells, max_rounds, rng=rng)
+
+
+def run_e07_dp_scaling(
+    cell_counts: Sequence[int] = (20, 40, 80, 160),
+    *,
+    num_devices: int = 3,
+    max_rounds: int = 5,
+    repeats: int = 3,
+) -> ExperimentTable:
+    """Measured heuristic runtime vs the c(m + dc) work term."""
+    table = ExperimentTable(
+        "E7",
+        "Theorem 4.8 scaling: heuristic time vs c(m + dc)",
+        ["c", "m", "d", "seconds", "work_term", "ns_per_unit"],
+    )
+    for c in cell_counts:
+        instance = heuristic_workload(num_devices, c, max_rounds)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            conference_call_heuristic(instance)
+            best = min(best, time.perf_counter() - start)
+        work = c * (num_devices + max_rounds * c)
+        table.add_row(
+            c,
+            num_devices,
+            max_rounds,
+            best,
+            work,
+            best / work * 1e9,
+        )
+    table.add_note(
+        "ns_per_unit should stay roughly flat: time tracks the O(c(m+dc)) term"
+    )
+    return table
+
+
+def run_e13_cellnet(
+    *,
+    radius: int = 3,
+    num_devices: int = 6,
+    num_areas: int = 4,
+    horizon: int = 600,
+    call_rate: float = 0.08,
+    max_rounds: int = 3,
+    seed: int = 13,
+) -> ExperimentTable:
+    """Blanket vs heuristic vs adaptive paging in the simulated network.
+
+    All three policies see identical topologies, mobility streams, and call
+    arrivals (same seed), so the paging columns are directly comparable.
+    """
+    table = ExperimentTable(
+        "E13",
+        "End-to-end cellular simulation: link usage per paging policy",
+        [
+            "pager",
+            "calls",
+            "cells_per_call",
+            "rounds_per_call",
+            "reports",
+            "total_wireless",
+            "saving_vs_blanket",
+        ],
+    )
+    rows = {}
+    for pager in ("blanket", "heuristic", "adaptive"):
+        rng = np.random.default_rng(seed)
+        topology = CellTopology.hexagonal_disk(radius)
+        plan = LocationAreaPlan.by_bfs(topology, num_areas)
+        attraction = np.random.default_rng(seed + 1).uniform(
+            0.5, 3.0, size=topology.num_cells
+        )
+        models = [
+            GravityMobility(topology, attraction) for _ in range(num_devices)
+        ]
+        config = SimulationConfig(
+            horizon=horizon,
+            call_rate=call_rate,
+            max_paging_rounds=max_rounds,
+            reporting="la",
+            pager=pager,
+        )
+        simulator = CellularSimulator(topology, plan, models, config, rng=rng)
+        report = simulator.run()
+        rows[pager] = report.metrics
+    blanket_cells = rows["blanket"].mean_cells_per_call
+    for pager in ("blanket", "heuristic", "adaptive"):
+        metrics = rows[pager]
+        saving = (
+            0.0
+            if blanket_cells == 0
+            else 1.0 - metrics.mean_cells_per_call / blanket_cells
+        )
+        table.add_row(
+            pager,
+            metrics.calls_handled,
+            metrics.mean_cells_per_call,
+            metrics.mean_rounds_per_call,
+            metrics.report_messages,
+            metrics.total_wireless_messages,
+            saving,
+        )
+    table.add_note(
+        "the Section 1.1 motivation: multi-round paging cuts cells paged per "
+        "call at the cost of delay (rounds_per_call)"
+    )
+    return table
+
+
+def run_e13_reporting_tradeoff(
+    *,
+    radius: int = 3,
+    num_devices: int = 5,
+    horizon: int = 500,
+    call_rate: float = 0.08,
+    seed: int = 131,
+) -> ExperimentTable:
+    """The reporting/paging trade-off across update policies (Section 1.1)."""
+    table = ExperimentTable(
+        "E13b",
+        "Reporting vs paging trade-off across update policies",
+        ["reporting", "reports", "cells_paged", "total_wireless"],
+    )
+    for reporting in ("never", "timer", "la", "distance", "always"):
+        rng = np.random.default_rng(seed)
+        topology = CellTopology.hexagonal_disk(radius)
+        plan = LocationAreaPlan.by_bfs(topology, 4)
+        attraction = np.random.default_rng(seed + 1).uniform(
+            0.5, 3.0, size=topology.num_cells
+        )
+        models = [
+            GravityMobility(topology, attraction) for _ in range(num_devices)
+        ]
+        config = SimulationConfig(
+            horizon=horizon,
+            call_rate=call_rate,
+            max_paging_rounds=3,
+            reporting=reporting,
+            pager="heuristic",
+        )
+        simulator = CellularSimulator(topology, plan, models, config, rng=rng)
+        report = simulator.run()
+        metrics = report.metrics
+        table.add_row(
+            reporting,
+            metrics.report_messages,
+            metrics.cells_paged,
+            metrics.total_wireless_messages,
+        )
+    table.add_note(
+        "never-report maximizes paging, always-report maximizes updates; the "
+        "LA policy sits between (the balance Section 1.1 describes)"
+    )
+    return table

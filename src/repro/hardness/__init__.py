@@ -1,0 +1,105 @@
+"""NP-hardness machinery of Section 3 (and the Section 5.1 QAP connection).
+
+The reduction chain ``Partition -> Quasipartition -> Multipartition ->
+Conference Call`` is implemented constructively, with exact solvers on every
+intermediate problem so the iff-equivalences can be verified end to end on
+small instances.
+"""
+
+from .multipartition import (
+    Lemma36Reduction,
+    MultipartitionParameters,
+    derive_quasipartition2,
+    multipartition_parameters,
+    multipartition_witness_from_quasipartition,
+    quasipartition_witness_from_multipartition,
+    reduce_quasipartition2_to_multipartition,
+    solve_multipartition,
+    verify_multipartition,
+)
+from .partition import (
+    PartitionInstance,
+    has_partition,
+    random_instance,
+    random_yes_instance,
+    solve_partition,
+    verify_partition,
+)
+from .qap import (
+    MAX_QAP_CELLS,
+    QAPFormulation,
+    expected_paging_from_qap,
+    formulate_qap,
+    formulate_qap_for_sizes,
+    qap_objective,
+    solve_qap_bruteforce,
+    solve_via_qap,
+    strategy_from_permutation,
+)
+from .quasipartition import (
+    QUASIPARTITION1,
+    Lemma37Reduction,
+    QuasipartitionParameters,
+    extract_partition_witness,
+    has_quasipartition1,
+    has_quasipartition2,
+    reduce_partition_to_quasipartition2,
+    solve_quasipartition1,
+    solve_quasipartition2,
+    subset_with_count_and_sum,
+)
+from .reductions import (
+    ConferenceCallReduction,
+    gadget_expected_paging,
+    lemma35_lower_bound,
+    lift_two_device_instance,
+    multipartition_witness_from_strategy,
+    reduce_multipartition_to_conference_call,
+    reduce_quasipartition1_to_conference_call,
+    unlift_strategy,
+)
+
+__all__ = [
+    "MAX_QAP_CELLS",
+    "QUASIPARTITION1",
+    "ConferenceCallReduction",
+    "Lemma36Reduction",
+    "Lemma37Reduction",
+    "MultipartitionParameters",
+    "PartitionInstance",
+    "QAPFormulation",
+    "QuasipartitionParameters",
+    "derive_quasipartition2",
+    "expected_paging_from_qap",
+    "extract_partition_witness",
+    "formulate_qap",
+    "formulate_qap_for_sizes",
+    "gadget_expected_paging",
+    "has_partition",
+    "has_quasipartition1",
+    "has_quasipartition2",
+    "lemma35_lower_bound",
+    "lift_two_device_instance",
+    "multipartition_parameters",
+    "multipartition_witness_from_quasipartition",
+    "multipartition_witness_from_strategy",
+    "qap_objective",
+    "quasipartition_witness_from_multipartition",
+    "random_instance",
+    "random_yes_instance",
+    "reduce_multipartition_to_conference_call",
+    "reduce_partition_to_quasipartition2",
+    "reduce_quasipartition1_to_conference_call",
+    "reduce_quasipartition2_to_multipartition",
+    "solve_multipartition",
+    "solve_partition",
+    "solve_qap_bruteforce",
+    "solve_quasipartition1",
+    "solve_quasipartition2",
+    "solve_via_qap",
+    "strategy_from_permutation",
+    "subset_with_count_and_sum",
+    "unlift_strategy",
+    "verify_multipartition",
+    "verify_partition",
+]

@@ -1,0 +1,298 @@
+"""The Multipartition problem (Section 3.2) and the Lemma 3.6 reduction.
+
+Multipartition is parameterized by cardinality fractions ``r_1..r_d`` and
+mass fractions ``x_1..x_d`` (both summing to 1, with ``M`` the least common
+multiple of the ``r_j`` denominators).  Given ``c = M k`` non-negative
+rational sizes, it asks for a partition ``P_1..P_d`` with ``|P_j| = r_j c``
+and ``sum_{P_j} = x_j * total``.
+
+For the paper's Theorem 3.8 chain the parameters come from the Lemma 3.4
+recursion: ``r_j = (b_j - b_{j-1}) / c`` and prefix masses ``b_r / (2c)``,
+i.e. ``x_j = r_j / 2`` for ``j < d`` and ``x_d = 1 - b_{d-1} / (2c)``
+(:func:`multipartition_parameters`).
+
+Lemma 3.6 reduces Quasipartition2 to Multipartition by rescaling the input
+sizes into the two largest-cardinality groups and pinning every other group
+``x_j`` with one dominant "big" size plus ``i_j - 1`` tiny equal fillers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.bounds import b_sequence
+from ..errors import InvalidInstanceError, SolverLimitError
+from .quasipartition import QuasipartitionParameters
+
+
+@dataclass(frozen=True)
+class MultipartitionParameters:
+    """Cardinality fractions ``r_j`` and mass fractions ``x_j``."""
+
+    cardinality_fractions: Tuple[Fraction, ...]
+    mass_fractions: Tuple[Fraction, ...]
+
+    def __post_init__(self) -> None:
+        r, x = self.cardinality_fractions, self.mass_fractions
+        if len(r) != len(x) or len(r) < 2:
+            raise InvalidInstanceError("need matching r and x sequences of length >= 2")
+        if sum(r) != 1 or sum(x) != 1:
+            raise InvalidInstanceError("r_j and x_j must each sum to 1")
+        if any(value <= 0 for value in r) or any(value < 0 for value in x):
+            raise InvalidInstanceError("fractions must be positive (x_j non-negative)")
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.cardinality_fractions)
+
+    @property
+    def scale(self) -> int:
+        """``M``: the least common multiple of the ``r_j`` denominators."""
+        return math.lcm(*(r.denominator for r in self.cardinality_fractions))
+
+    def group_sizes(self, num_items: int) -> Tuple[int, ...]:
+        """``i_j = r_j c`` — raises unless ``c`` is a multiple of ``M``."""
+        if num_items % self.scale != 0:
+            raise InvalidInstanceError(
+                f"instance length {num_items} is not a multiple of M = {self.scale}"
+            )
+        return tuple(int(r * num_items) for r in self.cardinality_fractions)
+
+
+def multipartition_parameters(
+    num_devices: int, num_rounds: int
+) -> MultipartitionParameters:
+    """The ``(r_j, x_j)`` of Theorem 3.8, from the Lemma 3.4 recursion."""
+    bs = b_sequence(num_devices, num_rounds, Fraction(1), exact=True)
+    r = tuple(bs[j] - bs[j - 1] for j in range(1, len(bs)))
+    x = [value / 2 for value in r[:-1]]
+    x.append(1 - sum(x))
+    return MultipartitionParameters(
+        cardinality_fractions=tuple(Fraction(v) for v in r),
+        mass_fractions=tuple(Fraction(v) for v in x),
+    )
+
+
+def derive_quasipartition2(
+    parameters: MultipartitionParameters,
+) -> Tuple[QuasipartitionParameters, Tuple[int, int]]:
+    """The ``(M, r_u, r_v, x_u, x_v)`` template and the (u, v) group indices.
+
+    Following the paper: sort the ``x_j`` non-increasingly; among the two
+    groups with the smallest masses, ``u`` is the one with the smaller
+    cardinality fraction (``v`` the other).  Returns 0-based group indices.
+    """
+    r, x = parameters.cardinality_fractions, parameters.mass_fractions
+    order = sorted(range(len(x)), key=lambda j: (-x[j], j))
+    last, second_last = order[-1], order[-2]
+    if r[last] <= r[second_last]:
+        u, v = last, second_last
+    else:
+        u, v = second_last, last
+    template = QuasipartitionParameters(
+        scale=parameters.scale, r_u=r[u], r_v=r[v], x_u=x[u], x_v=x[v]
+    )
+    return template, (u, v)
+
+
+def verify_multipartition(
+    sizes: Sequence[Fraction],
+    parameters: MultipartitionParameters,
+    partition: Sequence[Sequence[int]],
+) -> bool:
+    """Check a claimed witness: disjoint cover with the right counts and masses."""
+    sizes = [Fraction(size) for size in sizes]
+    total = sum(sizes)
+    counts = parameters.group_sizes(len(sizes))
+    if len(partition) != parameters.num_groups:
+        return False
+    seen: set = set()
+    for j, group in enumerate(partition):
+        group = list(group)
+        if len(group) != counts[j] or seen & set(group):
+            return False
+        seen |= set(group)
+        if sum(sizes[i] for i in group) != parameters.mass_fractions[j] * total:
+            return False
+    return seen == set(range(len(sizes)))
+
+
+def solve_multipartition(
+    sizes: Sequence[Fraction],
+    parameters: MultipartitionParameters,
+    *,
+    node_limit: int = 2_000_000,
+) -> Optional[Tuple[Tuple[int, ...], ...]]:
+    """Backtracking search for a Multipartition witness (small instances).
+
+    Items are assigned group by group in index order with count and residual
+    mass pruning.  Intended for the reduction round-trip tests; raises
+    :class:`SolverLimitError` past ``node_limit`` search nodes.
+    """
+    sizes = [Fraction(size) for size in sizes]
+    total = sum(sizes)
+    counts = parameters.group_sizes(len(sizes))
+    targets = [x * total for x in parameters.mass_fractions]
+    c = len(sizes)
+    groups: List[List[int]] = [[] for _ in range(parameters.num_groups)]
+    remaining_count = list(counts)
+    remaining_mass = list(targets)
+    nodes = 0
+
+    # Suffix sums let the search prune branches that cannot reach the target.
+    suffix = [Fraction(0)] * (c + 1)
+    for index in range(c - 1, -1, -1):
+        suffix[index] = suffix[index + 1] + sizes[index]
+
+    def backtrack(index: int) -> bool:
+        nonlocal nodes
+        nodes += 1
+        if nodes > node_limit:
+            raise SolverLimitError(
+                f"multipartition search exceeded {node_limit} nodes"
+            )
+        if index == c:
+            return all(count == 0 for count in remaining_count) and all(
+                mass == 0 for mass in remaining_mass
+            )
+        if suffix[index] < sum(remaining_mass):
+            return False
+        slots = sum(remaining_count)
+        if slots != c - index:
+            return False
+        size = sizes[index]
+        for j in range(parameters.num_groups):
+            if remaining_count[j] == 0 or remaining_mass[j] < size:
+                continue
+            groups[j].append(index)
+            remaining_count[j] -= 1
+            remaining_mass[j] -= size
+            if backtrack(index + 1):
+                return True
+            groups[j].pop()
+            remaining_count[j] += 1
+            remaining_mass[j] += size
+        return False
+
+    if backtrack(0):
+        return tuple(tuple(group) for group in groups)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Lemma 3.6: Quasipartition2 -> Multipartition
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Lemma36Reduction:
+    """The constructed Multipartition instance with its bookkeeping."""
+
+    sizes: Tuple[Fraction, ...]
+    parameters: MultipartitionParameters
+    #: index range holding the rescaled Quasipartition2 sizes
+    original_slice: Tuple[int, int]
+    #: (u, v) group indices within the parameter ordering
+    uv_groups: Tuple[int, int]
+    #: per non-(u,v) group: (big-size index, tuple of small-size indices)
+    pinned_groups: Tuple[Tuple[int, Tuple[int, ...]], ...]
+
+
+def reduce_quasipartition2_to_multipartition(
+    quasi_sizes: Sequence[Fraction],
+    parameters: MultipartitionParameters,
+) -> Lemma36Reduction:
+    """Lemma 3.6's construction, as executable code.
+
+    The rescaled input sizes carry total mass ``x_u + x_v`` and must fill the
+    groups ``u`` and ``v``; every other group ``j`` is pinned by one big size
+    ``x_j - s (i_j - 1) / (2c)`` plus ``i_j - 1`` small sizes ``s / (2c)``,
+    where ``s`` is a positive number no larger than any positive input size
+    or any positive gap between consecutive sorted masses.
+    """
+    quasi_sizes = [Fraction(size) for size in quasi_sizes]
+    template, (u, v) = derive_quasipartition2(parameters)
+    n = len(quasi_sizes)
+    per_h = template.total_size(1)
+    if n % per_h != 0 or n == 0:
+        raise InvalidInstanceError(
+            f"input length {n} is not a multiple of M(r_u + r_v) = {per_h}"
+        )
+    h = n // per_h
+    c = parameters.scale * h
+    counts = parameters.group_sizes(c)
+    if counts[u] + counts[v] != n:
+        raise AssertionError("u/v groups must absorb exactly the input sizes")
+
+    total_in = sum(quasi_sizes)
+    if total_in <= 0:
+        raise InvalidInstanceError("input sizes must have positive total")
+    mass_uv = parameters.mass_fractions[u] + parameters.mass_fractions[v]
+    scaled = [size * mass_uv / total_in for size in quasi_sizes]
+
+    # The paper's `s`: a positive value below every positive size and every
+    # positive gap of the sorted mass fractions.
+    sorted_masses = sorted(parameters.mass_fractions, reverse=True)
+    gaps = [
+        sorted_masses[j] - sorted_masses[j + 1]
+        for j in range(len(sorted_masses) - 1)
+        if sorted_masses[j] != sorted_masses[j + 1]
+    ]
+    candidates = [size for size in scaled if size > 0] + gaps
+    small_unit = (min(candidates) if candidates else Fraction(1)) / (2 * c)
+
+    sizes: List[Fraction] = list(scaled)
+    pinned: List[Tuple[int, Tuple[int, ...]]] = []
+    for j in range(parameters.num_groups):
+        if j in (u, v):
+            continue
+        i_j = counts[j]
+        big = parameters.mass_fractions[j] - small_unit * (i_j - 1)
+        if big <= 0:
+            raise InvalidInstanceError(
+                f"group {j} mass {parameters.mass_fractions[j]} too small to pin"
+            )
+        big_index = len(sizes)
+        sizes.append(big)
+        small_indices = tuple(range(len(sizes), len(sizes) + i_j - 1))
+        sizes.extend([small_unit] * (i_j - 1))
+        pinned.append((big_index, small_indices))
+
+    if len(sizes) != c:
+        raise AssertionError(f"constructed {len(sizes)} sizes, expected c = {c}")
+    return Lemma36Reduction(
+        sizes=tuple(sizes),
+        parameters=parameters,
+        original_slice=(0, n),
+        uv_groups=(u, v),
+        pinned_groups=tuple(pinned),
+    )
+
+
+def multipartition_witness_from_quasipartition(
+    reduction: Lemma36Reduction, quasi_witness: Sequence[int]
+) -> Tuple[Tuple[int, ...], ...]:
+    """Assemble the Multipartition witness implied by a Quasipartition2 one."""
+    u, v = reduction.uv_groups
+    start, stop = reduction.original_slice
+    witness_set = set(quasi_witness)
+    groups: List[Tuple[int, ...]] = [()] * reduction.parameters.num_groups
+    groups[v] = tuple(sorted(witness_set))
+    groups[u] = tuple(i for i in range(start, stop) if i not in witness_set)
+    pinned_iter = iter(reduction.pinned_groups)
+    for j in range(reduction.parameters.num_groups):
+        if j in (u, v):
+            continue
+        big_index, small_indices = next(pinned_iter)
+        groups[j] = (big_index,) + small_indices
+    return tuple(groups)
+
+
+def quasipartition_witness_from_multipartition(
+    reduction: Lemma36Reduction, partition: Sequence[Sequence[int]]
+) -> Tuple[int, ...]:
+    """Extract the Quasipartition2 witness from a Multipartition one."""
+    _u, v = reduction.uv_groups
+    start, stop = reduction.original_slice
+    return tuple(sorted(i for i in partition[v] if start <= i < stop))

@@ -1,0 +1,131 @@
+"""The Partition problem used as the NP-complete seed of Section 3.
+
+Garey & Johnson's variant: given ``g`` positive integer sizes (``g`` even),
+decide whether some subset of exactly ``g/2`` of them sums to half the total.
+The pseudo-polynomial dynamic program here is exact and reconstructs a
+witness, which the reduction round-trip tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidInstanceError
+
+
+@dataclass(frozen=True)
+class PartitionInstance:
+    """Sizes for the equal-cardinality Partition problem."""
+
+    sizes: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) % 2 != 0:
+            raise InvalidInstanceError("Partition requires an even number of sizes")
+        if not self.sizes:
+            raise InvalidInstanceError("Partition requires at least two sizes")
+        if any(size <= 0 for size in self.sizes):
+            raise InvalidInstanceError("Partition sizes must be positive integers")
+
+    @property
+    def total(self) -> int:
+        return sum(self.sizes)
+
+    @property
+    def count(self) -> int:
+        return len(self.sizes)
+
+
+def solve_partition(instance: PartitionInstance) -> Optional[Tuple[int, ...]]:
+    """A subset of indices of size ``g/2`` summing to ``total/2``, or ``None``.
+
+    DP over ``(index, chosen count, chosen sum)`` with predecessor links;
+    ``O(g^2 * total)`` time, exact.
+    """
+    sizes = instance.sizes
+    g = len(sizes)
+    total = instance.total
+    if total % 2 != 0:
+        return None
+    half_count = g // 2
+    target = total // 2
+
+    # reachable[(count, value)] -> index of the last size chosen, with a link
+    # to the predecessor state; states are discovered in index order.
+    reachable: Dict[Tuple[int, int], Optional[Tuple[int, Tuple[int, int]]]] = {
+        (0, 0): None
+    }
+    for index, size in enumerate(sizes):
+        updates = {}
+        for (count, value), _parent in reachable.items():
+            if count == half_count:
+                continue
+            state = (count + 1, value + size)
+            if state[1] > target:
+                continue
+            if state not in reachable and state not in updates:
+                updates[state] = (index, (count, value))
+        reachable.update(updates)
+
+    goal = (half_count, target)
+    if goal not in reachable:
+        return None
+    subset: List[int] = []
+    state: Tuple[int, int] = goal
+    while reachable[state] is not None:
+        index, parent = reachable[state]  # type: ignore[misc]
+        subset.append(index)
+        state = parent
+    return tuple(sorted(subset))
+
+
+def has_partition(instance: PartitionInstance) -> bool:
+    """Decision version of :func:`solve_partition`."""
+    return solve_partition(instance) is not None
+
+
+def verify_partition(instance: PartitionInstance, subset: Sequence[int]) -> bool:
+    """Check a claimed witness: right cardinality and half the total sum."""
+    chosen = set(subset)
+    if len(chosen) != len(subset) or len(chosen) != instance.count // 2:
+        return False
+    if any(not 0 <= index < instance.count for index in chosen):
+        return False
+    return 2 * sum(instance.sizes[index] for index in chosen) == instance.total
+
+
+def random_yes_instance(
+    count: int, rng: np.random.Generator, *, magnitude: int = 50
+) -> PartitionInstance:
+    """A Partition instance guaranteed to have a solution.
+
+    Draws ``count/2`` sizes freely, then mirrors their multiset sum with a
+    second half of equal cardinality and sum (by adjusting the last element).
+    """
+    if count % 2 != 0 or count < 2:
+        raise InvalidInstanceError("count must be even and at least 2")
+    half = count // 2
+    first = [int(rng.integers(1, magnitude + 1)) for _ in range(half)]
+    second = [int(rng.integers(1, magnitude + 1)) for _ in range(half - 1)]
+    balance = sum(first) - sum(second)
+    if balance < 1:
+        # Push the first half up so the mirror element stays positive.
+        first[0] += 1 - balance
+        balance = 1
+    second.append(balance)
+    sizes = first + second
+    rng.shuffle(sizes)
+    return PartitionInstance(tuple(int(size) for size in sizes))
+
+
+def random_instance(
+    count: int, rng: np.random.Generator, *, magnitude: int = 50
+) -> PartitionInstance:
+    """A Partition instance with no planted structure (may be yes or no)."""
+    if count % 2 != 0 or count < 2:
+        raise InvalidInstanceError("count must be even and at least 2")
+    sizes = tuple(int(rng.integers(1, magnitude + 1)) for _ in range(count))
+    return PartitionInstance(sizes)

@@ -1,0 +1,188 @@
+"""The Quadratic Assignment connection (Section 5.1 of the paper).
+
+Burkard et al.'s Koopmans–Beckmann QAP: given symmetric non-negative
+``c x c`` matrices ``A`` and ``B``, find a permutation ``pi`` maximizing
+``sum_{i,j} A[i][j] B[pi(i)][pi(j)]``.
+
+For ``m = 2`` and ``d = c`` (one cell per round), paging the cells in the
+permutation order ``pi`` (cell ``k`` paged in round ``pi(k)``) costs
+
+    EP = c - sum_{r=1}^{c-1} P(L_r) Q(L_r)
+       = c - sum_{k,l} p_k q_l (c - max(pi(k), pi(l)))
+
+because cell pair ``(k, l)`` contributes to every round from
+``max(pi(k), pi(l))`` through ``c - 1``.  Hence minimizing EP is the QAP with
+``A[k][l] = (p_k q_l + p_l q_k) / 2`` and ``B[r][s] = c - max(r, s)``
+(1-based rounds).  This module builds those matrices and cross-checks a
+brute-force QAP maximizer against the exact Conference Call solver.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.instance import Number, PagingInstance
+from ..core.strategy import Strategy
+from ..errors import InvalidInstanceError, SolverLimitError
+
+#: Largest cell count the brute-force QAP maximizer will enumerate (c!).
+MAX_QAP_CELLS = 9
+
+
+@dataclass(frozen=True)
+class QAPFormulation:
+    """The Koopmans–Beckmann matrices encoding a two-device instance."""
+
+    flow: Tuple[Tuple[Number, ...], ...]  # A (cell pair affinity)
+    distance: Tuple[Tuple[int, ...], ...]  # B (round pair value)
+    num_cells: int
+
+
+def formulate_qap(instance: PagingInstance) -> QAPFormulation:
+    """Build ``A`` and ``B`` for an ``m = 2`` instance with ``d = c``."""
+    if instance.num_devices != 2:
+        raise InvalidInstanceError("the QAP formulation applies to m = 2")
+    c = instance.num_cells
+    p_row, q_row = instance.rows
+    half = Fraction(1, 2) if instance.is_exact else 0.5
+    flow = tuple(
+        tuple(
+            (p_row[k] * q_row[l] + p_row[l] * q_row[k]) * half for l in range(c)
+        )
+        for k in range(c)
+    )
+    distance = tuple(
+        tuple(c - max(r, s) for s in range(1, c + 1)) for r in range(1, c + 1)
+    )
+    return QAPFormulation(flow=flow, distance=distance, num_cells=c)
+
+
+def qap_objective(
+    formulation: QAPFormulation, permutation: Sequence[int]
+) -> Number:
+    """``sum_{k,l} A[k][l] B[pi(k)][pi(l)]`` for a 0-based permutation."""
+    c = formulation.num_cells
+    total: Number = 0 * formulation.flow[0][0]
+    for k in range(c):
+        row = formulation.flow[k]
+        for l in range(c):
+            total = total + row[l] * formulation.distance[permutation[k]][permutation[l]]
+    return total
+
+
+def solve_qap_bruteforce(
+    formulation: QAPFormulation,
+) -> Tuple[Tuple[int, ...], Number]:
+    """The maximizing permutation by full enumeration (tiny instances)."""
+    c = formulation.num_cells
+    if c > MAX_QAP_CELLS:
+        raise SolverLimitError(f"brute-force QAP limited to {MAX_QAP_CELLS} cells")
+    best_value: Optional[Number] = None
+    best_pi: Optional[Tuple[int, ...]] = None
+    for pi in itertools.permutations(range(c)):
+        value = qap_objective(formulation, pi)
+        if best_value is None or value > best_value:
+            best_value = value
+            best_pi = pi
+    assert best_pi is not None and best_value is not None
+    return best_pi, best_value
+
+
+def strategy_from_permutation(permutation: Sequence[int]) -> Strategy:
+    """The one-cell-per-round strategy: cell ``k`` paged in round ``pi(k)``."""
+    c = len(permutation)
+    cells_by_round: List[Optional[int]] = [None] * c
+    for cell, round_index in enumerate(permutation):
+        if cells_by_round[round_index] is not None:
+            raise InvalidInstanceError("permutation has a repeated round")
+        cells_by_round[round_index] = cell
+    return Strategy([[cell] for cell in cells_by_round])  # type: ignore[list-item]
+
+
+def expected_paging_from_qap(
+    formulation: QAPFormulation, objective_value: Number
+) -> Number:
+    """``EP = c - objective``: translate a QAP value back to expected paging."""
+    return formulation.num_cells - objective_value
+
+
+# ----------------------------------------------------------------------
+# General d: "if d is constant then the reduction is polynomial time"
+# ----------------------------------------------------------------------
+def formulate_qap_for_sizes(
+    instance: PagingInstance, sizes: Sequence[int]
+) -> QAPFormulation:
+    """The Koopmans–Beckmann matrices for a FIXED group-size vector.
+
+    With group sizes ``(s_1..s_d)`` fixed, a strategy assigns cells to ``c``
+    slots: slots ``1..s_1`` form round 1, the next ``s_2`` round 2, etc.
+    Cell pair ``(k, l)`` contributes ``p_k q_l`` to every bonus term from
+    round ``max(round_k, round_l)`` onward, i.e. ``c - L(max round)`` where
+    ``L(r)`` is the cells paged through round ``r`` — a pure function of the
+    two slots.  Minimizing EP over strategies with these sizes is therefore
+    one QAP; minimizing over ALL strategies enumerates the ``O(c^{d-1})``
+    size vectors (polynomial for constant ``d``), the paper's §5.1 claim.
+    """
+    if instance.num_devices != 2:
+        raise InvalidInstanceError("the QAP formulation applies to m = 2")
+    c = instance.num_cells
+    if sum(sizes) != c or any(size < 1 for size in sizes):
+        raise InvalidInstanceError("sizes must be positive and sum to c")
+    p_row, q_row = instance.rows
+    half = Fraction(1, 2) if instance.is_exact else 0.5
+    flow = tuple(
+        tuple((p_row[k] * q_row[l] + p_row[l] * q_row[k]) * half for l in range(c))
+        for k in range(c)
+    )
+    # round_of_slot and L(round) from the size vector.
+    round_of_slot = []
+    paged_through = []
+    cumulative = 0
+    for round_index, size in enumerate(sizes):
+        cumulative += size
+        round_of_slot.extend([round_index] * size)
+        paged_through.append(cumulative)
+    distance = tuple(
+        tuple(
+            c - paged_through[max(round_of_slot[a], round_of_slot[b])]
+            for b in range(c)
+        )
+        for a in range(c)
+    )
+    return QAPFormulation(flow=flow, distance=distance, num_cells=c)
+
+
+def solve_via_qap(
+    instance: PagingInstance, *, max_rounds: Optional[int] = None
+) -> Tuple[Strategy, Number]:
+    """The §5.1 route: minimize EP over all size vectors, one QAP each.
+
+    Brute-force QAP inside (tiny instances only); exists to machine-check
+    the claim that the two-device problem reduces to QAP for every ``d``.
+    """
+    c = instance.num_cells
+    d = instance.max_rounds if max_rounds is None else int(max_rounds)
+    d = min(d, c)
+    if c > MAX_QAP_CELLS:
+        raise SolverLimitError(f"brute-force QAP limited to {MAX_QAP_CELLS} cells")
+    best_value: Optional[Number] = None
+    best_strategy: Optional[Strategy] = None
+    for cuts in itertools.combinations(range(1, c), d - 1):
+        bounds = (0,) + cuts + (c,)
+        sizes = tuple(bounds[i + 1] - bounds[i] for i in range(d))
+        formulation = formulate_qap_for_sizes(instance, sizes)
+        permutation, objective = solve_qap_bruteforce(formulation)
+        value = formulation.num_cells - objective
+        if best_value is None or value < best_value:
+            best_value = value
+            # permutation maps cell -> slot; slots map to rounds via sizes.
+            round_of_slot = []
+            for round_index, size in enumerate(sizes):
+                round_of_slot.extend([round_index] * size)
+            assignment = [round_of_slot[permutation[cell]] for cell in range(c)]
+            best_strategy = Strategy.from_assignment(assignment)
+    assert best_strategy is not None and best_value is not None
+    return best_strategy, best_value

@@ -1,0 +1,193 @@
+"""Reductions from partition-type problems to the Conference Call problem.
+
+Two probability gadgets from Section 3 of the paper:
+
+* **Lemma 3.2** (``m = 2, d = 2``): from Quasipartition1 sizes ``s_j`` build
+
+  - ``p_j = (1 - 3/(2c) + s_j/S) / (c - 1/2)``   (device 1)
+  - ``q_j = (1 - s_j/S) / (c - 1)``              (device 2)
+
+  The expected paging of paging ``I`` first is
+  ``c - f(x, y) / ((c - 1/2)(c - 1))`` with ``x`` the mass fraction and ``y``
+  the cardinality of ``I`` and ``f`` from Lemma 3.1, so the minimum equals
+  ``LB = c - f(1/2, 2c/3)/((c-1/2)(c-1))`` exactly when a quasipartition
+  exists.
+
+* **Lemma 3.5** (general fixed ``m >= 2, d >= 2``): from Multipartition sizes
+  build
+
+  - ``p_j = (1 - 1/c + s_j/S) / c``              (device 1)
+  - ``q_j = (1 - s_j/S) / (c - 1)``              (device 2)
+  - ``m - 2`` devices uniform on the cells.
+
+  A strategy with prefix cardinalities ``y_r`` and prefix masses ``X_r`` pays
+  ``c - (1/(c(c-1))) sum_r i_{r+1} ((1-1/c) y_r + X_r)(y_r - X_r)(y_r/c)^{m-2}``
+  which by Lemma 3.4 is minimized — at
+  ``LB = c - (2c-1)^2/(4(c-1)c^{m+1}) * sum_r (b_{r+1}-b_r) b_r^m`` — exactly
+  when the groups realize the Multipartition cardinalities and masses.
+
+Also here: the Section 5 remark lifting a ``(c, 2, d)`` instance into a
+``(c+1, m, d+1)`` instance by parking ``m - 2`` devices on an extra cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence, Tuple
+
+from ..core.bounds import b_sequence, lemma32_lower_bound
+from ..core.instance import PagingInstance
+from ..core.strategy import Strategy
+from ..errors import InvalidInstanceError
+from .multipartition import MultipartitionParameters, multipartition_parameters
+
+
+@dataclass(frozen=True)
+class ConferenceCallReduction:
+    """A Conference Call instance whose optimum encodes a partition question."""
+
+    instance: PagingInstance
+    sizes: Tuple[Fraction, ...]
+    lower_bound: Fraction
+
+    def witness_from_strategy(self, strategy: Strategy) -> Tuple[int, ...]:
+        """The candidate subset: the cells paged in the first round."""
+        return tuple(sorted(strategy.group(0)))
+
+
+def reduce_quasipartition1_to_conference_call(
+    sizes: Sequence[Fraction],
+) -> ConferenceCallReduction:
+    """The Lemma 3.2 gadget (``m = 2, d = 2``).
+
+    Requires ``c`` divisible by 3 and every ``s_i < S`` (otherwise no
+    quasipartition exists and the reduction is vacuous, per the proof).
+    """
+    sizes = tuple(Fraction(size) for size in sizes)
+    c = len(sizes)
+    if c % 3 != 0 or c < 3:
+        raise InvalidInstanceError("Quasipartition1 needs c >= 3 divisible by 3")
+    total = sum(sizes)
+    if total <= 0 or any(size >= total for size in sizes):
+        raise InvalidInstanceError(
+            "the gadget requires every size strictly below the total"
+        )
+    half_over_c = Fraction(3, 2) / c
+    p_row = [(1 - half_over_c + size / total) / (c - Fraction(1, 2)) for size in sizes]
+    q_row = [(1 - size / total) / (c - 1) for size in sizes]
+    instance = PagingInstance([p_row, q_row], max_rounds=2)
+    return ConferenceCallReduction(
+        instance=instance, sizes=sizes, lower_bound=lemma32_lower_bound(c)
+    )
+
+
+def lemma35_lower_bound(num_devices: int, num_rounds: int, num_cells: int) -> Fraction:
+    """``c - (2c-1)^2/(4(c-1)c^{m+1}) * sum_r (b_{r+1}-b_r) b_r^m`` exactly."""
+    m, d = num_devices, num_rounds
+    c = Fraction(num_cells)
+    bs = b_sequence(m, d, c, exact=True)
+    inner = sum((bs[r + 1] - bs[r]) * bs[r] ** m for r in range(1, d))
+    return c - (2 * c - 1) ** 2 / (4 * (c - 1) * c ** (m + 1)) * inner
+
+
+def reduce_multipartition_to_conference_call(
+    sizes: Sequence[Fraction],
+    num_devices: int,
+    num_rounds: int,
+) -> ConferenceCallReduction:
+    """The Lemma 3.5 gadget for fixed ``m >= 2, d >= 2``."""
+    m, d = num_devices, num_rounds
+    if m < 2 or d < 2:
+        raise InvalidInstanceError("the gadget requires m >= 2 and d >= 2")
+    sizes = tuple(Fraction(size) for size in sizes)
+    c = len(sizes)
+    parameters = multipartition_parameters(m, d)
+    if c % parameters.scale != 0 or c == 0:
+        raise InvalidInstanceError(
+            f"instance length {c} must be a positive multiple of M = {parameters.scale}"
+        )
+    total = sum(sizes)
+    if total <= 0 or any(size >= total for size in sizes):
+        raise InvalidInstanceError(
+            "the gadget requires every size strictly below the total"
+        )
+    p_row = [(1 - Fraction(1, c) + size / total) / c for size in sizes]
+    q_row = [(1 - size / total) / (c - 1) for size in sizes]
+    rows = [p_row, q_row]
+    uniform = [Fraction(1, c)] * c
+    rows.extend([uniform] * (m - 2))
+    instance = PagingInstance(rows, max_rounds=d)
+    return ConferenceCallReduction(
+        instance=instance,
+        sizes=sizes,
+        lower_bound=lemma35_lower_bound(m, d, c),
+    )
+
+
+def gadget_expected_paging(
+    reduction: ConferenceCallReduction, strategy: Strategy
+) -> Fraction:
+    """Expected paging of a strategy on the gadget (exact, via Lemma 2.1)."""
+    from ..core.expected_paging import expected_paging
+
+    return expected_paging(reduction.instance, strategy)  # type: ignore[return-value]
+
+
+def multipartition_witness_from_strategy(
+    parameters: MultipartitionParameters, strategy: Strategy
+) -> Tuple[Tuple[int, ...], ...]:
+    """Read the Multipartition witness off an optimal gadget strategy."""
+    return tuple(tuple(sorted(group)) for group in strategy.groups)
+
+
+# ----------------------------------------------------------------------
+# Section 5 remark: (c, 2, d) -> (c + 1, m, d + 1)
+# ----------------------------------------------------------------------
+def lift_two_device_instance(
+    instance: PagingInstance,
+    num_devices: int,
+    attraction: Fraction = None,
+) -> PagingInstance:
+    """Solve ``(c, 2, d)`` via ``(c + 1, m, d + 1)``: the Section 5 remark.
+
+    Appends one extra cell.  The ``m - 2`` new devices sit on it with
+    probability ``attraction`` (spread uniformly elsewhere), and the original
+    two devices move mass ``attraction`` onto it (scaling their old rows by
+    ``1 - attraction``).  For ``attraction >= 1 - 1/c^2`` an optimal lifted
+    strategy pages only the extra cell in round one and then follows an
+    optimal strategy of the original instance.
+    """
+    if instance.num_devices != 2:
+        raise InvalidInstanceError("lifting starts from a two-device instance")
+    c = instance.num_cells
+    if num_devices < 2:
+        raise InvalidInstanceError("need m >= 2 devices after lifting")
+    if attraction is None:
+        attraction = 1 - Fraction(1, c**2) / 2
+    if not 0 < attraction < 1:
+        raise InvalidInstanceError("attraction must lie strictly between 0 and 1")
+    a = Fraction(attraction)
+    rows = []
+    for row in instance.rows:
+        rows.append([Fraction(p) * (1 - a) for p in row] + [a])
+    leftover = (1 - a) / c
+    for _ in range(num_devices - 2):
+        rows.append([leftover] * c + [a])
+    return PagingInstance(rows, max_rounds=instance.max_rounds + 1)
+
+
+def unlift_strategy(strategy: Strategy, num_cells: int) -> Strategy:
+    """Drop the extra cell/round from a lifted strategy.
+
+    Expects the first group to be exactly the extra cell (index ``c``); the
+    remaining groups then form a strategy of the original instance.
+    """
+    extra = num_cells  # the appended cell's index
+    first = strategy.group(0)
+    if first != frozenset({extra}):
+        raise InvalidInstanceError(
+            "lifted strategy does not page the extra cell alone first; "
+            f"first group is {sorted(first)}"
+        )
+    return Strategy([sorted(group) for group in strategy.groups[1:]])

@@ -1,0 +1,76 @@
+"""Unit tests for the convexity-lemma verifications."""
+
+import pytest
+
+from repro.analysis import (
+    alpha_monotonicity,
+    grid_check_lemma31,
+    grid_check_lemma34,
+    lemma31_stationarity_residual,
+    lemma34_claimed_chain,
+    refine_lemma31_with_scipy,
+    refine_lemma34_with_scipy,
+)
+from repro.core import b_sequence, lemma34_objective
+
+
+class TestLemma31:
+    @pytest.mark.parametrize("c", [3, 6, 9, 15])
+    def test_grid_never_beats_claim(self, c):
+        check = grid_check_lemma31(c, grid=120)
+        assert check.claim_holds
+        assert check.claimed_value >= check.best_found_value - 1e-9
+
+    def test_grid_best_near_claimed_point(self):
+        check = grid_check_lemma31(9, grid=300)
+        assert check.best_found_point[0] == pytest.approx(0.5, abs=0.02)
+        assert check.best_found_point[1] == pytest.approx(6.0, abs=0.1)
+
+    @pytest.mark.parametrize("c", [3, 9])
+    def test_gradient_vanishes(self, c):
+        gx, gy = lemma31_stationarity_residual(c)
+        assert abs(gx) < 1e-3
+        assert abs(gy) < 1e-3
+
+    def test_scipy_refinement_confirms(self):
+        check = refine_lemma31_with_scipy(9)
+        if check is None:
+            pytest.skip("scipy unavailable")
+        assert check.claim_holds
+        assert check.best_found_point[0] == pytest.approx(0.5, abs=1e-4)
+        assert check.best_found_point[1] == pytest.approx(6.0, abs=1e-3)
+
+
+class TestLemma34:
+    @pytest.mark.parametrize("m,d,c", [(2, 2, 9.0), (2, 3, 12.0), (3, 4, 20.0)])
+    def test_random_chains_never_beat_claim(self, m, d, c):
+        check = grid_check_lemma34(m, d, c, samples=30_000)
+        assert check.claim_holds
+
+    def test_claimed_chain_matches_b_sequence(self):
+        chain = lemma34_claimed_chain(2, 3, 12.0)
+        bs = b_sequence(2, 3, 12.0)
+        assert chain == pytest.approx(tuple(bs[1:]))
+
+    def test_scipy_refinement_confirms(self):
+        check = refine_lemma34_with_scipy(2, 3, 12.0)
+        if check is None:
+            pytest.skip("scipy unavailable")
+        assert check.claim_holds
+        assert check.best_found_value == pytest.approx(check.claimed_value, rel=1e-6)
+
+    def test_perturbing_claimed_chain_hurts(self):
+        m, d, c = 3, 3, 12.0
+        chain = list(lemma34_claimed_chain(m, d, c))
+        base = lemma34_objective(chain, m)
+        for index in range(d - 1):
+            for delta in (-0.05, 0.05):
+                perturbed = list(chain)
+                perturbed[index] += delta
+                assert lemma34_objective(perturbed, m) < base
+
+
+class TestAlphaMonotonicity:
+    @pytest.mark.parametrize("m,d", [(2, 3), (2, 6), (3, 4), (5, 5)])
+    def test_holds(self, m, d):
+        assert alpha_monotonicity(m, d)

@@ -1,0 +1,76 @@
+"""Unit tests for the Section 4 inequality checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    E_FACTOR,
+    check_lemma44,
+    check_lemma45,
+    check_proposition41,
+    check_proposition42,
+    lemma45_margin,
+    proposition42_margin,
+)
+
+
+class TestProposition41:
+    def test_holds_over_samples(self):
+        check = check_proposition41(samples=20_000)
+        assert check.holds
+        assert check.samples > 0
+
+    def test_tight_at_boundary(self):
+        """(a1, a2, b) = (x-1, 1, 0) makes the bound exact."""
+        x = 1.5
+        product = (x - 1 + 0) * (1 + 0)
+        assert product == pytest.approx(x - 1)
+
+
+class TestLemma44:
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_holds(self, m):
+        check = check_lemma44(m, samples=15_000)
+        assert check.holds
+
+    def test_rejects_m_below_two(self):
+        with pytest.raises(ValueError):
+            check_lemma44(1)
+
+    def test_tight_configuration(self):
+        """All pairs at 1 except one at x - m + 1: product = x - m + 1."""
+        m, x = 3, 2.4
+        values = [1.0] * (m - 1) + [x - m + 1]
+        assert np.prod(values) == pytest.approx(x - m + 1)
+
+
+class TestProposition42:
+    def test_holds_on_grid(self):
+        check = check_proposition42(num_cells=10.0, grid=200)
+        assert check.holds
+
+    def test_margin_zero_at_tight_point(self):
+        """x = 1, s = c is an equality case of the proof."""
+        c = 10.0
+        assert proposition42_margin(c, 1.0, c) == pytest.approx(0.0)
+
+    def test_margin_zero_at_x_two_s_c(self):
+        c = 10.0
+        assert proposition42_margin(c, 2.0, c) == pytest.approx(0.0)
+
+
+class TestLemma45:
+    @pytest.mark.parametrize("m,d", [(2, 2), (2, 4), (3, 3)])
+    def test_holds(self, m, d):
+        check = check_lemma45(m, d, samples=5_000)
+        assert check.holds
+
+    def test_margin_zero_at_all_m_corner(self):
+        """x_r = m for all r with s-sum = c is the equality case."""
+        m, c = 2, 10.0
+        sizes = (4.0, 6.0)  # s_2 + s_3 = c, k = d - 1 = 2
+        margin = lemma45_margin((float(m), float(m)), sizes, m, c)
+        assert margin == pytest.approx(0.0, abs=1e-9)
+
+    def test_factor_constant(self):
+        assert E_FACTOR == pytest.approx(1.5819767, abs=1e-6)

@@ -1,0 +1,79 @@
+"""Unit tests for the approximation-ratio harness."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    RatioSample,
+    RatioSummary,
+    compare_strategies,
+    measure_ratio,
+    measure_special_case_ratio,
+    ratio_sweep_summary,
+    sweep_ratios,
+)
+from repro.core import Strategy, lower_bound_instance
+from tests.conftest import random_instance
+
+
+class TestRatioSample:
+    def test_ratio_computation(self):
+        sample = RatioSample(6.0, 4.0, 2, 8, 2)
+        assert sample.ratio == pytest.approx(1.5)
+
+    def test_zero_optimal_guard(self):
+        sample = RatioSample(0.0, 0.0, 1, 1, 1)
+        assert sample.ratio == 1.0
+
+
+class TestMeasure:
+    def test_gadget_ratio(self):
+        sample = measure_ratio(lower_bound_instance())
+        assert sample.ratio == pytest.approx(320 / 317)
+
+    def test_special_case_measure(self):
+        sample = measure_special_case_ratio(lower_bound_instance())
+        assert sample.ratio == pytest.approx(320 / 317)
+
+    def test_ratio_at_least_one(self, rng):
+        for _ in range(5):
+            sample = measure_ratio(random_instance(rng, num_cells=6))
+            assert sample.ratio >= 1.0 - 1e-9
+
+
+class TestSweep:
+    def factory(self, generator):
+        return random_instance(generator, num_devices=2, num_cells=6, max_rounds=2)
+
+    def test_sweep_counts(self, rng):
+        samples = sweep_ratios(self.factory, trials=7, rng=rng)
+        assert len(samples) == 7
+
+    def test_summary_statistics(self, rng):
+        summary = ratio_sweep_summary(self.factory, trials=10, rng=rng)
+        assert summary.count == 10
+        assert 1.0 <= summary.mean_ratio <= summary.max_ratio
+        assert summary.max_ratio <= math.e / (math.e - 1) + 1e-9
+        assert summary.worst_sample is not None
+
+    def test_empty_summary(self):
+        summary = RatioSummary.from_samples([])
+        assert summary.count == 0
+        assert summary.worst_sample is None
+
+
+class TestCompareStrategies:
+    def test_sorted_by_value(self, rng):
+        instance = random_instance(rng, num_cells=4, max_rounds=2)
+        pairs = compare_strategies(
+            instance,
+            [
+                ("blanket", Strategy.single_round(4)),
+                ("split", Strategy.from_order_and_sizes((0, 1, 2, 3), (2, 2))),
+            ],
+        )
+        values = [value for _label, value in pairs]
+        assert values == sorted(values)
+        assert pairs[0][0] == "split"  # splitting always beats blanket here

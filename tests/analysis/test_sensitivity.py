@@ -1,0 +1,82 @@
+"""Unit tests for the movement-sensitivity analysis (E21)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    measure_movement_sensitivity,
+    simulate_search_with_movement,
+)
+from repro.core import conference_call_heuristic, expected_paging_float
+from tests.conftest import random_instance
+
+
+class TestSimulation:
+    def test_zero_mobility_matches_stationary_model(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=8, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        result = measure_movement_sensitivity(
+            instance, plan.strategy, 0.0, trials=8_000, rng=rng
+        )
+        assert result.miss_rate == 0.0
+        assert result.mean_cells_paged == pytest.approx(
+            expected_paging_float(instance, plan.strategy), abs=0.15
+        )
+        assert result.cost_inflation == pytest.approx(1.0, abs=0.05)
+
+    def test_high_mobility_causes_misses(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=8, max_rounds=5)
+        plan = conference_call_heuristic(instance)
+        result = measure_movement_sensitivity(
+            instance, plan.strategy, 0.5, trials=3_000, rng=rng
+        )
+        assert result.miss_rate > 0.0
+        assert result.cost_inflation > 1.0
+
+    def test_single_round_immune_to_movement(self, rng):
+        """d = 1 pages everything at once: no movement window exists."""
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=1)
+        plan = conference_call_heuristic(instance)
+        result = measure_movement_sensitivity(
+            instance, plan.strategy, 0.9, trials=1_000, rng=rng
+        )
+        assert result.miss_rate == 0.0
+        assert result.mean_cells_paged == 6.0
+
+    def test_neighbor_constrained_movement(self, rng):
+        """Graph-constrained movement is gentler than teleportation."""
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=4)
+        plan = conference_call_heuristic(instance)
+        line_neighbors = [
+            [j for j in (i - 1, i + 1) if 0 <= j < 6] for i in range(6)
+        ]
+        constrained = measure_movement_sensitivity(
+            instance,
+            plan.strategy,
+            0.4,
+            trials=4_000,
+            rng=np.random.default_rng(1),
+            neighbors=line_neighbors,
+        )
+        free = measure_movement_sensitivity(
+            instance, plan.strategy, 0.4, trials=4_000, rng=np.random.default_rng(1)
+        )
+        assert constrained.trials == free.trials
+        assert constrained.miss_rate >= 0.0
+
+    def test_single_search_outputs(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        cost, missed = simulate_search_with_movement(
+            instance, plan.strategy, 0.0, rng
+        )
+        assert not missed
+        assert 1 <= cost <= 6
+
+    def test_rejects_zero_trials(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        with pytest.raises(ValueError):
+            measure_movement_sensitivity(
+                instance, plan.strategy, 0.1, trials=0, rng=rng
+            )

@@ -1,0 +1,81 @@
+"""Unit tests for call arrivals and link-usage metrics."""
+
+import pytest
+
+from repro.cellnet import CallRecord, LinkUsageMetrics, PoissonConferenceCalls
+from repro.errors import SimulationError
+
+
+class TestArrivals:
+    def test_rate_zero_never_arrives(self, rng):
+        process = PoissonConferenceCalls(0.0, 5)
+        assert all(
+            process.maybe_arrival(t, rng) is None for t in range(200)
+        )
+
+    def test_rate_one_always_arrives(self, rng):
+        process = PoissonConferenceCalls(1.0, 5)
+        request = process.maybe_arrival(3, rng)
+        assert request is not None
+        assert request.time == 3
+
+    def test_participants_distinct_and_in_range(self, rng):
+        process = PoissonConferenceCalls(1.0, 6)
+        for t in range(100):
+            request = process.maybe_arrival(t, rng)
+            assert len(set(request.participants)) == request.size
+            assert all(0 <= device < 6 for device in request.participants)
+            assert request.size >= 2
+
+    def test_size_weights_respected(self, rng):
+        process = PoissonConferenceCalls(1.0, 8, size_weights=(1.0,))
+        sizes = {process.maybe_arrival(t, rng).size for t in range(50)}
+        assert sizes == {2}
+
+    def test_size_capped_by_device_pool(self, rng):
+        process = PoissonConferenceCalls(1.0, 3, size_weights=(1, 1, 1, 1))
+        sizes = {process.maybe_arrival(t, rng).size for t in range(100)}
+        assert max(sizes) <= 3
+
+    def test_schedule_rate_statistics(self, rng):
+        process = PoissonConferenceCalls(0.2, 4)
+        schedule = process.sample_schedule(3_000, rng)
+        assert 0.15 < len(schedule) / 3_000 < 0.25
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            PoissonConferenceCalls(1.5, 5)
+        with pytest.raises(SimulationError):
+            PoissonConferenceCalls(0.1, 1)
+        with pytest.raises(SimulationError):
+            PoissonConferenceCalls(0.1, 5, size_weights=(0.0,))
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        metrics = LinkUsageMetrics()
+        metrics.record_report()
+        metrics.record_report()
+        metrics.record_registration()
+        metrics.record_call(CallRecord(1, 2, cells_paged=7, rounds_used=2, used_fallback=False))
+        metrics.record_call(CallRecord(2, 3, cells_paged=5, rounds_used=1, used_fallback=True))
+        assert metrics.report_messages == 2
+        assert metrics.registration_messages == 1
+        assert metrics.calls_handled == 2
+        assert metrics.cells_paged == 12
+        assert metrics.fallback_searches == 1
+        assert metrics.rounds_histogram == {2: 1, 1: 1}
+
+    def test_derived_quantities(self):
+        metrics = LinkUsageMetrics()
+        metrics.record_report()
+        metrics.record_call(CallRecord(1, 2, cells_paged=6, rounds_used=3, used_fallback=False))
+        assert metrics.mean_cells_per_call == 6.0
+        assert metrics.mean_rounds_per_call == 3.0
+        assert metrics.total_wireless_messages == 7
+
+    def test_empty_metrics_safe(self):
+        metrics = LinkUsageMetrics()
+        assert metrics.mean_cells_per_call == 0.0
+        assert metrics.mean_rounds_per_call == 0.0
+        assert metrics.summary()["calls"] == 0.0

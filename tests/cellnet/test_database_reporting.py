@@ -1,0 +1,102 @@
+"""Unit tests for the location registry and reporting policies."""
+
+import pytest
+
+from repro.cellnet import (
+    AlwaysReport,
+    CellTopology,
+    DistanceReport,
+    LACrossingReport,
+    LocationAreaPlan,
+    LocationRegistry,
+    MoveContext,
+    NeverReport,
+    TimerReport,
+)
+from repro.errors import SimulationError
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = LocationRegistry()
+        registry.register(0, area=1, cell=5, time=0)
+        record = registry.lookup(0)
+        assert record.reported_area == 1
+        assert record.reported_cell == 5
+        assert record.confirmed_cell is None
+
+    def test_report_updates_belief(self):
+        registry = LocationRegistry()
+        registry.register(0, area=0, cell=0, time=0)
+        registry.report(0, area=2, cell=9, time=5)
+        record = registry.lookup(0)
+        assert record.reported_area == 2
+        assert record.updated_at == 5
+        assert registry.updates_processed == 1
+
+    def test_confirmation_cycle(self):
+        registry = LocationRegistry()
+        registry.register(0, area=0, cell=0, time=0)
+        registry.confirm(0, cell=3, area=1, time=2)
+        assert registry.lookup(0).confirmed_cell == 3
+        registry.invalidate_confirmation(0)
+        assert registry.lookup(0).confirmed_cell is None
+
+    def test_unknown_device_rejected(self):
+        registry = LocationRegistry()
+        with pytest.raises(SimulationError, match="registered"):
+            registry.lookup(9)
+
+    def test_known_devices_sorted(self):
+        registry = LocationRegistry()
+        registry.register(3, 0, 0, 0)
+        registry.register(1, 0, 0, 0)
+        assert registry.known_devices() == (1, 3)
+
+
+def move(old, new, *, last=None, steps=1, time=1):
+    return MoveContext(
+        device=0,
+        old_cell=old,
+        new_cell=new,
+        time=time,
+        last_reported_cell=last,
+        steps_since_report=steps,
+    )
+
+
+class TestPolicies:
+    def test_never(self):
+        assert not NeverReport().should_report(move(0, 5))
+
+    def test_always(self):
+        policy = AlwaysReport()
+        assert policy.should_report(move(0, 1))
+        assert not policy.should_report(move(2, 2))
+
+    def test_la_crossing(self):
+        plan = LocationAreaPlan([[0, 1], [2, 3]], 4)
+        policy = LACrossingReport(plan)
+        assert policy.should_report(move(1, 2))
+        assert not policy.should_report(move(0, 1))
+
+    def test_distance(self):
+        topology = CellTopology.line(6)
+        policy = DistanceReport(topology, threshold=2)
+        assert not policy.should_report(move(0, 1, last=0))
+        assert policy.should_report(move(1, 2, last=0))
+        assert policy.should_report(move(0, 1, last=None))  # never reported yet
+
+    def test_distance_rejects_bad_threshold(self):
+        topology = CellTopology.line(3)
+        with pytest.raises(SimulationError):
+            DistanceReport(topology, threshold=0)
+
+    def test_timer(self):
+        policy = TimerReport(period=5)
+        assert not policy.should_report(move(0, 1, steps=4))
+        assert policy.should_report(move(0, 1, steps=5))
+
+    def test_timer_rejects_bad_period(self):
+        with pytest.raises(SimulationError):
+            TimerReport(period=0)

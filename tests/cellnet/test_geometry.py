@@ -1,0 +1,67 @@
+"""Unit tests for hexagonal geometry."""
+
+import pytest
+
+from repro.cellnet import Hex, hex_disk, hex_rectangle, ring
+
+
+class TestHex:
+    def test_cube_coordinate_invariant(self):
+        position = Hex(2, -1)
+        assert position.q + position.r + position.s == 0
+
+    def test_six_neighbors(self):
+        neighbors = Hex(0, 0).neighbors()
+        assert len(set(neighbors)) == 6
+        assert all(Hex(0, 0).distance(n) == 1 for n in neighbors)
+
+    def test_distance_symmetry(self):
+        a, b = Hex(0, 0), Hex(3, -2)
+        assert a.distance(b) == b.distance(a) == 3
+
+    def test_distance_triangle_inequality(self):
+        a, b, c = Hex(0, 0), Hex(2, 1), Hex(-1, 3)
+        assert a.distance(c) <= a.distance(b) + b.distance(c)
+
+    def test_cartesian_positions_distinct(self):
+        points = {h.to_cartesian() for h in hex_disk(2)}
+        assert len(points) == len(hex_disk(2))
+
+
+class TestDisk:
+    @pytest.mark.parametrize("radius,expected", [(0, 1), (1, 7), (2, 19), (3, 37)])
+    def test_disk_size_formula(self, radius, expected):
+        assert len(hex_disk(radius)) == expected
+
+    def test_disk_within_radius(self):
+        center = Hex(0, 0)
+        for cell in hex_disk(2):
+            assert center.distance(cell) <= 2
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            hex_disk(-1)
+
+
+class TestRectangle:
+    def test_size(self):
+        assert len(hex_rectangle(3, 4)) == 12
+
+    def test_unique_positions(self):
+        cells = hex_rectangle(4, 5)
+        assert len(set(cells)) == 20
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            hex_rectangle(0, 3)
+
+
+class TestRing:
+    def test_ring_zero_is_center(self):
+        assert list(ring(Hex(0, 0), 0)) == [Hex(0, 0)]
+
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_ring_size_and_distance(self, radius):
+        cells = list(ring(Hex(0, 0), radius))
+        assert len(cells) == 6 * radius
+        assert all(Hex(0, 0).distance(cell) == radius for cell in cells)

@@ -1,0 +1,94 @@
+"""Unit tests for mobility models."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet import (
+    CellTopology,
+    GravityMobility,
+    RandomWalk,
+    RandomWaypoint,
+    generate_trace,
+    stationary_distribution,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def topology():
+    return CellTopology.hexagonal_disk(2)
+
+
+class TestRandomWalk:
+    def test_steps_stay_adjacent(self, topology, rng):
+        model = RandomWalk(topology, stay_probability=0.2)
+        cell = 0
+        for _ in range(100):
+            nxt = model.step(cell, rng)
+            assert nxt == cell or nxt in topology.neighbors(cell)
+            cell = nxt
+
+    def test_stay_probability_observed(self, topology, rng):
+        model = RandomWalk(topology, stay_probability=0.8)
+        stays = sum(1 for _ in range(2_000) if model.step(5, rng) == 5)
+        assert 0.74 < stays / 2_000 < 0.86
+
+    def test_rejects_bad_probability(self, topology):
+        with pytest.raises(SimulationError):
+            RandomWalk(topology, stay_probability=1.0)
+
+
+class TestRandomWaypoint:
+    def test_steps_stay_adjacent_or_pause(self, topology, rng):
+        model = RandomWaypoint(topology, pause_probability=0.3)
+        cell = 0
+        for _ in range(200):
+            nxt = model.step(cell, rng)
+            assert nxt == cell or nxt in topology.neighbors(cell)
+            cell = nxt
+
+    def test_reaches_far_cells(self, topology, rng):
+        model = RandomWaypoint(topology, pause_probability=0.0)
+        visited = set(generate_trace(model, 0, 400, rng))
+        assert len(visited) > topology.num_cells // 2
+
+    def test_rejects_bad_pause(self, topology):
+        with pytest.raises(SimulationError):
+            RandomWaypoint(topology, pause_probability=-0.1)
+
+
+class TestGravity:
+    def test_biases_toward_attractive_cells(self, topology, rng):
+        attraction = np.ones(topology.num_cells)
+        attraction[7] = 60.0
+        model = GravityMobility(topology, attraction)
+        occupancy = stationary_distribution(
+            model, topology, samples=4_000, rng=rng
+        )
+        assert occupancy[7] == max(occupancy)
+
+    def test_rejects_wrong_length(self, topology):
+        with pytest.raises(SimulationError, match="per cell"):
+            GravityMobility(topology, [1.0, 2.0])
+
+    def test_rejects_non_positive_weights(self, topology):
+        with pytest.raises(SimulationError, match="positive"):
+            GravityMobility(topology, [0.0] * topology.num_cells)
+
+
+class TestTraces:
+    def test_trace_length(self, topology, rng):
+        model = RandomWalk(topology)
+        trace = generate_trace(model, 3, 50, rng)
+        assert len(trace) == 51
+        assert trace[0] == 3
+
+    def test_rejects_negative_steps(self, topology, rng):
+        with pytest.raises(SimulationError):
+            generate_trace(RandomWalk(topology), 0, -1, rng)
+
+    def test_stationary_distribution_normalized(self, topology, rng):
+        model = RandomWalk(topology)
+        occupancy = stationary_distribution(model, topology, samples=2_000, rng=rng)
+        assert occupancy.sum() == pytest.approx(1.0)
+        assert len(occupancy) == topology.num_cells

@@ -1,0 +1,63 @@
+"""Unit tests for location-area dimensioning."""
+
+import pytest
+
+from repro.cellnet import (
+    AreaSweepPoint,
+    best_operating_point,
+    sweep_location_area_sizes,
+)
+from repro.errors import SimulationError
+
+
+class TestSweep:
+    def test_returns_one_point_per_count(self):
+        points = sweep_location_area_sizes(
+            radius=2, area_counts=(1, 3), horizon=120, seed=5
+        )
+        assert [point.num_areas for point in points] == [1, 3]
+
+    def test_single_area_never_reports(self):
+        (point,) = sweep_location_area_sizes(
+            radius=2, area_counts=(1,), horizon=120, seed=5
+        )
+        assert point.reports == 0
+        assert point.mean_area_size == 19.0
+
+    def test_more_areas_more_reports(self):
+        points = sweep_location_area_sizes(
+            radius=2, area_counts=(2, 8), horizon=150, seed=5
+        )
+        assert points[1].reports > points[0].reports
+
+    def test_heuristic_pages_fewer_cells_than_blanket(self):
+        blanket = sweep_location_area_sizes(
+            radius=2, area_counts=(2,), horizon=150, pager="blanket", seed=5
+        )[0]
+        heuristic = sweep_location_area_sizes(
+            radius=2, area_counts=(2,), horizon=150, pager="heuristic", seed=5
+        )[0]
+        assert heuristic.cells_paged <= blanket.cells_paged
+        assert heuristic.reports == blanket.reports  # same mobility stream
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(SimulationError):
+            sweep_location_area_sizes(area_counts=())
+
+    def test_rejects_oversized_count(self):
+        with pytest.raises(SimulationError, match="cannot split"):
+            sweep_location_area_sizes(radius=1, area_counts=(99,), horizon=50)
+
+
+class TestBestPoint:
+    def test_picks_minimum(self):
+        points = [
+            AreaSweepPoint(1, 19.0, 0, 900, 900, 30),
+            AreaSweepPoint(4, 4.75, 300, 400, 700, 30),
+            AreaSweepPoint(16, 1.2, 800, 100, 900, 30),
+        ]
+        assert best_operating_point(points).num_areas == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            best_operating_point([])

@@ -1,0 +1,72 @@
+"""Unit tests for the ASCII renderer."""
+
+import numpy as np
+
+from repro.cellnet import (
+    CellTopology,
+    LocationAreaPlan,
+    render_cell_map,
+    render_location_areas,
+    render_strategy,
+    strategy_summary,
+)
+from repro.core import PagingInstance, Strategy, conference_call_heuristic
+
+
+class TestCellMap:
+    def test_every_cell_rendered_once(self):
+        topology = CellTopology.hexagonal_disk(2)
+        labels = {cell: "X" for cell in range(topology.num_cells)}
+        output = render_cell_map(topology, labels)
+        assert output.count("X") == topology.num_cells
+
+    def test_legend_appended(self):
+        topology = CellTopology.hexagonal_disk(1)
+        output = render_cell_map(topology, {0: "A"}, legend="the legend")
+        assert output.endswith("the legend")
+
+    def test_non_geometric_fallback(self):
+        topology = CellTopology.ring(4)
+        output = render_cell_map(topology, {cell: "R" for cell in range(4)})
+        assert "cell 0 [R]" in output
+        assert "--" in output  # adjacency listing
+
+
+class TestLocationAreaView:
+    def test_symbols_match_plan(self):
+        topology = CellTopology.hexagonal_disk(2)
+        plan = LocationAreaPlan.by_bfs(topology, 3)
+        output = render_location_areas(topology, plan)
+        for area in range(plan.num_areas):
+            symbol = "0123456789"[area]
+            assert output.count(symbol) == len(plan.cells_of(area))
+
+
+class TestStrategyView:
+    def test_round_symbols_cover_cells(self):
+        topology = CellTopology.hexagonal_disk(2)
+        rng = np.random.default_rng(1)
+        matrix = rng.dirichlet(np.ones(topology.num_cells), size=2)
+        instance = PagingInstance.from_array(matrix, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        output = render_strategy(topology, plan.strategy)
+        for round_index, group in enumerate(plan.strategy.groups, start=1):
+            assert output.count(str(round_index)) == len(group)
+
+    def test_sub_instance_mapping(self):
+        topology = CellTopology.hexagonal_disk(2)
+        strategy = Strategy([[0], [1, 2]])
+        output = render_strategy(topology, strategy, cell_order=(5, 9, 11))
+        map_only = "\n".join(
+            line for line in output.splitlines() if not line.startswith("legend")
+        )
+        # Cells outside the plan render as dots.
+        assert map_only.count(".") == topology.num_cells - 3
+        assert map_only.count("1") == 1
+        assert map_only.count("2") == 2
+
+    def test_summary_lines(self):
+        strategy = Strategy([[0, 2], [1]])
+        text = strategy_summary(strategy)
+        assert "round 1 (2 cells): 0, 2" in text
+        assert "round 2 (1 cells): 1" in text

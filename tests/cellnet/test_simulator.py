@@ -1,0 +1,205 @@
+"""Unit and behavior tests for the cellular simulator."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet import (
+    CellTopology,
+    CellularSimulator,
+    LocationAreaPlan,
+    RandomWalk,
+    SimulationConfig,
+)
+from repro.errors import SimulationError
+
+
+def build_simulator(pager="heuristic", reporting="la", seed=11, **config_overrides):
+    rng = np.random.default_rng(seed)
+    topology = CellTopology.hexagonal_disk(2)
+    plan = LocationAreaPlan.by_bfs(topology, 3)
+    models = [RandomWalk(topology, stay_probability=0.3) for _ in range(4)]
+    config = SimulationConfig(
+        horizon=config_overrides.pop("horizon", 200),
+        call_rate=config_overrides.pop("call_rate", 0.1),
+        max_paging_rounds=3,
+        reporting=reporting,
+        pager=pager,
+        **config_overrides,
+    )
+    return CellularSimulator(topology, plan, models, config, rng=rng)
+
+
+class TestConfig:
+    def test_rejects_unknown_pager(self):
+        with pytest.raises(SimulationError, match="pager"):
+            SimulationConfig(pager="nope")
+
+    def test_rejects_unknown_reporting(self):
+        with pytest.raises(SimulationError, match="reporting"):
+            SimulationConfig(reporting="nope")
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(horizon=0)
+
+
+class TestRun:
+    def test_all_calls_succeed(self):
+        simulator = build_simulator()
+        report = simulator.run()
+        assert report.metrics.calls_handled > 0
+        for record in report.metrics.call_records:
+            assert record.cells_paged >= record.participants
+
+    def test_la_reporting_never_needs_fallback(self):
+        """With LA-crossing reports the registry is always LA-accurate."""
+        report = build_simulator(reporting="la").run()
+        assert report.metrics.fallback_searches == 0
+
+    def test_always_reporting_pages_one_cell_per_device(self):
+        report = build_simulator(reporting="always").run()
+        for record in report.metrics.call_records:
+            assert record.cells_paged <= record.participants
+
+    def test_never_reporting_generates_no_reports(self):
+        report = build_simulator(reporting="never").run()
+        assert report.metrics.report_messages == 0
+
+    def test_heuristic_beats_blanket_on_same_stream(self):
+        blanket = build_simulator(pager="blanket").run()
+        heuristic = build_simulator(pager="heuristic").run()
+        assert heuristic.metrics.calls_handled == blanket.metrics.calls_handled
+        assert (
+            heuristic.metrics.mean_cells_per_call
+            <= blanket.metrics.mean_cells_per_call
+        )
+
+    def test_round_budget_respected(self):
+        report = build_simulator().run()
+        for record in report.metrics.call_records:
+            # LA-accurate registry means no fallback round is ever added.
+            assert record.rounds_used <= 3
+
+    def test_confirmed_location_shrinks_search(self):
+        """After a call finds a device, an immediate second search is cheap."""
+        simulator = build_simulator(call_rate=0.5, horizon=100)
+        report = simulator.run()
+        cheap_calls = [
+            record
+            for record in report.metrics.call_records
+            if record.cells_paged == record.participants
+        ]
+        assert cheap_calls, "confirmations should occasionally make searches exact"
+
+    def test_initial_cells_honored(self):
+        rng = np.random.default_rng(0)
+        topology = CellTopology.hexagonal_disk(1)
+        plan = LocationAreaPlan.single_area(topology.num_cells)
+        models = [RandomWalk(topology) for _ in range(2)]
+        config = SimulationConfig(horizon=1, call_rate=0.0)
+        simulator = CellularSimulator(
+            topology, plan, models, config, rng=rng, initial_cells=[2, 3]
+        )
+        assert simulator.registry.lookup(0).reported_cell == 2
+        assert simulator.registry.lookup(1).reported_cell == 3
+
+    def test_estimated_prior_normalized(self):
+        simulator = build_simulator(horizon=50)
+        simulator.run()
+        prior = simulator.estimated_prior(0)
+        assert prior.sum() == pytest.approx(1.0)
+        assert all(prior > 0)
+
+    def test_summary_keys(self):
+        report = build_simulator().run()
+        summary = report.summary()
+        for key in ("calls", "reports", "cells_paged", "devices", "cells"):
+            assert key in summary
+
+
+class TestInvariants:
+    def test_metrics_consistent_with_call_records(self):
+        report = build_simulator(call_rate=0.2).run()
+        metrics = report.metrics
+        assert metrics.cells_paged == sum(
+            record.cells_paged for record in metrics.call_records
+        )
+        assert metrics.calls_handled == len(metrics.call_records)
+        assert sum(metrics.rounds_histogram.values()) == metrics.calls_handled
+        assert metrics.total_wireless_messages == (
+            metrics.report_messages + metrics.cells_paged
+        )
+
+    def test_registry_la_accurate_under_la_reporting(self):
+        simulator = build_simulator(reporting="la")
+        simulator.run()
+        # Final check: every device's true cell is inside its reported LA.
+        plan_area = simulator._plan.area_of  # noqa: SLF001 - test introspection
+        for device in simulator.registry.known_devices():
+            record = simulator.registry.lookup(device)
+            true_cell = simulator.device_cell(device)
+            assert plan_area(true_cell) == record.reported_area
+
+    def test_each_call_pages_at_least_participants(self):
+        report = build_simulator(call_rate=0.3).run()
+        for record in report.metrics.call_records:
+            assert record.cells_paged >= record.participants
+            assert record.rounds_used >= 1
+
+    def test_distance_reporting_fallbacks_never_lose_devices(self):
+        report = build_simulator(reporting="distance", call_rate=0.2).run()
+        # Every call record exists <=> every search eventually succeeded.
+        assert report.metrics.calls_handled == len(report.metrics.call_records)
+
+    def test_timer_reporting_search_succeeds_via_full_candidates(self):
+        report = build_simulator(reporting="timer", call_rate=0.2).run()
+        for record in report.metrics.call_records:
+            assert not record.used_fallback  # candidates = whole network
+
+
+class TestPriorModes:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(SimulationError, match="prior mode"):
+            SimulationConfig(prior_mode="psychic")
+
+    def test_uniform_mode_never_learns(self):
+        simulator = build_simulator(horizon=60, prior_mode="uniform")
+        simulator.run()
+        prior = simulator.estimated_prior(0)
+        assert np.allclose(prior, prior[0])
+
+    def test_online_beats_uniform_prior(self):
+        online = build_simulator(call_rate=0.2, horizon=300).run()
+        uniform = build_simulator(
+            call_rate=0.2, horizon=300, prior_mode="uniform"
+        ).run()
+        assert (
+            online.metrics.mean_cells_per_call
+            <= uniform.metrics.mean_cells_per_call
+        )
+
+
+class TestCallDurations:
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(mean_call_duration=-1)
+
+    def test_in_call_tracking_cheapens_searches(self):
+        """Ongoing calls keep devices located, so searches get cheaper."""
+        instant = build_simulator(call_rate=0.3, horizon=300).run()
+        tracked = build_simulator(
+            call_rate=0.3, horizon=300, mean_call_duration=30
+        ).run()
+        assert tracked.metrics.calls_handled > 0
+        assert (
+            tracked.metrics.mean_cells_per_call
+            < instant.metrics.mean_cells_per_call
+        )
+
+    def test_zero_duration_is_legacy_behavior(self):
+        base = build_simulator(call_rate=0.2).run()
+        explicit = build_simulator(call_rate=0.2, mean_call_duration=0).run()
+        assert (
+            base.metrics.mean_cells_per_call
+            == explicit.metrics.mean_cells_per_call
+        )

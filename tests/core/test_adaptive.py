@@ -1,0 +1,110 @@
+"""Unit tests for adaptive paging (Section 5)."""
+
+import pytest
+
+from repro.core import (
+    adaptive_expected_paging,
+    adaptive_monte_carlo,
+    adaptive_search,
+    conference_call_heuristic,
+    optimal_strategy,
+)
+from repro.errors import InvalidStrategyError
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestSearch:
+    def test_finds_all_devices_within_budget(self, rng):
+        for _ in range(10):
+            instance = random_instance(rng, num_devices=3, num_cells=7, max_rounds=3)
+            locations = instance.sample_locations(rng)
+            trace = adaptive_search(instance, locations)
+            assert trace.rounds_used <= instance.max_rounds
+            paged = {cell for group in trace.groups for cell in group}
+            assert set(locations) <= paged
+
+    def test_groups_are_disjoint(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=8, max_rounds=4)
+        locations = instance.sample_locations(rng)
+        trace = adaptive_search(instance, locations)
+        flattened = [cell for group in trace.groups for cell in group]
+        assert len(flattened) == len(set(flattened))
+        assert trace.cells_paged == len(flattened)
+
+    def test_rejects_wrong_location_count(self, small_instance):
+        with pytest.raises(InvalidStrategyError):
+            adaptive_search(small_instance, (0,))
+
+    def test_single_round_budget_pages_everything(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=1)
+        locations = instance.sample_locations(rng)
+        trace = adaptive_search(instance, locations)
+        assert trace.rounds_used == 1
+        assert trace.cells_paged == 5
+
+
+class TestExactExpectation:
+    def test_matches_monte_carlo(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        exact = adaptive_expected_paging(instance)
+        estimate = adaptive_monte_carlo(instance, trials=15_000, rng=rng)
+        assert estimate == pytest.approx(float(exact), abs=0.1)
+
+    def test_exact_arithmetic(self, rng):
+        from fractions import Fraction
+
+        instance = random_exact_instance(rng, num_cells=5, max_rounds=2)
+        value = adaptive_expected_paging(instance)
+        assert isinstance(value, Fraction)
+
+    def test_never_worse_than_oblivious_heuristic(self, rng):
+        """Replanning with the same planner can only use strictly more info."""
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+            adaptive = float(adaptive_expected_paging(instance))
+            oblivious = float(conference_call_heuristic(instance).expected_paging)
+            assert adaptive <= oblivious + 1e-9
+
+    def test_bounded_by_cell_count(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        value = float(adaptive_expected_paging(instance))
+        assert 1.0 <= value <= instance.num_cells + 1e-9
+
+    def test_d_equals_one_is_blanket(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=1)
+        assert float(adaptive_expected_paging(instance)) == pytest.approx(5.0)
+
+    def test_custom_planner(self, rng):
+        """Replanning with the exact solver does at least as well."""
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        with_heuristic = float(adaptive_expected_paging(instance))
+        with_exact = float(
+            adaptive_expected_paging(instance, planner=optimal_strategy)
+        )
+        assert with_exact <= with_heuristic + 1e-9
+
+    def test_monte_carlo_rejects_zero_trials(self, small_instance, rng):
+        with pytest.raises(ValueError):
+            adaptive_monte_carlo(small_instance, trials=0, rng=rng)
+
+    def test_tree_expectation_equals_full_enumeration(self, rng):
+        """The subset-tree recursion equals the exhaustive expectation.
+
+        Enumerates every joint location outcome, replays the adaptive policy
+        against it, and weights by the outcome probability — an independent
+        exact computation of the same expectation.
+        """
+        import itertools
+        from fractions import Fraction
+
+        instance = random_exact_instance(rng, num_devices=2, num_cells=4, max_rounds=3)
+        total = Fraction(0)
+        for locations in itertools.product(range(4), repeat=2):
+            probability = Fraction(1)
+            for device, cell in enumerate(locations):
+                probability *= Fraction(instance.probability(device, cell))
+            if probability == 0:
+                continue
+            trace = adaptive_search(instance, locations)
+            total += probability * trace.cells_paged
+        assert total == adaptive_expected_paging(instance)

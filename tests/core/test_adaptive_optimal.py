@@ -1,0 +1,99 @@
+"""Unit tests for the exact optimal adaptive solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    adaptive_expected_paging,
+    adaptivity_gap,
+    optimal_adaptive_expected_paging,
+    optimal_strategy,
+)
+from repro.errors import SolverLimitError
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestBounds:
+    def test_never_above_optimal_oblivious(self, rng):
+        """Every oblivious strategy is an adaptive strategy."""
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+            adaptive = optimal_adaptive_expected_paging(instance)
+            oblivious = optimal_strategy(instance)
+            assert float(adaptive.expected_paging) <= float(
+                oblivious.expected_paging
+            ) + 1e-9
+
+    def test_never_above_replanning_heuristic(self, rng):
+        for _ in range(6):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+            optimal = float(
+                optimal_adaptive_expected_paging(instance).expected_paging
+            )
+            replanner = float(adaptive_expected_paging(instance))
+            assert optimal <= replanner + 1e-9
+
+    def test_at_least_one_cell(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=3)
+        result = optimal_adaptive_expected_paging(instance)
+        assert float(result.expected_paging) >= 1.0
+
+
+class TestSpecialCases:
+    def test_d_equals_one_is_blanket(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=1)
+        result = optimal_adaptive_expected_paging(instance)
+        assert float(result.expected_paging) == pytest.approx(5.0)
+        assert result.first_group == (0, 1, 2, 3, 4)
+
+    def test_single_device_adaptive_equals_oblivious(self, rng):
+        """For m = 1 nothing is learned mid-search: no adaptivity gain."""
+        for _ in range(5):
+            instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=3)
+            adaptive = optimal_adaptive_expected_paging(instance)
+            oblivious = optimal_strategy(instance)
+            assert float(adaptive.expected_paging) == pytest.approx(
+                float(oblivious.expected_paging)
+            )
+
+    def test_d_equals_two_adaptive_equals_oblivious(self, rng):
+        """Section 5: for d = 2 any adaptive strategy is oblivious."""
+        for _ in range(5):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+            adaptive = optimal_adaptive_expected_paging(instance)
+            oblivious = optimal_strategy(instance)
+            assert float(adaptive.expected_paging) == pytest.approx(
+                float(oblivious.expected_paging)
+            )
+
+    def test_exact_arithmetic(self, rng):
+        instance = random_exact_instance(rng, num_devices=2, num_cells=5, max_rounds=3)
+        result = optimal_adaptive_expected_paging(instance)
+        assert isinstance(result.expected_paging, Fraction)
+
+    def test_cell_limit(self):
+        instance = PagingInstance.uniform(2, 13, 3)
+        with pytest.raises(SolverLimitError):
+            optimal_adaptive_expected_paging(instance)
+
+
+class TestGap:
+    def test_gap_at_least_one(self, rng):
+        for _ in range(5):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+            oblivious, adaptive, ratio = adaptivity_gap(instance)
+            assert ratio >= 1.0 - 1e-12
+            assert float(adaptive) <= float(oblivious) + 1e-9
+
+    def test_gap_exists_for_some_instance(self, rng):
+        """Adaptivity genuinely helps on at least some d >= 3 instances."""
+        found = False
+        for _ in range(12):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+            _o, _a, ratio = adaptivity_gap(instance)
+            if ratio > 1.0 + 1e-6:
+                found = True
+                break
+        assert found

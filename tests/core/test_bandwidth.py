@@ -1,0 +1,90 @@
+"""Unit tests for bandwidth-limited paging (Section 5)."""
+
+import pytest
+
+from repro.core import (
+    bandwidth_limited_heuristic,
+    bandwidth_limited_optimal,
+    conference_call_heuristic,
+    is_feasible,
+    minimum_rounds,
+    optimal_strategy,
+)
+from repro.errors import InfeasibleError
+from tests.conftest import random_instance
+
+
+class TestFeasibility:
+    def test_minimum_rounds(self):
+        assert minimum_rounds(10, 3) == 4
+        assert minimum_rounds(9, 3) == 3
+        assert minimum_rounds(1, 5) == 1
+
+    def test_minimum_rounds_rejects_bad_cap(self):
+        with pytest.raises(InfeasibleError):
+            minimum_rounds(5, 0)
+
+    def test_is_feasible(self):
+        assert is_feasible(10, 4, 3)
+        assert not is_feasible(10, 3, 3)
+        assert not is_feasible(10, 0, 3)
+        assert not is_feasible(10, 11, 1)
+
+
+class TestHeuristicUnderCap:
+    def test_cap_respected(self, rng):
+        instance = random_instance(rng, num_cells=9, max_rounds=3)
+        result = bandwidth_limited_heuristic(instance, 4)
+        assert max(result.group_sizes) <= 4
+
+    def test_infeasible_raises(self, rng):
+        instance = random_instance(rng, num_cells=9, max_rounds=2)
+        with pytest.raises(InfeasibleError):
+            bandwidth_limited_heuristic(instance, 4)
+
+    def test_loose_cap_matches_uncapped(self, rng):
+        instance = random_instance(rng, num_cells=8, max_rounds=3)
+        capped = bandwidth_limited_heuristic(instance, 8)
+        uncapped = conference_call_heuristic(instance)
+        assert float(capped.expected_paging) == pytest.approx(
+            float(uncapped.expected_paging)
+        )
+
+    def test_ep_monotone_in_cap(self, rng):
+        """Loosening the cap can only help."""
+        instance = random_instance(rng, num_cells=8, max_rounds=4)
+        values = [
+            float(bandwidth_limited_heuristic(instance, b).expected_paging)
+            for b in (2, 3, 5, 8)
+        ]
+        for i in range(len(values) - 1):
+            assert values[i + 1] <= values[i] + 1e-12
+
+
+class TestOptimalUnderCap:
+    def test_cap_respected(self, rng):
+        instance = random_instance(rng, num_cells=7, max_rounds=3)
+        result = bandwidth_limited_optimal(instance, 3)
+        assert max(result.strategy.group_sizes()) <= 3
+
+    def test_heuristic_within_factor_of_capped_optimum(self, rng):
+        from repro.core import APPROXIMATION_FACTOR
+
+        for _ in range(5):
+            instance = random_instance(rng, num_cells=7, max_rounds=3)
+            heuristic = bandwidth_limited_heuristic(instance, 3)
+            optimum = bandwidth_limited_optimal(instance, 3)
+            assert float(heuristic.expected_paging) <= APPROXIMATION_FACTOR * float(
+                optimum.expected_paging
+            ) + 1e-9
+
+    def test_capped_optimum_never_beats_uncapped(self, rng):
+        instance = random_instance(rng, num_cells=7, max_rounds=3)
+        capped = bandwidth_limited_optimal(instance, 3)
+        uncapped = optimal_strategy(instance)
+        assert float(capped.expected_paging) >= float(uncapped.expected_paging) - 1e-12
+
+    def test_infeasible_raises(self, rng):
+        instance = random_instance(rng, num_cells=7, max_rounds=2)
+        with pytest.raises(InfeasibleError):
+            bandwidth_limited_optimal(instance, 3)

@@ -1,0 +1,125 @@
+"""Unit tests for the paper's bound constants and closed forms."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    alpha_sequence,
+    approximation_factor,
+    b_sequence,
+    lemma31_function,
+    lemma31_maximum,
+    lemma32_lower_bound,
+    lemma34_lower_bound,
+    lemma34_objective,
+    optimal_group_fractions,
+    optimal_mass_fractions,
+    ratio_lower_bound,
+    special_case_factor,
+)
+
+
+class TestAlphaSequence:
+    def test_known_values_m2(self):
+        alphas = alpha_sequence(2, 4, exact=True)
+        assert alphas[0] == Fraction(2, 3)
+        assert alphas[1] == Fraction(2, 3 - Fraction(4, 9))  # 18/23
+        assert alphas[1] == Fraction(18, 23)
+
+    def test_monotone_increasing_below_one(self):
+        for m in (2, 3, 5):
+            alphas = alpha_sequence(m, 6)
+            assert alphas[0] == pytest.approx(m / (m + 1))
+            for i in range(len(alphas) - 1):
+                assert alphas[i] < alphas[i + 1]
+            assert alphas[-1] < 1
+
+    def test_rejects_small_parameters(self):
+        with pytest.raises(ValueError):
+            alpha_sequence(1, 3)
+        with pytest.raises(ValueError):
+            alpha_sequence(2, 1)
+
+
+class TestBSequence:
+    def test_known_values(self):
+        bs = b_sequence(2, 2, Fraction(9), exact=True)
+        assert bs == (0, 6, 9)  # b_1 = 2c/3
+
+    def test_three_rounds(self):
+        bs = b_sequence(2, 3, Fraction(23), exact=True)
+        assert bs[2] == Fraction(18, 23) * 23
+        assert bs[1] == Fraction(2, 3) * bs[2]
+
+    def test_increasing_chain(self):
+        bs = b_sequence(3, 5, 100.0)
+        for i in range(len(bs) - 1):
+            assert bs[i] < bs[i + 1]
+        assert bs[0] == 0
+        assert bs[-1] == 100.0
+
+    def test_fractions_sum_to_one(self):
+        for m, d in ((2, 2), (3, 4), (4, 3)):
+            assert sum(optimal_group_fractions(m, d, exact=True)) == 1
+            assert sum(optimal_mass_fractions(m, d, exact=True)) == 1
+
+    def test_mass_fractions_are_half_cardinality(self):
+        r = optimal_group_fractions(2, 3, exact=True)
+        x = optimal_mass_fractions(2, 3, exact=True)
+        for j in range(2):  # all but the last
+            assert x[j] == r[j] / 2
+
+
+class TestLemma31:
+    def test_function_at_maximum(self):
+        for c in (3, 6, 12):
+            value = lemma31_function(Fraction(1, 2), Fraction(2 * c, 3), Fraction(c))
+            assert value == lemma31_maximum(c)
+
+    def test_maximum_closed_form(self):
+        c = Fraction(9)
+        expected = Fraction(4, 27) * c**3 - Fraction(2, 9) * c**2 + c / 12
+        assert lemma31_maximum(9) == expected
+
+    def test_interior_points_below_maximum(self, rng):
+        c = 9.0
+        best = float(lemma31_maximum(c))
+        for _ in range(200):
+            x = rng.uniform(0, 1)
+            y = rng.uniform(0, c)
+            assert lemma31_function(x, y, c) <= best + 1e-9
+
+    def test_float_and_fraction_agree(self):
+        exact = lemma31_function(Fraction(1, 4), Fraction(5), Fraction(9))
+        approx = lemma31_function(0.25, 5.0, 9.0)
+        assert approx == pytest.approx(float(exact))
+
+
+class TestLowerBounds:
+    def test_lemma32_bound_manual(self):
+        # c = 3: LB = 3 - f(1/2, 2)/((5/2)(2)) = 3 - 2.25/5 = 51/20.
+        assert lemma32_lower_bound(3) == Fraction(51, 20)
+
+    def test_lemma32_bound_below_c(self):
+        for c in (3, 6, 9, 12):
+            assert 0 < lemma32_lower_bound(c) < c
+
+    def test_lemma34_objective(self):
+        assert lemma34_objective([2.0, 4.0], 2) == pytest.approx((4 - 2) * 4)
+
+    def test_lemma34_lower_bound_below_c(self):
+        for m, d, c in ((2, 2, 9), (3, 3, 12)):
+            assert 0 < lemma34_lower_bound(m, d, c) < c
+
+
+class TestFactors:
+    def test_approximation_factor(self):
+        assert approximation_factor() == pytest.approx(1.5819767, abs=1e-6)
+
+    def test_special_case_factor(self):
+        assert special_case_factor() == pytest.approx(4 / 3)
+
+    def test_ratio_lower_bound(self):
+        assert ratio_lower_bound() == Fraction(320, 317)
+        assert approximation_factor() > float(ratio_lower_bound())

@@ -1,0 +1,132 @@
+"""Unit tests for the clustered-probability scheme (Section 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    cluster_cells,
+    clustered_exhaustive,
+    optimal_strategy,
+)
+from repro.core.clustered import count_matrix_space
+from repro.distributions import clustered_instance
+from repro.errors import SolverLimitError
+
+
+@pytest.fixture
+def two_level_instance():
+    """Six cells in two exact clusters of probability columns."""
+    high, low = Fraction(1, 4), Fraction(1, 12)
+    row = [high, high, high, low, low, low]
+    return PagingInstance([row, list(reversed(row))], max_rounds=2)
+
+
+class TestClustering:
+    def test_exact_columns_cluster(self, two_level_instance):
+        clusters = cluster_cells(two_level_instance, resolution=0)
+        assert len(clusters) == 2
+        assert clusters[0] == (0, 1, 2)
+        assert clusters[1] == (3, 4, 5)
+
+    def test_float_resolution_clusters(self, rng):
+        instance = clustered_instance(2, 8, 2, rng=rng, num_levels=2)
+        clusters = cluster_cells(instance)
+        assert 1 <= len(clusters) <= 2
+        assert sum(len(cluster) for cluster in clusters) == 8
+
+    def test_distinct_columns_stay_apart(self, rng):
+        from tests.conftest import random_instance
+
+        instance = random_instance(rng, num_cells=5)
+        clusters = cluster_cells(instance)
+        assert len(clusters) == 5  # generic columns never coincide
+
+
+class TestSpaceCounting:
+    def test_count_matrix_space(self):
+        assert count_matrix_space([3], 2) == 4  # C(4,1)
+        assert count_matrix_space([3, 3], 2) == 16
+        assert count_matrix_space([2], 3) == 6  # C(4,2)
+
+
+class TestExhaustiveScheme:
+    def test_optimal_on_exact_clusters(self, two_level_instance):
+        scheme = clustered_exhaustive(two_level_instance)
+        exact = optimal_strategy(two_level_instance)
+        assert scheme.expected_paging == exact.expected_paging
+
+    def test_optimal_on_generated_family(self, rng):
+        for _ in range(5):
+            instance = clustered_instance(2, 7, 3, rng=rng, num_levels=2)
+            scheme = clustered_exhaustive(instance)
+            exact = optimal_strategy(instance)
+            assert float(scheme.expected_paging) == pytest.approx(
+                float(exact.expected_paging)
+            )
+
+    def test_count_matrix_shape(self, two_level_instance):
+        scheme = clustered_exhaustive(two_level_instance)
+        assert len(scheme.count_matrix) == len(scheme.clusters)
+        for cluster, allocation in zip(scheme.clusters, scheme.count_matrix):
+            assert sum(allocation) == len(cluster)
+
+    def test_limit_enforced(self, rng):
+        from tests.conftest import random_instance
+
+        instance = random_instance(rng, num_cells=8, max_rounds=4)
+        with pytest.raises(SolverLimitError, match="limit"):
+            clustered_exhaustive(instance, limit=10)
+
+    def test_round_override(self, two_level_instance):
+        scheme = clustered_exhaustive(two_level_instance, max_rounds=3)
+        assert scheme.strategy.length == 3
+
+
+class TestIntervalScheme:
+    def test_within_error_bound_of_optimum(self, rng):
+        """The §5 scheme: rounded-exact stays within m c^2 w of true optimal."""
+        from repro.core import interval_scheme, interval_scheme_error_bound
+
+        for _ in range(5):
+            instance = clustered_instance(2, 7, 2, rng=rng, num_levels=2)
+            # Jitter the instance slightly so columns are only NEAR-equal.
+            jittered = [
+                [float(p) + float(e) for p, e in zip(row, rng.uniform(0, 0.004, 7))]
+                for row in instance.rows
+            ]
+            jittered = [[p / sum(row) for p in row] for row in jittered]
+            noisy = PagingInstance(jittered, 2, allow_zero=True)
+            width = 0.02
+            scheme = interval_scheme(noisy, width)
+            true_optimum = optimal_strategy(noisy)
+            bound = interval_scheme_error_bound(2, 7, width)
+            assert float(scheme.expected_paging) <= float(
+                true_optimum.expected_paging
+            ) + bound
+
+    def test_near_equal_columns_collapse(self, rng):
+        from repro.core import interval_scheme
+
+        instance = clustered_instance(2, 8, 2, rng=rng, num_levels=2)
+        scheme = interval_scheme(instance, 0.05)
+        assert len(scheme.clusters) <= 3
+
+    def test_zero_width_rejected(self, two_level_instance):
+        from repro.core import interval_scheme
+
+        with pytest.raises(SolverLimitError):
+            interval_scheme(two_level_instance, 0.0)
+
+    def test_coarse_width_rejected(self, rng):
+        from repro.core import PagingInstance, interval_scheme
+
+        instance = PagingInstance.uniform(1, 50, 2)
+        with pytest.raises(SolverLimitError, match="coarse"):
+            interval_scheme(instance, 0.5)  # every 1/50 rounds to zero
+
+    def test_error_bound_formula(self):
+        from repro.core import interval_scheme_error_bound
+
+        assert interval_scheme_error_bound(2, 10, 0.01) == pytest.approx(2.0)

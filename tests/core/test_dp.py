@@ -1,0 +1,194 @@
+"""Unit tests for the Lemma 4.7 dynamic program and the generic cut DP."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    Strategy,
+    by_expected_devices,
+    dp_value_table,
+    expected_paging,
+    expected_paging_float,
+    optimize_cuts,
+    optimize_over_order,
+)
+from repro.errors import InfeasibleError
+from tests.conftest import random_exact_instance, random_instance
+
+
+def compositions(total, parts):
+    """All positive integer compositions of `total` into `parts`."""
+    for cuts in itertools.combinations(range(1, total), parts - 1):
+        bounds = (0,) + cuts + (total,)
+        yield tuple(bounds[i + 1] - bounds[i] for i in range(parts))
+
+
+def brute_force_best_over_order(instance, order, d):
+    """Minimal EP over all contiguous strategies of the order."""
+    best = None
+    for sizes in compositions(instance.num_cells, d):
+        strategy = Strategy.from_order_and_sizes(order, sizes)
+        value = expected_paging(instance, strategy)
+        if best is None or value < best:
+            best = value
+    return best
+
+
+class TestLemma47DP:
+    def test_matches_brute_force_float(self, rng):
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=3)
+            order = by_expected_devices(instance)
+            result = optimize_over_order(instance, order)
+            brute = brute_force_best_over_order(instance, order, 3)
+            assert float(result.expected_paging) == pytest.approx(float(brute))
+
+    def test_matches_brute_force_exact(self, rng):
+        for _ in range(5):
+            instance = random_exact_instance(rng, num_cells=6, max_rounds=3)
+            order = by_expected_devices(instance)
+            result = optimize_over_order(instance, order, max_rounds=3)
+            brute = brute_force_best_over_order(instance, order, 3)
+            assert result.expected_paging == brute
+
+    def test_reported_value_equals_strategy_ep(self, rng):
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=3, num_cells=8, max_rounds=4)
+            result = optimize_over_order(instance, by_expected_devices(instance))
+            assert float(result.expected_paging) == pytest.approx(
+                expected_paging_float(instance, result.strategy)
+            )
+
+    def test_group_sizes_partition_cells(self, small_instance):
+        result = optimize_over_order(
+            small_instance, by_expected_devices(small_instance)
+        )
+        assert sum(result.group_sizes) == small_instance.num_cells
+        assert len(result.group_sizes) == small_instance.max_rounds
+        assert all(size >= 1 for size in result.group_sizes)
+
+    def test_d_equals_one_pages_everything(self, small_instance):
+        result = optimize_over_order(
+            small_instance, by_expected_devices(small_instance), max_rounds=1
+        )
+        assert result.group_sizes == (small_instance.num_cells,)
+        assert float(result.expected_paging) == small_instance.num_cells
+
+    def test_d_equals_c_one_cell_per_round_allowed(self, small_instance):
+        result = optimize_over_order(
+            small_instance,
+            by_expected_devices(small_instance),
+            max_rounds=small_instance.num_cells,
+        )
+        assert len(result.group_sizes) == small_instance.num_cells
+
+    def test_rejects_bad_round_count(self, small_instance):
+        order = by_expected_devices(small_instance)
+        with pytest.raises(InfeasibleError):
+            optimize_over_order(small_instance, order, max_rounds=0)
+        with pytest.raises(InfeasibleError):
+            optimize_over_order(small_instance, order, max_rounds=99)
+
+    def test_rejects_bad_order(self, small_instance):
+        with pytest.raises(ValueError, match="permutation"):
+            optimize_over_order(small_instance, (0, 0, 1, 2, 3, 4))
+
+    def test_exact_arithmetic_preserved(self, rng):
+        instance = random_exact_instance(rng, num_cells=5)
+        result = optimize_over_order(instance, by_expected_devices(instance))
+        assert isinstance(result.expected_paging, Fraction)
+
+
+class TestBandwidthCap:
+    def test_cap_respected(self, rng):
+        instance = random_instance(rng, num_cells=8, max_rounds=4)
+        result = optimize_over_order(
+            instance, by_expected_devices(instance), max_group_size=3
+        )
+        assert max(result.group_sizes) <= 3
+
+    def test_infeasible_cap_rejected(self, small_instance):
+        with pytest.raises(InfeasibleError, match="cannot page"):
+            optimize_over_order(
+                small_instance,
+                by_expected_devices(small_instance),
+                max_rounds=2,
+                max_group_size=2,
+            )
+
+    def test_tight_cap_forces_equal_groups(self, rng):
+        instance = random_instance(rng, num_cells=8, max_rounds=4)
+        result = optimize_over_order(
+            instance, by_expected_devices(instance), max_group_size=2
+        )
+        assert result.group_sizes == (2, 2, 2, 2)
+
+    def test_capped_never_beats_uncapped(self, rng):
+        instance = random_instance(rng, num_cells=8, max_rounds=3)
+        order = by_expected_devices(instance)
+        uncapped = optimize_over_order(instance, order)
+        capped = optimize_over_order(instance, order, max_group_size=3)
+        assert float(capped.expected_paging) >= float(uncapped.expected_paging) - 1e-12
+
+
+class TestGenericCutDP:
+    def test_agrees_with_lemma47_on_conference_rule(self, rng):
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=3)
+            order = by_expected_devices(instance)
+            lemma = optimize_over_order(instance, order)
+            finds = instance.prefix_find_probabilities(order)
+            sizes, value = optimize_cuts(finds, 3)
+            assert value == pytest.approx(float(lemma.expected_paging))
+            assert sum(sizes) == 7
+
+    def test_exact_mode(self, rng):
+        instance = random_exact_instance(rng, num_cells=5, max_rounds=2)
+        order = by_expected_devices(instance)
+        finds = instance.prefix_find_probabilities(order)
+        sizes, value = optimize_cuts(finds, 2)
+        assert isinstance(value, Fraction)
+        strategy = Strategy.from_order_and_sizes(order, sizes)
+        assert value == expected_paging(instance, strategy)
+
+    def test_single_round(self):
+        sizes, value = optimize_cuts((0.0, 0.5, 1.0), 1)
+        assert sizes == (2,)
+        assert value == 2
+
+    def test_cap_respected(self, rng):
+        instance = random_instance(rng, num_cells=8, max_rounds=4)
+        finds = instance.prefix_find_probabilities(tuple(range(8)))
+        sizes, _value = optimize_cuts(finds, 4, max_group_size=2)
+        assert sizes == (2, 2, 2, 2)
+
+    def test_rejects_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            optimize_cuts((0.0, 1.0), 5)
+        with pytest.raises(InfeasibleError):
+            optimize_cuts((0.0, 0.3, 0.6, 1.0), 2, max_group_size=1)
+
+
+class TestValueTable:
+    def test_base_row_is_identity(self, small_instance):
+        table = dp_value_table(small_instance, by_expected_devices(small_instance))
+        assert table[0][1:] == tuple(range(1, 7))
+
+    def test_final_entry_matches_optimizer(self, rng):
+        instance = random_instance(rng, num_cells=6, max_rounds=3)
+        order = by_expected_devices(instance)
+        table = dp_value_table(instance, order)
+        result = optimize_over_order(instance, order)
+        assert float(table[-1][instance.num_cells]) == pytest.approx(
+            float(result.expected_paging)
+        )
+
+    def test_values_decrease_with_more_rounds(self, rng):
+        instance = random_instance(rng, num_cells=6, max_rounds=4)
+        table = dp_value_table(instance, by_expected_devices(instance))
+        c = instance.num_cells
+        for level in range(len(table) - 1):
+            assert float(table[level + 1][c]) <= float(table[level][c]) + 1e-12

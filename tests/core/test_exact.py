@@ -1,0 +1,98 @@
+"""Unit tests for the exact solvers."""
+
+import pytest
+
+from repro.core import (
+    enumerate_strategies,
+    expected_paging,
+    optimal_strategy,
+    optimal_strategy_bruteforce,
+)
+from repro.core.exact import MAX_EXACT_CELLS, optimal_value_by_round_budget
+from repro.core.instance import PagingInstance
+from repro.errors import SolverLimitError
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestSubsetDP:
+    def test_matches_bruteforce_float(self, rng):
+        for _ in range(6):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+            dp = optimal_strategy(instance)
+            brute = optimal_strategy_bruteforce(instance)
+            assert float(dp.expected_paging) == pytest.approx(
+                float(brute.expected_paging)
+            )
+
+    def test_matches_bruteforce_exact(self, rng):
+        for _ in range(4):
+            instance = random_exact_instance(rng, num_cells=5, max_rounds=3)
+            dp = optimal_strategy(instance)
+            brute = optimal_strategy_bruteforce(instance)
+            assert dp.expected_paging == brute.expected_paging
+
+    def test_matches_bruteforce_three_devices(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=3)
+        dp = optimal_strategy(instance)
+        brute = optimal_strategy_bruteforce(instance)
+        assert float(dp.expected_paging) == pytest.approx(float(brute.expected_paging))
+
+    def test_value_matches_strategy(self, small_instance):
+        result = optimal_strategy(small_instance)
+        assert result.expected_paging == expected_paging(
+            small_instance, result.strategy
+        )
+
+    def test_strategy_has_exactly_d_groups(self, small_instance):
+        result = optimal_strategy(small_instance)
+        assert result.strategy.length == small_instance.max_rounds
+
+    def test_cell_limit_enforced(self):
+        instance = PagingInstance.uniform(1, MAX_EXACT_CELLS + 1, 2)
+        with pytest.raises(SolverLimitError, match="limited"):
+            optimal_strategy(instance)
+
+    def test_round_override(self, small_instance):
+        result = optimal_strategy(small_instance, max_rounds=2)
+        assert result.strategy.length == 2
+
+    def test_bandwidth_cap(self, rng):
+        instance = random_instance(rng, num_cells=6, max_rounds=3)
+        result = optimal_strategy(instance, max_group_size=2)
+        assert max(result.strategy.group_sizes()) <= 2
+
+    def test_uniform_single_device_balanced_groups(self):
+        """Uniform m=1, d=2: the optimal split is half/half (EP = 3c/4)."""
+        instance = PagingInstance.uniform(1, 8, 2, exact=True)
+        result = optimal_strategy(instance)
+        assert sorted(result.strategy.group_sizes()) == [4, 4]
+        assert float(result.expected_paging) == pytest.approx(6.0)
+
+
+class TestBruteForce:
+    def test_enumerates_all_surjections(self):
+        strategies = list(enumerate_strategies(3, 2))
+        assert len(strategies) == 6  # 2^3 - 2 non-surjective
+
+    def test_enumeration_limit(self):
+        instance = PagingInstance.uniform(1, 12, 4)
+        with pytest.raises(SolverLimitError, match="enumeration"):
+            optimal_strategy_bruteforce(instance, enumeration_limit=100)
+
+
+class TestRoundBudgetSweep:
+    def test_monotone_in_delay(self, rng):
+        instance = random_instance(rng, num_cells=6, max_rounds=6)
+        values = optimal_value_by_round_budget(instance, (1, 6))
+        assert float(values[0]) == instance.num_cells
+        for i in range(len(values) - 1):
+            assert float(values[i + 1]) <= float(values[i]) + 1e-12
+
+    def test_strictly_decreasing_with_positive_probabilities(self, rng):
+        instance = random_exact_instance(rng, num_cells=5, max_rounds=5)
+        values = optimal_value_by_round_budget(instance, (1, 5))
+        for i in range(len(values) - 1):
+            assert values[i + 1] < values[i], (
+                "Section 2: with positive probabilities a longer strategy "
+                "achieves strictly lower expected paging"
+            )

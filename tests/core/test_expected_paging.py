@@ -1,0 +1,158 @@
+"""Unit tests for repro.core.expected_paging (Lemma 2.1)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    Strategy,
+    all_found_probability,
+    expected_paging,
+    expected_paging_by_definition,
+    expected_paging_float,
+    expected_paging_monte_carlo,
+    expected_rounds,
+    simulate_paging,
+    stop_probabilities,
+    stopping_round_distribution,
+)
+from repro.errors import InvalidStrategyError
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestClosedForm:
+    def test_single_round_pages_everything(self, exact_instance):
+        strategy = Strategy.single_round(4)
+        assert expected_paging(exact_instance, strategy) == 4
+
+    def test_uniform_two_round_example(self):
+        """The paper's Section 1.1 example: uniform, c even, d=2 -> 3c/4."""
+        for c in (4, 8, 20):
+            instance = PagingInstance.uniform(1, c, 2, exact=True)
+            half = Strategy.from_order_and_sizes(tuple(range(c)), (c // 2, c // 2))
+            assert expected_paging(instance, half) == Fraction(3 * c, 4)
+
+    def test_manual_two_cell_instance(self):
+        instance = PagingInstance(
+            [[Fraction(3, 4), Fraction(1, 4)]], max_rounds=2
+        )
+        strategy = Strategy([[0], [1]])
+        # Pages 1 cell w.p. 3/4, 2 cells w.p. 1/4 -> EP = 5/4.
+        assert expected_paging(instance, strategy) == Fraction(5, 4)
+
+    def test_two_devices_multiply(self):
+        instance = PagingInstance(
+            [
+                [Fraction(3, 4), Fraction(1, 4)],
+                [Fraction(1, 2), Fraction(1, 2)],
+            ],
+            max_rounds=2,
+        )
+        strategy = Strategy([[0], [1]])
+        # Stops after round 1 iff both in cell 0: 3/8 -> EP = 2 - 1 * 3/8.
+        assert expected_paging(instance, strategy) == 2 - Fraction(3, 8)
+
+    def test_lower_bound_instance_values(self):
+        from repro.core import lower_bound_instance, optimal_strategy_of_instance
+
+        instance = lower_bound_instance()
+        assert expected_paging(instance, optimal_strategy_of_instance()) == Fraction(
+            317, 49
+        )
+
+    def test_mismatched_strategy_rejected(self, exact_instance):
+        with pytest.raises(InvalidStrategyError, match="covers"):
+            expected_paging(exact_instance, Strategy.single_round(5))
+
+
+class TestIdentities:
+    def test_telescoped_equals_definition(self, rng):
+        """Lemma 2.1's telescoping equals the direct definition."""
+        for _ in range(10):
+            instance = random_exact_instance(rng, num_devices=3, num_cells=6)
+            assignment = rng.integers(0, 3, size=6)
+            assignment[:3] = [0, 1, 2]  # make all three rounds non-empty
+            strategy = Strategy.from_assignment(list(assignment))
+            assert expected_paging(instance, strategy) == expected_paging_by_definition(
+                instance, strategy
+            )
+
+    def test_stop_probabilities_monotone_ending_at_one(self, exact_instance):
+        strategy = Strategy([[0, 1], [2], [3]])
+        stops = stop_probabilities(exact_instance, strategy)
+        assert stops[-1] == 1
+        assert all(stops[i] <= stops[i + 1] for i in range(len(stops) - 1))
+
+    def test_stopping_round_distribution_sums_to_one(self, exact_instance):
+        strategy = Strategy([[0, 1], [2, 3]])
+        assert sum(stopping_round_distribution(exact_instance, strategy)) == 1
+
+    def test_expected_rounds_bounds(self, exact_instance):
+        strategy = Strategy([[0], [1], [2], [3]])
+        rounds = expected_rounds(exact_instance, strategy)
+        assert 1 <= rounds <= 4
+
+    def test_all_found_probability_full_set_is_one(self, exact_instance):
+        assert all_found_probability(exact_instance, frozenset(range(4))) == 1
+
+    def test_ep_bounded_by_first_group_and_c(self, rng):
+        for _ in range(10):
+            instance = random_instance(rng, num_cells=7)
+            sizes = (2, 3, 2)
+            strategy = Strategy.from_order_and_sizes(tuple(range(7)), sizes)
+            value = expected_paging_float(instance, strategy)
+            assert sizes[0] <= value <= 7 + 1e-12
+
+
+class TestSimulation:
+    def test_simulate_paging_counts(self, exact_instance):
+        strategy = Strategy([[0, 1], [2], [3]])
+        paged, rounds = simulate_paging(exact_instance, strategy, (0, 1))
+        assert (paged, rounds) == (2, 1)
+        paged, rounds = simulate_paging(exact_instance, strategy, (0, 3))
+        assert (paged, rounds) == (4, 3)
+
+    def test_simulate_rejects_wrong_locations(self, exact_instance):
+        strategy = Strategy.single_round(4)
+        with pytest.raises(InvalidStrategyError):
+            simulate_paging(exact_instance, strategy, (0,))
+
+    def test_monte_carlo_matches_closed_form(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5)
+        strategy = Strategy.from_order_and_sizes(tuple(range(5)), (2, 3))
+        closed = expected_paging_float(instance, strategy)
+        estimate = expected_paging_monte_carlo(
+            instance, strategy, trials=20_000, rng=rng
+        )
+        assert estimate == pytest.approx(closed, abs=0.08)
+
+    def test_monte_carlo_rejects_zero_trials(self, exact_instance):
+        with pytest.raises(ValueError):
+            expected_paging_monte_carlo(
+                exact_instance,
+                Strategy.single_round(4),
+                trials=0,
+                rng=np.random.default_rng(0),
+            )
+
+
+class TestLongerStrategiesWin:
+    def test_splitting_a_group_never_hurts(self, rng):
+        """Section 2: refining a strategy weakly lowers expected paging."""
+        for _ in range(10):
+            instance = random_instance(rng, num_cells=6, max_rounds=3)
+            coarse = Strategy.from_order_and_sizes(tuple(range(6)), (4, 2))
+            fine = Strategy.from_order_and_sizes(tuple(range(6)), (2, 2, 2))
+            assert expected_paging_float(instance, fine) <= expected_paging_float(
+                instance, coarse
+            ) + 1e-12
+
+    def test_strictly_lower_with_positive_probabilities(self, rng):
+        instance = random_instance(rng, num_cells=6, max_rounds=3)
+        coarse = Strategy.single_round(6)
+        fine = Strategy.from_order_and_sizes(tuple(range(6)), (3, 3))
+        assert expected_paging_float(instance, fine) < expected_paging_float(
+            instance, coarse
+        )

@@ -1,0 +1,106 @@
+"""Unit tests for the numpy-accelerated planner."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    by_expected_devices,
+    conference_call_heuristic,
+    conference_call_heuristic_fast,
+    expected_paging_float,
+    optimize_cuts,
+    optimize_cuts_fast,
+    prefix_stop_probabilities_fast,
+)
+from repro.errors import InfeasibleError
+from tests.conftest import random_instance
+
+
+class TestPrefixStops:
+    def test_matches_reference(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=9)
+        order = by_expected_devices(instance)
+        reference = instance.prefix_find_probabilities(order)
+        fast = prefix_stop_probabilities_fast(instance.as_array(), order)
+        assert np.allclose([float(v) for v in reference], fast)
+
+    def test_endpoint_values(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5)
+        fast = prefix_stop_probabilities_fast(
+            instance.as_array(), tuple(range(5))
+        )
+        assert fast[0] == 0.0
+        assert fast[-1] == pytest.approx(1.0)
+
+
+class TestOptimizeCutsFast:
+    def test_matches_reference_values(self, rng):
+        for _ in range(10):
+            instance = random_instance(rng, num_devices=2, num_cells=9, max_rounds=4)
+            order = by_expected_devices(instance)
+            finds = [
+                float(v) for v in instance.prefix_find_probabilities(order)
+            ]
+            slow_sizes, slow_value = optimize_cuts(finds, 4)
+            fast_sizes, fast_value = optimize_cuts_fast(np.array(finds), 4)
+            assert fast_value == pytest.approx(slow_value)
+            assert fast_sizes == slow_sizes
+
+    def test_matches_reference_with_cap(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=8, max_rounds=4)
+        finds = [
+            float(v)
+            for v in instance.prefix_find_probabilities(tuple(range(8)))
+        ]
+        slow = optimize_cuts(finds, 4, max_group_size=3)
+        fast = optimize_cuts_fast(np.array(finds), 4, max_group_size=3)
+        assert fast[1] == pytest.approx(slow[1])
+        assert max(fast[0]) <= 3
+
+    def test_rejects_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            optimize_cuts_fast(np.array([0.0, 1.0]), 5)
+        with pytest.raises(InfeasibleError):
+            optimize_cuts_fast(np.array([0.0, 0.5, 1.0]), 2, max_group_size=0)
+
+
+class TestFastHeuristic:
+    def test_matches_reference_strategy(self, rng):
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=3, num_cells=10, max_rounds=3)
+            reference = conference_call_heuristic(instance)
+            fast = conference_call_heuristic_fast(instance)
+            assert float(fast.expected_paging) == pytest.approx(
+                float(reference.expected_paging)
+            )
+            assert fast.order == reference.order
+
+    def test_value_matches_strategy(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=12, max_rounds=4)
+        fast = conference_call_heuristic_fast(instance)
+        assert float(fast.expected_paging) == pytest.approx(
+            expected_paging_float(instance, fast.strategy)
+        )
+
+    def test_bandwidth_cap(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=12, max_rounds=4)
+        fast = conference_call_heuristic_fast(instance, max_group_size=4)
+        assert max(fast.group_sizes) <= 4
+
+    def test_large_instance_runs_quickly(self, rng):
+        matrix = rng.dirichlet(np.ones(800), size=4)
+        from repro.core import PagingInstance
+
+        instance = PagingInstance.from_array(matrix, max_rounds=5)
+        start = time.perf_counter()
+        result = conference_call_heuristic_fast(instance)
+        elapsed = time.perf_counter() - start
+        assert sum(result.group_sizes) == 800
+        assert elapsed < 5.0  # generous bound; typically well under 1s
+
+    def test_round_override(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=10, max_rounds=5)
+        fast = conference_call_heuristic_fast(instance, max_rounds=2)
+        assert len(fast.group_sizes) == 2

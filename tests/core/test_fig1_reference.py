@@ -1,0 +1,61 @@
+"""Fidelity tests: the verbatim Fig. 1 pseudocode vs the production code."""
+
+import pytest
+
+from repro.core import conference_call_heuristic, expected_paging_float
+from repro.core.fig1_reference import fig1_approximation, fig1_heuristic
+from repro.errors import InvalidInstanceError
+from tests.conftest import random_instance
+
+
+class TestTransliteration:
+    def test_matches_production_heuristic(self, rng):
+        """Same group sizes and value on a batch of random instances."""
+        for _ in range(12):
+            instance = random_instance(rng, num_devices=3, num_cells=9, max_rounds=4)
+            strategy, value = fig1_heuristic(instance)
+            production = conference_call_heuristic(instance)
+            assert strategy.group_sizes() == production.group_sizes
+            assert value == pytest.approx(float(production.expected_paging))
+
+    def test_matches_on_the_lower_bound_gadget(self):
+        from repro.core import lower_bound_instance
+
+        instance = lower_bound_instance()
+        strategy, value = fig1_heuristic(instance)
+        assert value == pytest.approx(320 / 49)
+        assert strategy.group(0) == frozenset({0, 1, 2, 3, 4})
+
+    def test_single_round(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=1)
+        sizes = fig1_approximation(5, 2, 1, instance.as_array())
+        assert sizes == (5,)
+
+    def test_d_equals_c(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=5)
+        strategy, value = fig1_heuristic(instance)
+        assert strategy.group_sizes() == (1, 1, 1, 1, 1)
+        assert value == pytest.approx(
+            float(conference_call_heuristic(instance).expected_paging)
+        )
+
+    def test_sizes_partition_cells(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=8, max_rounds=3)
+        sizes = fig1_approximation(8, 2, 3, instance.as_array())
+        assert sum(sizes) == 8
+        assert len(sizes) == 3
+        assert all(size >= 1 for size in sizes)
+
+    def test_value_equals_reported_ep(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=3)
+        strategy, value = fig1_heuristic(instance)
+        assert value == pytest.approx(expected_paging_float(instance, strategy))
+
+    def test_rejects_bad_parameters(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5)
+        with pytest.raises(InvalidInstanceError):
+            fig1_approximation(5, 2, 0, instance.as_array())
+        with pytest.raises(InvalidInstanceError):
+            fig1_approximation(5, 2, 6, instance.as_array())
+        with pytest.raises(InvalidInstanceError):
+            fig1_approximation(4, 2, 2, instance.as_array())

@@ -1,0 +1,146 @@
+"""Unit tests for the e/(e-1) heuristic (Theorem 4.8)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    APPROXIMATION_FACTOR,
+    LOWER_BOUND_RATIO,
+    conference_call_heuristic,
+    expected_paging_float,
+    guarantee_bound,
+    optimal_strategy,
+)
+from repro.distributions import instance_family
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestConstants:
+    def test_factor_value(self):
+        assert APPROXIMATION_FACTOR == pytest.approx(math.e / (math.e - 1))
+        assert 1.58 < APPROXIMATION_FACTOR < 1.59
+
+    def test_lower_bound_value(self):
+        assert LOWER_BOUND_RATIO == pytest.approx(320 / 317)
+
+    def test_guarantee_bound(self):
+        assert guarantee_bound(10.0) == pytest.approx(10 * APPROXIMATION_FACTOR)
+
+
+class TestGuarantee:
+    def test_within_factor_on_random_instances(self, rng):
+        for _ in range(12):
+            instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=3)
+            heuristic = conference_call_heuristic(instance)
+            optimum = optimal_strategy(instance)
+            assert float(heuristic.expected_paging) <= APPROXIMATION_FACTOR * float(
+                optimum.expected_paging
+            ) + 1e-9
+
+    def test_within_factor_exact_arithmetic(self, rng):
+        for _ in range(6):
+            instance = random_exact_instance(rng, num_cells=6, max_rounds=2)
+            heuristic = conference_call_heuristic(instance)
+            optimum = optimal_strategy(instance)
+            assert float(heuristic.expected_paging / optimum.expected_paging) <= (
+                APPROXIMATION_FACTOR + 1e-12
+            )
+
+    def test_within_factor_on_families(self, rng):
+        for family in ("zipf", "hotspot", "adversarial"):
+            instance = instance_family(family, 2, 8, 2, rng=rng)
+            heuristic = conference_call_heuristic(instance)
+            optimum = optimal_strategy(instance)
+            ratio = float(heuristic.expected_paging) / float(optimum.expected_paging)
+            assert ratio <= APPROXIMATION_FACTOR + 1e-9
+
+    def test_never_below_optimum(self, rng):
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=3)
+            heuristic = conference_call_heuristic(instance)
+            optimum = optimal_strategy(instance)
+            assert float(heuristic.expected_paging) >= float(
+                optimum.expected_paging
+            ) - 1e-9
+
+
+class TestStructure:
+    def test_value_matches_strategy(self, small_instance):
+        result = conference_call_heuristic(small_instance)
+        assert float(result.expected_paging) == pytest.approx(
+            expected_paging_float(small_instance, result.strategy)
+        )
+
+    def test_uses_weight_nonincreasing_order(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=8, max_rounds=3)
+        result = conference_call_heuristic(instance)
+        weights = [float(instance.cell_weight(j)) for j in result.order]
+        assert all(weights[i] >= weights[i + 1] - 1e-12 for i in range(len(weights) - 1))
+
+    def test_respects_round_override(self, small_instance):
+        result = conference_call_heuristic(small_instance, max_rounds=2)
+        assert len(result.group_sizes) == 2
+
+    def test_respects_bandwidth_cap(self, rng):
+        instance = random_instance(rng, num_cells=8, max_rounds=4)
+        result = conference_call_heuristic(instance, max_group_size=3)
+        assert max(result.group_sizes) <= 3
+
+    def test_m_equals_one_is_optimal(self, rng):
+        """Lemma 4.6 note: for m = 1 the heuristic matches the optimum."""
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=1, num_cells=8, max_rounds=3)
+            heuristic = conference_call_heuristic(instance)
+            optimum = optimal_strategy(instance)
+            assert float(heuristic.expected_paging) == pytest.approx(
+                float(optimum.expected_paging)
+            )
+
+    def test_deterministic(self, small_instance):
+        first = conference_call_heuristic(small_instance)
+        second = conference_call_heuristic(small_instance)
+        assert first.strategy == second.strategy
+
+
+class TestProfileHeuristic:
+    def test_never_beats_the_dp(self, rng):
+        """The DP optimizes over the same order, so it dominates."""
+        from repro.core import profile_heuristic
+
+        for _ in range(8):
+            instance = random_instance(rng, num_devices=3, num_cells=9, max_rounds=3)
+            dp = conference_call_heuristic(instance)
+            profile = profile_heuristic(instance)
+            assert float(profile.expected_paging) >= float(dp.expected_paging) - 1e-9
+
+    def test_partitions_cells(self, rng):
+        from repro.core import profile_heuristic
+
+        instance = random_instance(rng, num_devices=2, num_cells=10, max_rounds=4)
+        result = profile_heuristic(instance)
+        assert sum(result.group_sizes) == 10
+        assert len(result.group_sizes) == 4
+        assert all(size >= 1 for size in result.group_sizes)
+
+    def test_near_optimal_on_uniform(self):
+        """Uniform inputs are what the b-profile was derived for."""
+        from repro.core import PagingInstance, profile_heuristic
+
+        instance = PagingInstance.uniform(2, 12, 3)
+        dp = conference_call_heuristic(instance)
+        profile = profile_heuristic(instance)
+        assert float(profile.expected_paging) <= float(dp.expected_paging) * 1.02
+
+    def test_single_device_equal_groups(self, rng):
+        from repro.core import profile_heuristic
+
+        instance = random_instance(rng, num_devices=1, num_cells=9, max_rounds=3)
+        result = profile_heuristic(instance)
+        assert result.group_sizes == (3, 3, 3)
+
+    def test_single_round(self, rng):
+        from repro.core import profile_heuristic
+
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=1)
+        assert profile_heuristic(instance).group_sizes == (6,)

@@ -1,0 +1,163 @@
+"""Unit tests for the imperfect-detection model (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CollisionDetection,
+    ConstantDetection,
+    Strategy,
+    conference_call_heuristic,
+    expected_paging_float,
+    expected_paging_imperfect_monte_carlo,
+    expected_paging_imperfect_single,
+    imperfect_ordering_invariance,
+    optimal_single_user,
+    simulate_imperfect_search,
+)
+from repro.errors import InvalidInstanceError, SimulationError
+from tests.conftest import random_instance
+
+
+class TestDetectionModels:
+    def test_constant_detection(self):
+        model = ConstantDetection(0.8)
+        assert model.detection_probability(1) == 0.8
+        assert model.detection_probability(5) == 0.8
+
+    def test_constant_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            ConstantDetection(0.0)
+        with pytest.raises(InvalidInstanceError):
+            ConstantDetection(1.5)
+
+    def test_collision_decay(self):
+        model = CollisionDetection(0.9, collision_factor=0.5)
+        assert model.detection_probability(1) == pytest.approx(0.9)
+        assert model.detection_probability(2) == pytest.approx(0.45)
+        assert model.detection_probability(3) == pytest.approx(0.225)
+
+    def test_collision_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            CollisionDetection(0.9, collision_factor=0.0)
+        with pytest.raises(InvalidInstanceError):
+            CollisionDetection(0.9).detection_probability(0)
+
+
+class TestSimulation:
+    def test_perfect_detection_matches_plain_search(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        locations = instance.sample_locations(rng)
+        outcome = simulate_imperfect_search(
+            instance, plan.strategy, locations, ConstantDetection(1.0), rng
+        )
+        from repro.core import simulate_paging
+
+        paged, rounds = simulate_paging(instance, plan.strategy, locations)
+        assert outcome.cells_paged == paged
+        assert outcome.rounds_used == rounds
+        assert outcome.sweeps_used == 1
+
+    def test_low_detection_needs_more_sweeps(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+        plan = conference_call_heuristic(instance)
+        sweeps = []
+        for _ in range(50):
+            locations = instance.sample_locations(rng)
+            outcome = simulate_imperfect_search(
+                instance, plan.strategy, locations, ConstantDetection(0.3), rng
+            )
+            sweeps.append(outcome.sweeps_used)
+        assert max(sweeps) > 1
+
+    def test_sweep_cap_enforced(self, rng):
+        instance = random_instance(rng, num_devices=1, num_cells=4, max_rounds=2)
+        plan = conference_call_heuristic(instance)
+        with pytest.raises(SimulationError, match="terminate"):
+            simulate_imperfect_search(
+                instance,
+                plan.strategy,
+                instance.sample_locations(rng),
+                ConstantDetection(1e-6),
+                rng,
+                max_sweeps=3,
+            )
+
+    def test_rejects_wrong_locations(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        plan = conference_call_heuristic(instance)
+        with pytest.raises(InvalidInstanceError):
+            simulate_imperfect_search(
+                instance, plan.strategy, (0,), ConstantDetection(0.9), rng
+            )
+
+
+class TestClosedForm:
+    def test_matches_monte_carlo(self, rng):
+        instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=3)
+        plan = optimal_single_user(instance)
+        for q in (1.0, 0.8, 0.5):
+            closed = expected_paging_imperfect_single(instance, plan.strategy, q)
+            estimate = expected_paging_imperfect_monte_carlo(
+                instance,
+                plan.strategy,
+                ConstantDetection(q),
+                trials=15_000,
+                rng=rng,
+            )
+            assert estimate == pytest.approx(closed, rel=0.05)
+
+    def test_q_one_reduces_to_perfect_ep(self, rng):
+        instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=3)
+        plan = optimal_single_user(instance)
+        closed = expected_paging_imperfect_single(instance, plan.strategy, 1.0)
+        assert closed == pytest.approx(
+            expected_paging_float(instance, plan.strategy)
+        )
+
+    def test_cost_increases_as_q_drops(self, rng):
+        instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=3)
+        plan = optimal_single_user(instance)
+        values = [
+            expected_paging_imperfect_single(instance, plan.strategy, q)
+            for q in (1.0, 0.8, 0.5, 0.2)
+        ]
+        for i in range(len(values) - 1):
+            assert values[i] < values[i + 1]
+
+    def test_rejects_multi_device(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        with pytest.raises(InvalidInstanceError, match="m = 1"):
+            expected_paging_imperfect_single(
+                instance, Strategy.single_round(4), 0.9
+            )
+
+    def test_ordering_invariance(self, rng):
+        """The q term is additive: strategy comparisons are q-independent."""
+        instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=2)
+        good = optimal_single_user(instance).strategy
+        bad = Strategy.from_order_and_sizes(tuple(range(6)), (3, 3))
+        for q in (0.9, 0.5, 0.2):
+            _ep_a, _ep_b, invariant = imperfect_ordering_invariance(
+                instance, good, bad, q
+            )
+            assert invariant
+
+
+class TestCollisionEffects:
+    def test_blanket_suffers_most_from_collisions(self, rng):
+        """Concentrated paging collides; spreading rounds mitigates it."""
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=3)
+        model = CollisionDetection(0.95, collision_factor=0.3)
+        blanket = expected_paging_imperfect_monte_carlo(
+            instance, Strategy.single_round(6), model, trials=4_000, rng=rng
+        )
+        staged = expected_paging_imperfect_monte_carlo(
+            instance,
+            conference_call_heuristic(instance).strategy,
+            model,
+            trials=4_000,
+            rng=rng,
+        )
+        assert staged < blanket

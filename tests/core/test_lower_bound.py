@@ -1,0 +1,97 @@
+"""Reproduction tests for the Section 4.3 lower-bound instance."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    HEURISTIC_VALUE,
+    OPTIMAL_VALUE,
+    RATIO,
+    conference_call_heuristic,
+    expected_paging,
+    lower_bound_instance,
+    optimal_strategy,
+    optimal_strategy_of_instance,
+    perturbed_instance,
+)
+from repro.core.lower_bound import heuristic_first_round, optimal_first_round
+
+
+class TestExactInstance:
+    def test_constants(self):
+        assert OPTIMAL_VALUE == Fraction(317, 49)
+        assert HEURISTIC_VALUE == Fraction(320, 49)
+        assert RATIO == Fraction(320, 317)
+
+    def test_instance_shape(self):
+        instance = lower_bound_instance()
+        assert instance.num_devices == 2
+        assert instance.num_cells == 8
+        assert instance.max_rounds == 2
+        assert instance.is_exact
+
+    def test_row_sums(self):
+        instance = lower_bound_instance()
+        assert sum(instance.row(0)) == 1
+        assert sum(instance.row(1)) == 1
+
+    def test_paper_probabilities(self):
+        instance = lower_bound_instance()
+        assert instance.probability(0, 0) == Fraction(2, 7)
+        assert instance.probability(1, 0) == 0
+        assert instance.probability(0, 6) == 0
+        assert instance.probability(0, 7) == 0
+        assert instance.probability(1, 5) == Fraction(1, 7)
+
+    def test_optimal_value_and_strategy(self):
+        instance = lower_bound_instance()
+        result = optimal_strategy(instance)
+        assert result.expected_paging == OPTIMAL_VALUE
+        assert result.strategy.group(0) == frozenset(optimal_first_round())
+
+    def test_named_optimal_strategy_evaluates_correctly(self):
+        instance = lower_bound_instance()
+        assert expected_paging(instance, optimal_strategy_of_instance()) == OPTIMAL_VALUE
+
+    def test_heuristic_value_and_strategy(self):
+        instance = lower_bound_instance()
+        result = conference_call_heuristic(instance)
+        assert result.expected_paging == HEURISTIC_VALUE
+        assert result.strategy.group(0) == frozenset(heuristic_first_round())
+
+    def test_ratio(self):
+        instance = lower_bound_instance()
+        heuristic = conference_call_heuristic(instance)
+        optimum = optimal_strategy(instance)
+        assert heuristic.expected_paging / optimum.expected_paging == RATIO
+
+
+class TestPerturbedInstance:
+    def test_no_tie_in_weights(self):
+        instance = perturbed_instance()
+        weights = instance.cell_weights()
+        assert weights[0] > max(weights[1:])
+
+    def test_heuristic_still_misled(self):
+        instance = perturbed_instance(Fraction(1, 10_000))
+        result = conference_call_heuristic(instance)
+        assert result.strategy.group(0) == frozenset(heuristic_first_round())
+
+    def test_optimal_unchanged(self):
+        instance = perturbed_instance(Fraction(1, 10_000))
+        result = optimal_strategy(instance)
+        assert result.expected_paging == OPTIMAL_VALUE
+
+    def test_ratio_approaches_paper_bound(self):
+        instance = perturbed_instance(Fraction(1, 100_000))
+        heuristic = conference_call_heuristic(instance)
+        optimum = optimal_strategy(instance)
+        ratio = Fraction(heuristic.expected_paging) / Fraction(optimum.expected_paging)
+        assert abs(float(ratio) - float(RATIO)) < 1e-4
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            perturbed_instance(Fraction(0))
+        with pytest.raises(ValueError):
+            perturbed_instance(Fraction(1, 2))

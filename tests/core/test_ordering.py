@@ -1,0 +1,78 @@
+"""Unit tests for cell orderings."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    by_device_probability,
+    by_expected_devices,
+    by_max_probability,
+    by_miss_probability,
+    identity,
+    random_order,
+    validate_order,
+)
+
+
+@pytest.fixture
+def skewed_instance():
+    rows = [
+        [Fraction(1, 10), Fraction(6, 10), Fraction(3, 10)],
+        [Fraction(5, 10), Fraction(1, 10), Fraction(4, 10)],
+    ]
+    return PagingInstance(rows, max_rounds=2)
+
+
+class TestWeightOrder:
+    def test_sorts_by_total_weight(self, skewed_instance):
+        # Weights: cell0 = 0.6, cell1 = 0.7, cell2 = 0.7 -> ties by index.
+        assert by_expected_devices(skewed_instance) == (1, 2, 0)
+
+    def test_tie_break_by_index(self):
+        instance = PagingInstance.uniform(2, 5, 2, exact=True)
+        assert by_expected_devices(instance) == (0, 1, 2, 3, 4)
+
+    def test_lower_bound_instance_order(self):
+        """The Section 4.3 gadget's tie-break: cell 0 leads."""
+        from repro.core import lower_bound_instance
+
+        order = by_expected_devices(lower_bound_instance())
+        assert order == (0, 1, 2, 3, 4, 5, 6, 7)
+
+
+class TestDeviceOrder:
+    def test_by_device_probability(self, skewed_instance):
+        assert by_device_probability(skewed_instance, 0) == (1, 2, 0)
+        assert by_device_probability(skewed_instance, 1) == (0, 2, 1)
+
+
+class TestOtherOrders:
+    def test_by_max_probability(self, skewed_instance):
+        # Max per cell: 0.5, 0.6, 0.4.
+        assert by_max_probability(skewed_instance) == (1, 0, 2)
+
+    def test_by_miss_probability(self, skewed_instance):
+        # Miss products: c0 = .9*.5 = .45, c1 = .4*.9 = .36, c2 = .7*.6 = .42.
+        assert by_miss_probability(skewed_instance) == (1, 2, 0)
+
+    def test_identity(self, skewed_instance):
+        assert identity(skewed_instance) == (0, 1, 2)
+
+    def test_random_order_is_permutation(self, skewed_instance, rng):
+        order = random_order(skewed_instance, rng)
+        assert sorted(order) == [0, 1, 2]
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        assert validate_order([2, 0, 1], 3) == (2, 0, 1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="permutation"):
+            validate_order([0, 0, 1], 3)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="permutation"):
+            validate_order([0, 1], 3)

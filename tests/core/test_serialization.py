@@ -1,0 +1,93 @@
+"""Unit tests for JSON serialization."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import PagingInstance, Strategy
+from repro.core.serialization import (
+    dumps,
+    instance_from_dict,
+    instance_to_dict,
+    load,
+    loads,
+    save,
+    strategy_from_dict,
+    strategy_to_dict,
+)
+from repro.errors import InvalidInstanceError, InvalidStrategyError
+
+
+class TestInstanceRoundTrip:
+    def test_exact_round_trip_is_lossless(self, exact_instance):
+        restored = instance_from_dict(instance_to_dict(exact_instance))
+        assert restored == exact_instance
+        assert restored.is_exact
+
+    def test_float_round_trip(self, small_instance):
+        restored = instance_from_dict(instance_to_dict(small_instance))
+        assert restored.num_cells == small_instance.num_cells
+        for i in range(small_instance.num_devices):
+            for j in range(small_instance.num_cells):
+                assert float(restored.probability(i, j)) == pytest.approx(
+                    float(small_instance.probability(i, j))
+                )
+
+    def test_zero_probabilities_survive(self):
+        from repro.core import lower_bound_instance
+
+        instance = lower_bound_instance()
+        restored = instance_from_dict(instance_to_dict(instance))
+        assert restored == instance
+
+    def test_wrong_kind_rejected(self, exact_instance):
+        payload = instance_to_dict(exact_instance)
+        payload["kind"] = "something-else"
+        with pytest.raises(InvalidInstanceError, match="kind"):
+            instance_from_dict(payload)
+
+
+class TestStrategyRoundTrip:
+    def test_round_trip(self):
+        strategy = Strategy([[2, 0], [1], [3, 4]])
+        restored = strategy_from_dict(strategy_to_dict(strategy))
+        assert restored == strategy
+
+    def test_wrong_kind_rejected(self):
+        payload = strategy_to_dict(Strategy([[0]]))
+        payload["kind"] = "nope"
+        with pytest.raises(InvalidStrategyError, match="kind"):
+            strategy_from_dict(payload)
+
+
+class TestStringAndFileApis:
+    def test_dumps_loads_instance(self, exact_instance):
+        assert loads(dumps(exact_instance)) == exact_instance
+
+    def test_dumps_loads_strategy(self):
+        strategy = Strategy([[0, 1], [2]])
+        assert loads(dumps(strategy)) == strategy
+
+    def test_dumps_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            dumps(42)
+
+    def test_loads_rejects_unknown_kind(self):
+        with pytest.raises(InvalidInstanceError, match="unknown"):
+            loads('{"kind": "mystery"}')
+
+    def test_file_round_trip(self, tmp_path, exact_instance):
+        path = tmp_path / "instance.json"
+        save(exact_instance, str(path))
+        assert load(str(path)) == exact_instance
+
+    def test_planned_strategy_survives_disk(self, tmp_path, small_instance):
+        from repro.core import conference_call_heuristic, expected_paging_float
+
+        plan = conference_call_heuristic(small_instance)
+        path = tmp_path / "plan.json"
+        save(plan.strategy, str(path))
+        restored = load(str(path))
+        assert expected_paging_float(small_instance, restored) == pytest.approx(
+            float(plan.expected_paging)
+        )

@@ -1,0 +1,134 @@
+"""Unit tests for the Signature problem (find k of m, Section 5)."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Strategy,
+    conference_call_heuristic,
+    expected_paging_signature,
+    optimize_signature_over_order,
+    poisson_binomial_tail,
+    signature_heuristic,
+)
+from repro.core.ordering import by_expected_devices
+from repro.core.signature import prefix_stop_probabilities
+from repro.errors import InvalidInstanceError
+from tests.conftest import random_exact_instance, random_instance
+
+
+def tail_by_enumeration(probabilities, quorum):
+    """Brute-force Poisson-binomial tail over all outcome vectors."""
+    total = 0.0
+    for outcome in itertools.product((0, 1), repeat=len(probabilities)):
+        if sum(outcome) < quorum:
+            continue
+        weight = 1.0
+        for hit, p in zip(outcome, probabilities):
+            weight *= float(p) if hit else 1.0 - float(p)
+        total += weight
+    return total
+
+
+class TestPoissonBinomial:
+    def test_matches_enumeration(self, rng):
+        for _ in range(10):
+            probabilities = list(rng.uniform(0, 1, size=4))
+            for quorum in range(5):
+                assert poisson_binomial_tail(probabilities, quorum) == pytest.approx(
+                    tail_by_enumeration(probabilities, quorum)
+                )
+
+    def test_exact_fractions(self):
+        probabilities = [Fraction(1, 2), Fraction(1, 3)]
+        # P[>=1] = 1 - (1/2)(2/3) = 2/3;  P[>=2] = 1/6.
+        assert poisson_binomial_tail(probabilities, 1) == Fraction(2, 3)
+        assert poisson_binomial_tail(probabilities, 2) == Fraction(1, 6)
+
+    def test_quorum_zero_is_certain(self):
+        assert poisson_binomial_tail([0.5, 0.5], 0) == 1
+
+    def test_quorum_above_count_impossible(self):
+        assert poisson_binomial_tail([0.5], 2) == 0
+
+
+class TestEdgesOfTheQuorum:
+    def test_quorum_m_matches_conference_call(self, rng):
+        """k = m is the Conference Call problem."""
+        for _ in range(6):
+            instance = random_instance(rng, num_devices=3, num_cells=7, max_rounds=3)
+            signature = signature_heuristic(instance, instance.num_devices)
+            conference = conference_call_heuristic(instance)
+            assert float(signature.expected_paging) == pytest.approx(
+                float(conference.expected_paging)
+            )
+
+    def test_quorum_one_matches_yellow_pages(self, rng):
+        """k = 1 over the same order matches the Yellow Pages rule."""
+        from repro.core import optimize_yellow_over_order
+
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=3)
+        order = by_expected_devices(instance)
+        signature = optimize_signature_over_order(instance, order, 1)
+        yellow = optimize_yellow_over_order(instance, order)
+        assert float(signature.expected_paging) == pytest.approx(
+            float(yellow.expected_paging)
+        )
+
+    def test_ep_monotone_in_quorum(self, rng):
+        """Needing more devices can only prolong the search."""
+        instance = random_instance(rng, num_devices=4, num_cells=8, max_rounds=3)
+        values = [
+            float(signature_heuristic(instance, quorum).expected_paging)
+            for quorum in range(1, 5)
+        ]
+        for i in range(len(values) - 1):
+            assert values[i] <= values[i + 1] + 1e-9
+
+    def test_rejects_bad_quorum(self, small_instance):
+        with pytest.raises(InvalidInstanceError, match="quorum"):
+            prefix_stop_probabilities(small_instance, tuple(range(6)), 0)
+        with pytest.raises(InvalidInstanceError, match="quorum"):
+            prefix_stop_probabilities(small_instance, tuple(range(6)), 5)
+
+
+class TestOptimizationOverOrder:
+    def test_cut_dp_beats_every_manual_cut(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=2)
+        order = by_expected_devices(instance)
+        result = optimize_signature_over_order(instance, order, 2)
+        for split in range(1, 6):
+            strategy = Strategy.from_order_and_sizes(order, (split, 6 - split))
+            manual = expected_paging_signature(instance, strategy, 2)
+            assert float(result.expected_paging) <= float(manual) + 1e-12
+
+    def test_value_matches_strategy_evaluation(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=7, max_rounds=3)
+        result = signature_heuristic(instance, 2)
+        assert float(result.expected_paging) == pytest.approx(
+            float(expected_paging_signature(instance, result.strategy, 2))
+        )
+
+    def test_exact_arithmetic(self, rng):
+        instance = random_exact_instance(rng, num_devices=3, num_cells=5, max_rounds=2)
+        result = signature_heuristic(instance, 2)
+        assert isinstance(result.expected_paging, Fraction)
+
+    def test_monte_carlo_agreement(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=3)
+        result = signature_heuristic(instance, 2)
+        total = 0
+        trials = 15_000
+        for _ in range(trials):
+            locations = instance.sample_locations(rng)
+            paged = 0
+            prefix = set()
+            for group in result.strategy.groups:
+                paged += len(group)
+                prefix |= group
+                if sum(1 for cell in locations if cell in prefix) >= 2:
+                    break
+            total += paged
+        assert total / trials == pytest.approx(float(result.expected_paging), abs=0.1)

@@ -1,0 +1,87 @@
+"""Unit tests for the m = 1 classical problem."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    expected_paging_for_sizes,
+    optimal_single_user,
+    optimal_strategy,
+    uniform_expected_paging,
+)
+from repro.errors import InvalidInstanceError
+from tests.conftest import random_instance
+
+
+class TestOptimality:
+    def test_matches_exhaustive_optimum(self, rng):
+        for _ in range(10):
+            instance = random_instance(rng, num_devices=1, num_cells=7, max_rounds=3)
+            sorted_dp = optimal_single_user(instance)
+            exhaustive = optimal_strategy(instance)
+            assert float(sorted_dp.expected_paging) == pytest.approx(
+                float(exhaustive.expected_paging)
+            )
+
+    def test_matches_exhaustive_all_delays(self, rng):
+        instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=6)
+        for d in range(1, 7):
+            sorted_dp = optimal_single_user(instance, max_rounds=d)
+            exhaustive = optimal_strategy(instance, max_rounds=d)
+            assert float(sorted_dp.expected_paging) == pytest.approx(
+                float(exhaustive.expected_paging)
+            )
+
+    def test_rejects_multi_device(self, small_instance):
+        with pytest.raises(InvalidInstanceError, match="m = 1"):
+            optimal_single_user(small_instance)
+
+    def test_pages_high_probability_cells_first(self):
+        instance = PagingInstance.single_device(
+            [Fraction(1, 10), Fraction(6, 10), Fraction(3, 10)], max_rounds=3
+        )
+        result = optimal_single_user(instance)
+        assert result.order == (1, 2, 0)
+
+
+class TestUniformClosedForm:
+    def test_paper_example(self):
+        """Section 1.1: uniform, d = 2 -> EP = 3c/4."""
+        assert uniform_expected_paging(8, 2) == 6
+        assert uniform_expected_paging(100, 2) == 75
+
+    def test_general_formula(self):
+        assert uniform_expected_paging(12, 3) == Fraction(12 * 4, 6)
+        assert uniform_expected_paging(12, 12) == Fraction(13, 2)
+
+    def test_d_equals_one(self):
+        assert uniform_expected_paging(9, 1) == 9
+
+    def test_matches_dp(self):
+        for c, d in ((6, 2), (6, 3), (12, 4)):
+            instance = PagingInstance.uniform(1, c, d, exact=True)
+            result = optimal_single_user(instance)
+            assert result.expected_paging == uniform_expected_paging(c, d)
+
+    def test_rejects_non_dividing(self):
+        with pytest.raises(InvalidInstanceError, match="divides"):
+            uniform_expected_paging(10, 3)
+
+    def test_rejects_bad_delay(self):
+        with pytest.raises(InvalidInstanceError):
+            uniform_expected_paging(4, 0)
+        with pytest.raises(InvalidInstanceError):
+            uniform_expected_paging(4, 5)
+
+
+class TestSizesHelper:
+    def test_manual_value(self):
+        probabilities = [Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)]
+        # Pages 1 cell w.p. 1/2, else all 3: EP = 3 - 2 * 1/2 = 2.
+        assert expected_paging_for_sizes(probabilities, (1, 2)) == 2
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(InvalidInstanceError, match="partition"):
+            expected_paging_for_sizes([Fraction(1)], (2,))

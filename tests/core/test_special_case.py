@@ -1,0 +1,88 @@
+"""Unit tests for the m = 2, d = 2 special case (Section 4.1)."""
+
+import pytest
+
+from repro.core import (
+    FOUR_THIRDS,
+    conference_call_heuristic,
+    lower_bound_instance,
+    optimal_strategy,
+    two_device_two_round_heuristic,
+)
+from repro.core.instance import PagingInstance
+from repro.errors import InvalidInstanceError
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestPreconditions:
+    def test_rejects_wrong_device_count(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=2)
+        with pytest.raises(InvalidInstanceError, match="m = 2"):
+            two_device_two_round_heuristic(instance)
+
+    def test_rejects_wrong_round_count(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        with pytest.raises(InvalidInstanceError, match="d = 2"):
+            two_device_two_round_heuristic(instance)
+
+    def test_rejects_single_cell(self):
+        instance = PagingInstance([[1.0], [1.0]], max_rounds=1)
+        instance = instance.with_max_rounds(1)
+        with pytest.raises(InvalidInstanceError):
+            two_device_two_round_heuristic(
+                PagingInstance([[1.0], [1.0]], max_rounds=1)
+            )
+
+
+class TestAgreementWithGeneralHeuristic:
+    def test_same_value_as_fig1_dp(self, rng):
+        """The O(c) scan and the general DP optimize the same family."""
+        for _ in range(10):
+            instance = random_instance(rng, num_devices=2, num_cells=8, max_rounds=2)
+            scan = two_device_two_round_heuristic(instance)
+            general = conference_call_heuristic(instance)
+            assert float(scan.expected_paging) == pytest.approx(
+                float(general.expected_paging)
+            )
+
+    def test_exact_agreement(self, rng):
+        for _ in range(5):
+            instance = random_exact_instance(rng, num_cells=6, max_rounds=2)
+            scan = two_device_two_round_heuristic(instance)
+            general = conference_call_heuristic(instance)
+            assert scan.expected_paging == general.expected_paging
+
+
+class TestGuarantee:
+    def test_within_four_thirds(self, rng):
+        for _ in range(12):
+            instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=2)
+            scan = two_device_two_round_heuristic(instance)
+            optimum = optimal_strategy(instance)
+            ratio = float(scan.expected_paging) / float(optimum.expected_paging)
+            assert ratio <= FOUR_THIRDS + 1e-9
+
+    def test_gadget_ratio(self):
+        instance = lower_bound_instance()
+        scan = two_device_two_round_heuristic(instance)
+        optimum = optimal_strategy(instance)
+        ratio = float(scan.expected_paging) / float(optimum.expected_paging)
+        assert ratio == pytest.approx(320 / 317)
+
+
+class TestStructure:
+    def test_split_partitions_cells(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=9, max_rounds=2)
+        result = two_device_two_round_heuristic(instance)
+        assert result.strategy.length == 2
+        assert result.strategy.num_cells == 9
+        assert result.first_round_size == len(result.strategy.group(0))
+
+    def test_value_matches_strategy(self, rng):
+        from repro.core import expected_paging_float
+
+        instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=2)
+        result = two_device_two_round_heuristic(instance)
+        assert float(result.expected_paging) == pytest.approx(
+            expected_paging_float(instance, result.strategy)
+        )

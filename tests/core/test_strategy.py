@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.strategy."""
+
+import pytest
+
+from repro.core import Strategy
+from repro.errors import InvalidStrategyError
+
+
+class TestValidation:
+    def test_valid_partition(self):
+        strategy = Strategy([[0, 2], [1], [3, 4]])
+        assert strategy.length == 3
+        assert strategy.num_cells == 5
+
+    def test_rejects_empty_strategy(self):
+        with pytest.raises(InvalidStrategyError):
+            Strategy([])
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(InvalidStrategyError, match="empty"):
+            Strategy([[0], []])
+
+    def test_rejects_duplicate_cells(self):
+        with pytest.raises(InvalidStrategyError, match="more than one"):
+            Strategy([[0, 1], [1, 2]])
+
+    def test_rejects_non_contiguous_cells(self):
+        with pytest.raises(InvalidStrategyError, match="partition"):
+            Strategy([[0, 2]])
+
+    def test_duplicates_within_group_collapse(self):
+        strategy = Strategy([[0, 0, 1]])
+        assert strategy.group(0) == frozenset({0, 1})
+
+
+class TestAccessors:
+    def test_group_sizes(self):
+        strategy = Strategy([[0, 1, 2], [3], [4, 5]])
+        assert strategy.group_sizes() == (3, 1, 2)
+
+    def test_prefixes(self):
+        strategy = Strategy([[1, 0], [2]])
+        assert strategy.prefixes() == (frozenset({0, 1}), frozenset({0, 1, 2}))
+
+    def test_round_of_cell(self):
+        strategy = Strategy([[0], [2, 1]])
+        assert strategy.round_of_cell(0) == 0
+        assert strategy.round_of_cell(1) == 1
+        with pytest.raises(InvalidStrategyError):
+            strategy.round_of_cell(9)
+
+    def test_cells_in_order(self):
+        strategy = Strategy([[2, 0], [1]])
+        assert strategy.cells_in_order() == (0, 2, 1)
+
+    def test_iteration_and_len(self):
+        strategy = Strategy([[0], [1]])
+        assert len(strategy) == 2
+        assert list(strategy) == [frozenset({0}), frozenset({1})]
+
+
+class TestConstructors:
+    def test_from_assignment(self):
+        strategy = Strategy.from_assignment([0, 1, 0, 2])
+        assert strategy.group(0) == frozenset({0, 2})
+        assert strategy.group(2) == frozenset({3})
+
+    def test_from_assignment_rejects_empty(self):
+        with pytest.raises(InvalidStrategyError):
+            Strategy.from_assignment([])
+
+    def test_from_assignment_rejects_gap(self):
+        # Label 1 is skipped -> group 1 would be empty.
+        with pytest.raises(InvalidStrategyError):
+            Strategy.from_assignment([0, 2, 2])
+
+    def test_from_order_and_sizes(self):
+        strategy = Strategy.from_order_and_sizes((3, 1, 0, 2), (2, 2))
+        assert strategy.group(0) == frozenset({3, 1})
+        assert strategy.group(1) == frozenset({0, 2})
+
+    def test_from_order_and_sizes_rejects_mismatch(self):
+        with pytest.raises(InvalidStrategyError, match="sum"):
+            Strategy.from_order_and_sizes((0, 1, 2), (2, 2))
+
+    def test_from_order_and_sizes_rejects_zero_size(self):
+        with pytest.raises(InvalidStrategyError, match="positive"):
+            Strategy.from_order_and_sizes((0, 1), (2, 0))
+
+    def test_single_round(self):
+        strategy = Strategy.single_round(4)
+        assert strategy.length == 1
+        assert strategy.group(0) == frozenset(range(4))
+
+    def test_sequential(self):
+        strategy = Strategy.sequential(3)
+        assert strategy.group_sizes() == (1, 1, 1)
+        assert strategy.round_of_cell(2) == 2
+
+
+class TestEquality:
+    def test_equality_ignores_order_within_group(self):
+        assert Strategy([[0, 1], [2]]) == Strategy([[1, 0], [2]])
+
+    def test_group_order_matters(self):
+        assert Strategy([[0], [1]]) != Strategy([[1], [0]])
+
+    def test_hashable(self):
+        bucket = {Strategy([[0], [1]]), Strategy([[1], [0]]), Strategy([[0], [1]])}
+        assert len(bucket) == 2

@@ -1,0 +1,163 @@
+"""Unit tests for heterogeneous paging costs."""
+
+import itertools
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Strategy,
+    by_density,
+    by_expected_devices,
+    conference_call_heuristic,
+    expected_paging,
+    optimal_strategy,
+    optimal_weighted_strategy,
+    weighted_expected_paging,
+    weighted_heuristic,
+)
+from repro.errors import InfeasibleError, SolverLimitError
+from tests.conftest import random_exact_instance, random_instance
+
+
+def random_costs(rng, num_cells, *, low=0.5, high=3.0):
+    return tuple(float(v) for v in rng.uniform(low, high, size=num_cells))
+
+
+class TestWeightedEP:
+    def test_unit_costs_reduce_to_lemma21(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        strategy = Strategy.from_order_and_sizes(tuple(range(6)), (2, 2, 2))
+        weighted = weighted_expected_paging(instance, strategy, [1.0] * 6)
+        plain = expected_paging(instance, strategy)
+        assert float(weighted) == pytest.approx(float(plain))
+
+    def test_exact_fractions(self, rng):
+        instance = random_exact_instance(rng, num_cells=4, max_rounds=2)
+        costs = [Fraction(1), Fraction(2), Fraction(1), Fraction(3)]
+        strategy = Strategy([[0, 1], [2, 3]])
+        value = weighted_expected_paging(instance, strategy, costs)
+        assert isinstance(value, Fraction)
+        # Manual: total 7 minus round-2 cost (4) times P(all in {0,1}).
+        stop = Fraction(1)
+        for row in instance.rows:
+            stop *= row[0] + row[1]
+        assert value == 7 - 4 * stop
+
+    def test_matches_monte_carlo(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+        costs = random_costs(rng, 5)
+        strategy = Strategy.from_order_and_sizes(tuple(range(5)), (2, 3))
+        closed = float(weighted_expected_paging(instance, strategy, costs))
+        total = 0.0
+        trials = 20_000
+        for _ in range(trials):
+            locations = instance.sample_locations(rng)
+            remaining = set(locations)
+            for group in strategy.groups:
+                total += sum(costs[j] for j in group)
+                remaining -= group
+                if not remaining:
+                    break
+        assert total / trials == pytest.approx(closed, abs=0.1)
+
+    def test_rejects_bad_costs(self, rng):
+        instance = random_instance(rng, num_cells=4, max_rounds=2)
+        strategy = Strategy.single_round(4)
+        with pytest.raises(InfeasibleError):
+            weighted_expected_paging(instance, strategy, [1.0] * 3)
+        with pytest.raises(InfeasibleError):
+            weighted_expected_paging(instance, strategy, [1.0, 0.0, 1.0, 1.0])
+
+
+class TestDensityOrder:
+    def test_unit_costs_match_weight_order(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=7)
+        assert by_density(instance, [1.0] * 7) == by_expected_devices(instance)
+
+    def test_expensive_cells_sink(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5)
+        costs = [1.0, 1.0, 1.0, 1.0, 100.0]
+        order = by_density(instance, costs)
+        assert order[-1] == 4
+
+
+class TestWeightedHeuristic:
+    def test_unit_costs_match_standard_heuristic(self, rng):
+        for _ in range(6):
+            instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=3)
+            weighted = weighted_heuristic(instance, [1.0] * 7)
+            standard = conference_call_heuristic(instance)
+            assert float(weighted.expected_cost) == pytest.approx(
+                float(standard.expected_paging)
+            )
+
+    def test_value_matches_strategy(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+        costs = random_costs(rng, 6)
+        result = weighted_heuristic(instance, costs)
+        assert float(result.expected_cost) == pytest.approx(
+            float(weighted_expected_paging(instance, result.strategy, costs))
+        )
+
+    def test_density_order_beats_weight_order_on_skewed_costs(self, rng):
+        """With one very expensive likely cell, density ordering wins."""
+        wins = 0
+        trials = 10
+        for _ in range(trials):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+            weights = [float(w) for w in instance.cell_weights()]
+            costs = [1.0] * 6
+            costs[int(np.argmax(weights))] = 25.0  # the hot cell is pricey
+            density = weighted_heuristic(instance, costs)
+            naive_order = by_expected_devices(instance)
+            from repro.core.weighted import optimize_cuts_weighted
+
+            finds = instance.prefix_find_probabilities(naive_order)
+            prefix_costs = [0.0]
+            for cell in naive_order:
+                prefix_costs.append(prefix_costs[-1] + costs[cell])
+            _sizes, naive_value = optimize_cuts_weighted(finds, prefix_costs, 2)
+            if float(density.expected_cost) <= float(naive_value) + 1e-9:
+                wins += 1
+        assert wins >= trials - 2
+
+
+class TestWeightedExact:
+    def test_unit_costs_match_standard_exact(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+        weighted = optimal_weighted_strategy(instance, [1.0] * 6)
+        standard = optimal_strategy(instance)
+        assert float(weighted.expected_cost) == pytest.approx(
+            float(standard.expected_paging)
+        )
+
+    def test_matches_bruteforce(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+        costs = random_costs(rng, 5)
+        exact = optimal_weighted_strategy(instance, costs)
+        best = None
+        for assignment in itertools.product(range(2), repeat=5):
+            if len(set(assignment)) != 2:
+                continue
+            strategy = Strategy.from_assignment(assignment)
+            value = float(weighted_expected_paging(instance, strategy, costs))
+            if best is None or value < best:
+                best = value
+        assert float(exact.expected_cost) == pytest.approx(best)
+
+    def test_heuristic_never_beats_exact(self, rng):
+        for _ in range(5):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=3)
+            costs = random_costs(rng, 6)
+            heuristic = weighted_heuristic(instance, costs)
+            exact = optimal_weighted_strategy(instance, costs)
+            assert float(heuristic.expected_cost) >= float(exact.expected_cost) - 1e-9
+
+    def test_cell_limit(self, rng):
+        from repro.core import PagingInstance
+
+        instance = PagingInstance.uniform(2, 19, 2)
+        with pytest.raises(SolverLimitError):
+            optimal_weighted_strategy(instance, [1.0] * 19)

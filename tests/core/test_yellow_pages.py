@@ -1,0 +1,141 @@
+"""Unit tests for the Yellow Pages problem (find 1 of m, Section 5)."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Strategy,
+    by_miss_probability,
+    expected_paging_yellow,
+    optimize_yellow_over_order,
+    simulate_paging,
+    yellow_pages_greedy,
+    yellow_pages_m_approximation,
+    yellow_pages_weight_order,
+)
+from repro.core.yellow_pages import prefix_stop_probabilities
+from tests.conftest import random_exact_instance, random_instance
+
+
+def yellow_monte_carlo(instance, strategy, trials, rng):
+    """Simulate the find-ANY stopping rule directly."""
+    total = 0
+    for _ in range(trials):
+        locations = instance.sample_locations(rng)
+        paged = 0
+        for group in strategy.groups:
+            paged += len(group)
+            if any(cell in group for cell in locations):
+                break
+        total += paged
+    return total / trials
+
+
+def exhaustive_yellow_optimum(instance, d):
+    """Minimal yellow-pages EP over every strategy (tiny instances)."""
+    best = None
+    for assignment in itertools.product(range(d), repeat=instance.num_cells):
+        if len(set(assignment)) != d:
+            continue
+        strategy = Strategy.from_assignment(assignment)
+        value = expected_paging_yellow(instance, strategy)
+        if best is None or value < best:
+            best = value
+    return best
+
+
+class TestStopProbabilities:
+    def test_manual_two_devices(self):
+        from repro.core import PagingInstance
+
+        instance = PagingInstance(
+            [
+                [Fraction(3, 4), Fraction(1, 4)],
+                [Fraction(1, 2), Fraction(1, 2)],
+            ],
+            max_rounds=2,
+        )
+        finds = prefix_stop_probabilities(instance, (0, 1))
+        assert finds[0] == 0
+        # P[any in cell 0] = 1 - (1/4)(1/2) = 7/8.
+        assert finds[1] == Fraction(7, 8)
+        assert finds[2] == 1
+
+    def test_monotone(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6)
+        finds = prefix_stop_probabilities(instance, tuple(range(6)))
+        assert all(finds[i] <= finds[i + 1] + 1e-12 for i in range(6))
+
+
+class TestExpectedPaging:
+    def test_matches_monte_carlo(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=3)
+        result = yellow_pages_greedy(instance)
+        estimate = yellow_monte_carlo(instance, result.strategy, 20_000, rng)
+        assert estimate == pytest.approx(float(result.expected_paging), abs=0.08)
+
+    def test_value_matches_strategy_evaluation(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=7, max_rounds=3)
+        result = yellow_pages_greedy(instance)
+        assert float(result.expected_paging) == pytest.approx(
+            float(expected_paging_yellow(instance, result.strategy))
+        )
+
+    def test_cheaper_than_conference_call(self, rng):
+        """Finding one device can never cost more than finding all."""
+        from repro.core import conference_call_heuristic
+
+        for _ in range(6):
+            instance = random_instance(rng, num_devices=3, num_cells=7, max_rounds=3)
+            yellow = yellow_pages_greedy(instance)
+            conference = conference_call_heuristic(instance)
+            assert float(yellow.expected_paging) <= float(
+                conference.expected_paging
+            ) + 1e-9
+
+
+class TestOrderOptimization:
+    def test_cut_dp_optimal_over_order(self, rng):
+        """The DP must beat/match every contiguous cut of the same order."""
+        instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+        order = by_miss_probability(instance)
+        result = optimize_yellow_over_order(instance, order)
+        for split in range(1, 6):
+            strategy = Strategy.from_order_and_sizes(order, (split, 6 - split))
+            assert float(result.expected_paging) <= float(
+                expected_paging_yellow(instance, strategy)
+            ) + 1e-12
+
+    def test_exact_arithmetic(self, rng):
+        instance = random_exact_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+        result = yellow_pages_greedy(instance)
+        assert isinstance(result.expected_paging, Fraction)
+
+
+class TestMApproximation:
+    def test_within_m_of_exhaustive_optimum(self, rng):
+        for _ in range(5):
+            instance = random_instance(rng, num_devices=2, num_cells=6, max_rounds=2)
+            approx = yellow_pages_m_approximation(instance)
+            optimum = exhaustive_yellow_optimum(instance, 2)
+            assert float(approx.expected_paging) <= 2 * float(optimum) + 1e-9
+
+    def test_single_device_degenerates_to_classical(self, rng):
+        from repro.core import optimal_single_user
+
+        instance = random_instance(rng, num_devices=1, num_cells=6, max_rounds=3)
+        approx = yellow_pages_m_approximation(instance)
+        classical = optimal_single_user(instance)
+        assert float(approx.expected_paging) == pytest.approx(
+            float(classical.expected_paging)
+        )
+
+
+class TestWeightOrderVariant:
+    def test_runs_and_is_valid(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=6, max_rounds=2)
+        result = yellow_pages_weight_order(instance)
+        assert result.strategy.num_cells == 6
+        assert 1.0 <= float(result.expected_paging) <= 6.0

@@ -1,0 +1,98 @@
+"""Unit tests for correlated populations (E24)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Strategy, conference_call_heuristic, expected_paging_float
+from repro.distributions import AnchoredPopulation, anchored_population, model_error
+from repro.errors import InvalidInstanceError
+
+
+@pytest.fixture
+def population(rng):
+    return anchored_population(3, 8, 0.5, rng=rng)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            AnchoredPopulation((0.5, 0.5), ((0.5, 0.5),), cohesion=1.5)
+        with pytest.raises(InvalidInstanceError):
+            AnchoredPopulation((0.6, 0.5), ((0.5, 0.5),), cohesion=0.5)
+        with pytest.raises(InvalidInstanceError):
+            AnchoredPopulation((0.5, 0.5), ((1.0,),), cohesion=0.5)
+
+    def test_shapes(self, population):
+        assert population.num_devices == 3
+        assert population.num_cells == 8
+
+    def test_marginal_instance_rows_sum_to_one(self, population):
+        instance = population.marginal_instance(3)
+        for row in instance.rows:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_zero_cohesion_marginals_are_individuals(self, rng):
+        population = anchored_population(2, 6, 0.0, rng=rng)
+        instance = population.marginal_instance(2)
+        for row, individual in zip(instance.rows, population.individual):
+            assert np.allclose([float(p) for p in row], individual)
+
+
+class TestSampling:
+    def test_full_cohesion_all_together(self, rng):
+        population = anchored_population(3, 6, 1.0, rng=rng)
+        for _ in range(30):
+            locations = population.sample_locations(rng)
+            assert len(set(locations)) == 1
+
+    def test_sampled_marginals_match(self, rng):
+        population = anchored_population(2, 4, 0.6, rng=rng)
+        instance = population.marginal_instance(2)
+        draws = np.array(
+            [population.sample_locations(rng) for _ in range(20_000)]
+        )
+        for device in range(2):
+            for cell in range(4):
+                empirical = float(np.mean(draws[:, device] == cell))
+                assert empirical == pytest.approx(
+                    float(instance.probability(device, cell)), abs=0.02
+                )
+
+
+class TestTrueExpectedPaging:
+    def test_zero_cohesion_matches_lemma21(self, rng):
+        population = anchored_population(2, 7, 0.0, rng=rng)
+        instance = population.marginal_instance(3)
+        plan = conference_call_heuristic(instance)
+        believed, true = model_error(population, plan.strategy, 3)
+        assert true == pytest.approx(believed)
+        assert believed == pytest.approx(
+            expected_paging_float(instance, plan.strategy)
+        )
+
+    def test_matches_monte_carlo(self, rng):
+        population = anchored_population(3, 6, 0.5, rng=rng)
+        strategy = Strategy.from_order_and_sizes(tuple(range(6)), (2, 2, 2))
+        exact = population.true_expected_paging(strategy)
+        total = 0
+        trials = 20_000
+        for _ in range(trials):
+            locations = population.sample_locations(rng)
+            paged = 0
+            remaining = set(locations)
+            for group in strategy.groups:
+                paged += len(group)
+                remaining -= group
+                if not remaining:
+                    break
+            total += paged
+        assert total / trials == pytest.approx(exact, abs=0.1)
+
+    def test_positive_correlation_never_hurts(self, rng):
+        """Believed EP upper-bounds true EP for anchored mixtures."""
+        for cohesion in (0.2, 0.6, 0.9):
+            population = anchored_population(3, 8, cohesion, rng=rng)
+            instance = population.marginal_instance(3)
+            plan = conference_call_heuristic(instance)
+            believed, true = model_error(population, plan.strategy, 3)
+            assert true <= believed + 0.5  # strong clustering can only help

@@ -1,0 +1,104 @@
+"""Unit tests for trace-based distribution estimation."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    empirical_distribution,
+    estimation_report,
+    instance_from_traces,
+    kl_divergence,
+    recency_weighted_distribution,
+    total_variation,
+)
+from repro.errors import InvalidInstanceError
+
+
+class TestEmpirical:
+    def test_counts_with_smoothing(self):
+        distribution = empirical_distribution([0, 0, 1], 3, smoothing=1.0)
+        assert distribution[0] == pytest.approx(3 / 6)
+        assert distribution[1] == pytest.approx(2 / 6)
+        assert distribution[2] == pytest.approx(1 / 6)
+
+    def test_strictly_positive_with_smoothing(self):
+        distribution = empirical_distribution([0] * 100, 5, smoothing=0.5)
+        assert all(p > 0 for p in distribution)
+
+    def test_no_smoothing_pure_frequencies(self):
+        distribution = empirical_distribution([0, 1, 1, 1], 2, smoothing=0.0)
+        assert distribution[1] == pytest.approx(0.75)
+
+    def test_rejects_unknown_cell(self):
+        with pytest.raises(InvalidInstanceError, match="unknown cell"):
+            empirical_distribution([7], 3)
+
+    def test_rejects_empty_unsmoothed(self):
+        with pytest.raises(InvalidInstanceError):
+            empirical_distribution([], 3, smoothing=0.0)
+
+    def test_converges_to_truth(self, rng):
+        truth = np.array([0.5, 0.3, 0.2])
+        trace = rng.choice(3, size=20_000, p=truth)
+        estimate = empirical_distribution(trace, 3, smoothing=1.0)
+        assert total_variation(truth, estimate) < 0.02
+
+
+class TestRecencyWeighted:
+    def test_recent_cells_dominate(self):
+        trace = [0] * 200 + [1] * 10
+        flat = empirical_distribution(trace, 2, smoothing=0.0)
+        recent = recency_weighted_distribution(trace, 2, half_life=5.0, smoothing=0.0)
+        assert recent[1] > flat[1]
+
+    def test_rejects_bad_half_life(self):
+        with pytest.raises(InvalidInstanceError):
+            recency_weighted_distribution([0], 2, half_life=0.0)
+
+
+class TestInstanceFromTraces:
+    def test_builds_valid_instance(self):
+        instance = instance_from_traces([[0, 1, 1], [2, 2, 0]], 3, max_rounds=2)
+        assert instance.num_devices == 2
+        for row in instance.rows:
+            assert sum(row) == pytest.approx(1.0)
+
+    def test_recency_variant(self):
+        instance = instance_from_traces(
+            [[0, 1, 1]], 3, max_rounds=2, half_life=10.0
+        )
+        assert instance.num_devices == 1
+
+
+class TestDivergences:
+    def test_total_variation_range(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.0, 1.0])
+        assert total_variation(p, q) == pytest.approx(1.0)
+        assert total_variation(p, p) == 0.0
+
+    def test_kl_properties(self):
+        p = np.array([0.6, 0.4])
+        q = np.array([0.5, 0.5])
+        assert kl_divergence(p, p) == pytest.approx(0.0)
+        assert kl_divergence(p, q) > 0
+
+    def test_kl_handles_zero_in_p(self):
+        p = np.array([1.0, 0.0])
+        q = np.array([0.5, 0.5])
+        assert np.isfinite(kl_divergence(p, q))
+
+    def test_kl_rejects_zero_in_q(self):
+        with pytest.raises(InvalidInstanceError):
+            kl_divergence(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            total_variation(np.ones(2) / 2, np.ones(3) / 3)
+
+    def test_estimation_report_keys(self, rng):
+        truth = [np.array([0.7, 0.3]), np.array([0.4, 0.6])]
+        estimates = [np.array([0.6, 0.4]), np.array([0.5, 0.5])]
+        report = estimation_report(truth, estimates)
+        assert set(report) == {"mean_tv", "max_tv", "mean_kl", "max_kl"}
+        assert report["max_tv"] >= report["mean_tv"]

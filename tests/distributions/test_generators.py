@@ -1,0 +1,109 @@
+"""Unit tests for synthetic distribution generators."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import (
+    FAMILY_NAMES,
+    adversarial_instance,
+    clustered_instance,
+    dirichlet_instance,
+    geometric_instance,
+    hotspot_instance,
+    instance_family,
+    two_tier_instance,
+    uniform_instance,
+    zipf_instance,
+)
+from repro.errors import InvalidInstanceError
+
+
+class TestEveryFamily:
+    @pytest.mark.parametrize("family", FAMILY_NAMES)
+    def test_produces_valid_instance(self, family, rng):
+        instance = instance_family(family, 2, 8, 3, rng=rng)
+        assert instance.num_devices == 2
+        assert instance.num_cells == 8
+        assert instance.max_rounds == 3
+        for row in instance.rows:
+            assert sum(row) == pytest.approx(1.0)
+            assert all(p >= 0 for p in row)
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(InvalidInstanceError, match="unknown family"):
+            instance_family("nope", 2, 8, 3, rng=rng)
+
+    @pytest.mark.parametrize("family", ["dirichlet", "zipf", "hotspot"])
+    def test_reproducible_with_same_seed(self, family):
+        one = instance_family(family, 2, 6, 2, rng=np.random.default_rng(5))
+        two = instance_family(family, 2, 6, 2, rng=np.random.default_rng(5))
+        assert np.allclose(one.as_array(), two.as_array())
+
+
+class TestSpecificShapes:
+    def test_uniform(self):
+        instance = uniform_instance(3, 4, 2)
+        assert instance.probability(0, 0) == pytest.approx(0.25)
+
+    def test_dirichlet_concentration_effect(self, rng):
+        skewed = dirichlet_instance(1, 20, 2, rng=rng, concentration=0.1)
+        flat = dirichlet_instance(1, 20, 2, rng=rng, concentration=50.0)
+        assert max(skewed.row(0)) > max(flat.row(0))
+
+    def test_dirichlet_rejects_bad_concentration(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            dirichlet_instance(1, 5, 2, rng=rng, concentration=0.0)
+
+    def test_zipf_decays(self, rng):
+        instance = zipf_instance(1, 10, 2, rng=rng, exponent=1.5)
+        row = sorted(instance.row(0), reverse=True)
+        assert row[0] / row[-1] == pytest.approx(10**1.5, rel=1e-6)
+
+    def test_geometric_peaks_at_anchor(self, rng):
+        instance = geometric_instance(1, 9, 2, rng=rng, decay=0.5)
+        row = list(instance.row(0))
+        anchor = row.index(max(row))
+        for step in range(1, 3):
+            if anchor - step >= 0:
+                assert row[anchor - step] < row[anchor]
+            if anchor + step < 9:
+                assert row[anchor + step] < row[anchor]
+
+    def test_geometric_rejects_bad_decay(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            geometric_instance(1, 5, 2, rng=rng, decay=1.0)
+
+    def test_hotspot_home_mass(self, rng):
+        instance = hotspot_instance(1, 10, 2, rng=rng, home_mass=0.7)
+        assert max(instance.row(0)) == pytest.approx(0.7, abs=0.01)
+
+    def test_two_tier_zone_mass(self, rng):
+        instance = two_tier_instance(1, 12, 2, rng=rng, home_cells=3, home_mass=0.9)
+        row = sorted(instance.row(0), reverse=True)
+        assert sum(row[:3]) > 0.85
+
+    def test_two_tier_rejects_bad_zone(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            two_tier_instance(1, 4, 2, rng=rng, home_cells=9)
+
+    def test_clustered_columns_repeat(self, rng):
+        instance = clustered_instance(2, 10, 2, rng=rng, num_levels=2)
+        columns = {
+            tuple(round(float(row[j]), 12) for row in instance.rows)
+            for j in range(10)
+        }
+        assert len(columns) <= 2
+
+    def test_adversarial_misleads_weight_order(self, rng):
+        """The gadget family regularly produces ratio > 1 instances."""
+        from repro.analysis import measure_ratio
+
+        ratios = [
+            measure_ratio(adversarial_instance(8, 2, rng=rng)).ratio
+            for _ in range(25)
+        ]
+        assert max(ratios) > 1.0
+
+    def test_adversarial_needs_cells(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            adversarial_instance(3, 2, rng=rng)

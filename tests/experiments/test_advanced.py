@@ -1,0 +1,82 @@
+"""Behavioral tests for the advanced experiments (E19, E20)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_e19_adaptivity_gap,
+    run_e20_imperfect_detection,
+    run_e23_area_dimensioning,
+    run_e24_correlation_sensitivity,
+)
+
+
+class TestE19:
+    def test_gap_bounds(self):
+        table = run_e19_adaptivity_gap(
+            families=("dirichlet",),
+            trials=4,
+            num_cells=6,
+            rng=np.random.default_rng(19),
+        )
+        row = table.as_dicts()[0]
+        assert row["mean_gap"] >= 1.0 - 1e-9
+        assert row["max_gap"] >= row["mean_gap"] - 1e-9
+        assert row["mean_adaptive_opt"] <= row["mean_oblivious_opt"] + 1e-9
+        # The replanning heuristic stays close to the adaptive optimum.
+        assert row["heuristic_vs_adaptive_opt"] < 1.2
+
+
+class TestE23:
+    def test_trade_off_endpoints(self):
+        table = run_e23_area_dimensioning(
+            area_counts=(1, 8), call_rates=(0.05,), radius=2, horizon=150
+        )
+        rows = table.as_dicts()
+        one_area = next(row for row in rows if row["areas"] == 1)
+        fine = next(row for row in rows if row["areas"] == 8)
+        assert one_area["reports"] == 0
+        assert fine["reports"] > 0
+        for row in rows:
+            assert row["heuristic_total"] <= row["blanket_total"] + 1e-9
+
+
+class TestE24:
+    def test_independence_errs_safe(self):
+        table = run_e24_correlation_sensitivity(
+            cohesion_levels=(0.0, 0.7),
+            trials=5,
+            num_cells=8,
+            rng=np.random.default_rng(24),
+        )
+        rows = table.as_dicts()
+        assert rows[0]["true_over_believed"] == pytest.approx(1.0, abs=1e-9)
+        assert rows[1]["true_over_believed"] < 1.0
+
+
+class TestE20:
+    def test_costs_grow_as_detection_degrades(self):
+        table = run_e20_imperfect_detection(
+            detection_levels=(1.0, 0.7, 0.5),
+            trials=1_500,
+            rng=np.random.default_rng(20),
+        )
+        closed = table.column("single_closed_form")
+        for i in range(len(closed) - 1):
+            assert closed[i] < closed[i + 1]
+
+    def test_closed_form_matches_simulation(self):
+        table = run_e20_imperfect_detection(
+            detection_levels=(0.8,), trials=4_000, rng=np.random.default_rng(21)
+        )
+        row = table.as_dicts()[0]
+        assert row["single_monte_carlo"] == pytest.approx(
+            row["single_closed_form"], rel=0.08
+        )
+
+    def test_heuristic_beats_blanket_under_collisions(self):
+        table = run_e20_imperfect_detection(
+            detection_levels=(0.9,), trials=2_500, rng=np.random.default_rng(22)
+        )
+        row = table.as_dicts()[0]
+        assert row["multi_heuristic_mc"] < row["multi_blanket_mc"]

@@ -1,0 +1,176 @@
+"""Behavioral tests for every experiment: shapes plus headline assertions.
+
+These are reduced-size runs of the same functions the benchmarks invoke;
+each test asserts the *paper-facing* property the experiment demonstrates.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    run_e01_uniform_single_user,
+    run_e02_lower_bound,
+    run_e03_ratio_sweep,
+    run_e04_lemma31,
+    run_e05_lemma34,
+    run_e06_reduction_general,
+    run_e06_reduction_m2d2,
+    run_e08_single_user_optimal,
+    run_e09_delay_tradeoff,
+    run_e10_adaptive,
+    run_e11_signature_sweep,
+    run_e11_yellow_pages,
+    run_e12_bandwidth,
+    run_e13_cellnet,
+    run_e13_reporting_tradeoff,
+    run_e14_quasipartition2,
+    run_e15_clustered,
+    run_e16_four_thirds,
+    run_e17_lifting,
+    run_e18_qap,
+)
+
+E_FACTOR = math.e / (math.e - 1.0)
+
+
+class TestPaperClaims:
+    def test_e01_closed_form_matches(self):
+        table = run_e01_uniform_single_user(cell_counts=(4, 8), round_counts=(1, 2, 4))
+        for row in table.as_dicts():
+            assert row["optimal_ep"] == pytest.approx(row["closed_form"])
+        d2 = [row for row in table.as_dicts() if row["d"] == 2]
+        for row in d2:
+            assert row["optimal_ep"] == pytest.approx(0.75 * row["c"])
+
+    def test_e02_reproduces_320_317(self):
+        table = run_e02_lower_bound()
+        exact_row = table.as_dicts()[0]
+        assert exact_row["optimal_ep"] == pytest.approx(317 / 49)
+        assert exact_row["heuristic_ep"] == pytest.approx(320 / 49)
+        assert exact_row["ratio"] == pytest.approx(320 / 317)
+
+    def test_e04_lemma31_holds(self):
+        table = run_e04_lemma31(cell_counts=(3, 9))
+        assert all(value == "True" for value in table.column("grid_holds"))
+
+    def test_e05_lemma34_holds(self):
+        table = run_e05_lemma34(configurations=((2, 2, 9.0), (2, 3, 12.0)), samples=20_000)
+        assert all(value == "True" for value in table.column("holds"))
+
+    def test_e16_within_four_thirds(self):
+        table = run_e16_four_thirds(trials=8, rng=np.random.default_rng(1))
+        for value in table.column("max_ratio"):
+            assert value <= 4 / 3 + 1e-9
+
+
+class TestApproximation:
+    def test_e03_all_within_guarantee(self):
+        table = run_e03_ratio_sweep(
+            families=("dirichlet", "adversarial"),
+            trials=8,
+            rng=np.random.default_rng(2),
+        )
+        for value in table.column("max_ratio"):
+            assert value <= E_FACTOR + 1e-9
+
+    def test_e08_single_user_gap_is_zero(self):
+        table = run_e08_single_user_optimal(trials=5, rng=np.random.default_rng(3))
+        for gap in table.column("max_abs_gap"):
+            assert gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_e09_monotone_decreasing(self):
+        table = run_e09_delay_tradeoff(num_cells=7, rng=np.random.default_rng(4))
+        values = table.column("optimal_ep")
+        assert values[0] == pytest.approx(7.0)  # d = 1 is blanket paging
+        for i in range(len(values) - 1):
+            assert values[i + 1] <= values[i] + 1e-9
+
+    def test_e10_adaptive_never_loses(self):
+        table = run_e10_adaptive(
+            families=("dirichlet",), trials=4, rng=np.random.default_rng(5)
+        )
+        row = table.as_dicts()[0]
+        assert row["adaptive_wins"] == row["trials"]
+        assert row["mean_adaptive"] <= row["mean_oblivious"] + 1e-9
+
+
+class TestExtensions:
+    def test_e11_yellow_pages_shapes(self):
+        table = run_e11_yellow_pages(trials=4, rng=np.random.default_rng(6))
+        for row in table.as_dicts():
+            # Optimizing over any fixed order beats the random-order baseline
+            # on average.
+            assert row["greedy_hit"] <= row["random"] + 1e-9
+
+    def test_e11_signature_monotone(self):
+        table = run_e11_signature_sweep(
+            num_devices=3, num_cells=8, rng=np.random.default_rng(7)
+        )
+        values = table.column("weight_order_ep")
+        for i in range(len(values) - 1):
+            assert values[i] <= values[i + 1] + 1e-9
+
+    def test_e12_caps_cost_more(self):
+        table = run_e12_bandwidth(num_cells=8, rng=np.random.default_rng(8))
+        for row in table.as_dicts():
+            assert row["heuristic_ep"] >= row["uncapped_heuristic_ep"] - 1e-9
+            assert row["heuristic_ep"] >= row["optimal_ep"] - 1e-9
+
+    def test_e15_scheme_is_optimal_on_clusters(self):
+        table = run_e15_clustered(trials=3, rng=np.random.default_rng(9))
+        assert all(value == "True" for value in table.column("scheme_optimal"))
+
+
+class TestHardness:
+    def test_e06_equivalences(self):
+        table = run_e06_reduction_m2d2(trials=6, rng=np.random.default_rng(10))
+        row = table.as_dicts()[0]
+        assert row["equivalences_hold"] == row["trials"]
+
+    def test_e06b_equivalences(self):
+        table = run_e06_reduction_general(
+            configurations=((2, 2, 3),), trials=4, rng=np.random.default_rng(11)
+        )
+        row = table.as_dicts()[0]
+        assert row["equivalences_hold"] == row["trials"]
+
+    def test_e14_equivalences(self):
+        table = run_e14_quasipartition2(
+            trials=6, num_sizes=4, rng=np.random.default_rng(12)
+        )
+        row = table.as_dicts()[0]
+        assert row["equivalences_hold"] == row["trials"]
+
+    def test_e17_first_group_is_extra(self):
+        table = run_e17_lifting(trials=2, num_cells=4, rng=np.random.default_rng(13))
+        assert all(value == "True" for value in table.column("first_group_is_extra"))
+        for gap in table.column("gap"):
+            assert gap >= -1e-9
+
+    def test_e18_qap_agrees(self):
+        table = run_e18_qap(trials=2, num_cells=5, rng=np.random.default_rng(14))
+        assert all(value == "True" for value in table.column("agree"))
+
+
+class TestSystem:
+    def test_e13_heuristic_saves_cells(self):
+        table = run_e13_cellnet(radius=2, num_devices=4, horizon=250, seed=99)
+        rows = {row["pager"]: row for row in table.as_dicts()}
+        assert rows["heuristic"]["cells_per_call"] <= rows["blanket"]["cells_per_call"]
+        assert rows["heuristic"]["saving_vs_blanket"] > 0
+        assert rows["blanket"]["rounds_per_call"] == pytest.approx(1.0)
+        assert rows["heuristic"]["rounds_per_call"] > 1.0
+
+    def test_e13b_reporting_tradeoff_endpoints(self):
+        table = run_e13_reporting_tradeoff(radius=2, num_devices=3, horizon=250)
+        rows = {row["reporting"]: row for row in table.as_dicts()}
+        assert rows["never"]["reports"] == 0
+        assert rows["always"]["cells_paged"] < rows["never"]["cells_paged"]
+        assert rows["always"]["reports"] > rows["la"]["reports"]
+
+    def test_registry_lists_all_experiments(self):
+        assert len(EXPERIMENTS) >= 18
+        assert "E2" in EXPERIMENTS and "E13" in EXPERIMENTS

@@ -1,0 +1,37 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, main, run_experiments, save_report
+
+
+class TestRunner:
+    def test_run_selected(self):
+        tables = run_experiments(["E2"])
+        assert len(tables) == 1
+        assert tables[0].experiment_id == "E2"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError, match="E999"):
+            run_experiments(["E999"])
+
+    def test_main_renders(self):
+        text = main(["E2"])
+        assert "E2:" in text
+        assert "6.4694" in text
+
+    def test_registry_complete(self):
+        expected = {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E6b", "E7", "E8", "E9",
+            "E10", "E11a", "E11b", "E12", "E13", "E13b", "E14", "E15",
+            "E16", "E17", "E18", "E19", "E20", "E21", "E23", "E24",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_save_report_writes_txt_and_csv(self, tmp_path):
+        written = save_report(str(tmp_path), ["E2"])
+        assert len(written) == 2
+        txt = (tmp_path / "e2.txt").read_text()
+        csv = (tmp_path / "e2.csv").read_text()
+        assert "E2:" in txt
+        assert csv.splitlines()[0].startswith("variant,")

@@ -1,0 +1,53 @@
+"""Unit tests for the experiment table rendering."""
+
+import pytest
+
+from repro.experiments import ExperimentTable, render_all
+
+
+class TestTable:
+    def test_add_row_and_columns(self):
+        table = ExperimentTable("T", "demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", 0.1)
+        assert table.column("a") == [1, "x"]
+        assert table.as_dicts()[0] == {"a": 1, "b": 2.5}
+
+    def test_add_row_rejects_wrong_arity(self):
+        table = ExperimentTable("T", "demo", ["a", "b"])
+        with pytest.raises(ValueError, match="columns"):
+            table.add_row(1)
+
+    def test_column_rejects_unknown(self):
+        table = ExperimentTable("T", "demo", ["a"])
+        with pytest.raises(ValueError):
+            table.column("zzz")
+
+    def test_render_contains_everything(self):
+        table = ExperimentTable("E99", "render test", ["name", "value"])
+        table.add_row("alpha", 1.23456)
+        table.add_note("a note")
+        text = table.render()
+        assert "E99" in text
+        assert "alpha" in text
+        assert "1.2346" in text  # floats render at 4 decimals
+        assert "note: a note" in text
+
+    def test_render_empty_table(self):
+        table = ExperimentTable("E0", "empty", ["only"])
+        assert "only" in table.render()
+
+    def test_csv_export(self):
+        table = ExperimentTable("E0", "csv", ["name", "value"])
+        table.add_row("a,b", 0.5)
+        csv_text = table.to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == '"a,b",0.5000'
+
+    def test_render_all_joins(self):
+        one = ExperimentTable("A", "first", ["x"])
+        two = ExperimentTable("B", "second", ["y"])
+        combined = render_all([one, two])
+        assert "A: first" in combined
+        assert "B: second" in combined

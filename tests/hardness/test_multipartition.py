@@ -1,0 +1,153 @@
+"""Unit tests for Multipartition and the Lemma 3.6 reduction."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hardness import (
+    MultipartitionParameters,
+    derive_quasipartition2,
+    multipartition_parameters,
+    multipartition_witness_from_quasipartition,
+    quasipartition_witness_from_multipartition,
+    reduce_quasipartition2_to_multipartition,
+    solve_multipartition,
+    solve_quasipartition2,
+    verify_multipartition,
+)
+
+
+class TestParameters:
+    def test_m2_d2(self):
+        parameters = multipartition_parameters(2, 2)
+        assert parameters.cardinality_fractions == (Fraction(2, 3), Fraction(1, 3))
+        assert parameters.mass_fractions == (Fraction(1, 3), Fraction(2, 3))
+        assert parameters.scale == 3
+
+    def test_m2_d3(self):
+        parameters = multipartition_parameters(2, 3)
+        assert parameters.cardinality_fractions == (
+            Fraction(12, 23),
+            Fraction(6, 23),
+            Fraction(5, 23),
+        )
+        assert parameters.mass_fractions[0] == Fraction(6, 23)
+        assert parameters.mass_fractions[1] == Fraction(3, 23)
+        assert sum(parameters.mass_fractions) == 1
+        assert parameters.scale == 23
+
+    def test_m3_d2(self):
+        parameters = multipartition_parameters(3, 2)
+        assert parameters.cardinality_fractions == (Fraction(3, 4), Fraction(1, 4))
+        assert parameters.mass_fractions == (Fraction(3, 8), Fraction(5, 8))
+
+    def test_group_sizes(self):
+        parameters = multipartition_parameters(2, 2)
+        assert parameters.group_sizes(6) == (4, 2)
+        with pytest.raises(InvalidInstanceError, match="multiple"):
+            parameters.group_sizes(7)
+
+    def test_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            MultipartitionParameters(
+                (Fraction(1, 2), Fraction(1, 4)), (Fraction(1, 2), Fraction(1, 2))
+            )
+
+
+class TestDeriveQuasipartition2:
+    def test_m2_d2_uv(self):
+        parameters = multipartition_parameters(2, 2)
+        template, (u, v) = derive_quasipartition2(parameters)
+        # Sorted by mass: group 1 (2/3) then group 0 (1/3); the two smallest
+        # are groups 0 and 1; u has the smaller cardinality fraction.
+        assert (u, v) == (1, 0)
+        assert template.r_u == Fraction(1, 3)
+        assert template.r_v == Fraction(2, 3)
+        assert template.mass_fraction == Fraction(1, 3)
+
+    def test_m2_d3_uv(self):
+        parameters = multipartition_parameters(2, 3)
+        template, (u, v) = derive_quasipartition2(parameters)
+        assert (u, v) == (1, 0)
+        assert template.scale == 23
+
+
+class TestSolver:
+    def test_yes_instance(self):
+        parameters = multipartition_parameters(2, 2)
+        sizes = [Fraction(1), Fraction(1), Fraction(4)]
+        witness = solve_multipartition(sizes, parameters)
+        assert witness is not None
+        assert verify_multipartition(sizes, parameters, witness)
+
+    def test_no_instance(self):
+        parameters = multipartition_parameters(2, 2)
+        sizes = [Fraction(1), Fraction(2), Fraction(4)]
+        assert solve_multipartition(sizes, parameters) is None
+
+    def test_three_groups(self):
+        parameters = MultipartitionParameters(
+            (Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)),
+            (Fraction(1, 2), Fraction(1, 4), Fraction(1, 4)),
+        )
+        sizes = [Fraction(1)] * 4
+        witness = solve_multipartition(sizes, parameters)
+        assert witness is not None
+        assert verify_multipartition(sizes, parameters, witness)
+
+    def test_verify_rejects_bad_witness(self):
+        parameters = multipartition_parameters(2, 2)
+        sizes = [Fraction(1), Fraction(1), Fraction(4)]
+        assert not verify_multipartition(sizes, parameters, ((0,), (1, 2)))
+        assert not verify_multipartition(sizes, parameters, ((0, 1), (1,)))
+        assert not verify_multipartition(sizes, parameters, ((0, 1),))
+
+
+class TestLemma36:
+    def _roundtrip(self, quasi_sizes, parameters):
+        reduction = reduce_quasipartition2_to_multipartition(quasi_sizes, parameters)
+        template, _uv = derive_quasipartition2(parameters)
+        quasi_witness = solve_quasipartition2(quasi_sizes, template)
+        multi_witness = solve_multipartition(
+            reduction.sizes, parameters, node_limit=5_000_000
+        )
+        assert (quasi_witness is None) == (multi_witness is None)
+        if quasi_witness is not None:
+            constructed = multipartition_witness_from_quasipartition(
+                reduction, quasi_witness
+            )
+            assert verify_multipartition(reduction.sizes, parameters, constructed)
+            back = quasipartition_witness_from_multipartition(reduction, multi_witness)
+            total = sum(quasi_sizes)
+            assert sum(quasi_sizes[i] for i in back) == template.mass_fraction * total
+
+    def test_roundtrip_d2_yes(self):
+        parameters = multipartition_parameters(2, 2)
+        self._roundtrip([Fraction(v) for v in (1, 2, 1, 2, 3, 3)], parameters)
+
+    def test_roundtrip_d2_no(self):
+        parameters = multipartition_parameters(2, 2)
+        self._roundtrip([Fraction(v) for v in (1, 2, 4, 8, 16, 32)], parameters)
+
+    def test_roundtrip_three_groups(self):
+        """A d=3 parameter set with a small scale (not paper-derived)."""
+        parameters = MultipartitionParameters(
+            (Fraction(1, 4), Fraction(1, 4), Fraction(1, 2)),
+            (Fraction(2, 5), Fraction(7, 20), Fraction(1, 4)),
+        )
+        template, (u, v) = derive_quasipartition2(parameters)
+        # u, v are the two smallest-mass groups: here groups 1 and 2... the
+        # derived template dictates the quasi-instance length M(r_u+r_v)h.
+        per_h = template.total_size(1)
+        quasi_sizes = [Fraction(v) for v in range(1, per_h + 1)]
+        reduction = reduce_quasipartition2_to_multipartition(quasi_sizes, parameters)
+        assert len(reduction.sizes) == parameters.scale
+        assert len(reduction.pinned_groups) == 1
+
+    def test_rejects_bad_length(self):
+        parameters = multipartition_parameters(2, 2)
+        with pytest.raises(InvalidInstanceError, match="multiple"):
+            reduce_quasipartition2_to_multipartition(
+                [Fraction(1), Fraction(2)], parameters
+            )

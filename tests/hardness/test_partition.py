@@ -1,0 +1,98 @@
+"""Unit tests for the Partition problem seed."""
+
+import itertools
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hardness import (
+    PartitionInstance,
+    has_partition,
+    random_instance,
+    random_yes_instance,
+    solve_partition,
+    verify_partition,
+)
+
+
+def brute_force_partition(instance):
+    g = instance.count
+    for subset in itertools.combinations(range(g), g // 2):
+        if 2 * sum(instance.sizes[i] for i in subset) == instance.total:
+            return subset
+    return None
+
+
+class TestValidation:
+    def test_rejects_odd_count(self):
+        with pytest.raises(InvalidInstanceError, match="even"):
+            PartitionInstance((1, 2, 3))
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidInstanceError):
+            PartitionInstance(())
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidInstanceError, match="positive"):
+            PartitionInstance((1, 0))
+
+
+class TestSolver:
+    def test_yes_instance(self):
+        instance = PartitionInstance((3, 1, 2, 2))
+        witness = solve_partition(instance)
+        assert witness is not None
+        assert verify_partition(instance, witness)
+
+    def test_no_instance_odd_total(self):
+        assert solve_partition(PartitionInstance((1, 2, 2, 2))) is None
+
+    def test_no_instance_even_total(self):
+        # Total 8, but no 2-subset sums to 4: sizes (1, 1, 1, 5).
+        assert solve_partition(PartitionInstance((1, 1, 1, 5))) is None
+
+    def test_matches_brute_force(self, rng):
+        for _ in range(20):
+            instance = random_instance(6, rng, magnitude=12)
+            dp = solve_partition(instance)
+            brute = brute_force_partition(instance)
+            assert (dp is None) == (brute is None)
+            if dp is not None:
+                assert verify_partition(instance, dp)
+
+    def test_two_sizes(self):
+        assert has_partition(PartitionInstance((4, 4)))
+        assert not has_partition(PartitionInstance((4, 5)))
+
+
+class TestVerify:
+    def test_rejects_wrong_cardinality(self):
+        instance = PartitionInstance((3, 1, 2, 2))
+        assert not verify_partition(instance, (0,))
+
+    def test_rejects_wrong_sum(self):
+        instance = PartitionInstance((3, 1, 2, 2))
+        assert verify_partition(instance, (0, 1))  # 3 + 1 = 4 = total/2
+        assert not verify_partition(instance, (1, 2))  # 1 + 2 = 3
+
+    def test_rejects_duplicates_and_range(self):
+        instance = PartitionInstance((3, 1, 2, 2))
+        assert not verify_partition(instance, (0, 0))
+        assert not verify_partition(instance, (0, 9))
+
+
+class TestGenerators:
+    def test_yes_generator_always_solvable(self, rng):
+        for count in (4, 6, 8):
+            for _ in range(10):
+                instance = random_yes_instance(count, rng)
+                assert has_partition(instance), instance.sizes
+
+    def test_yes_generator_rejects_odd(self, rng):
+        with pytest.raises(InvalidInstanceError):
+            random_yes_instance(5, rng)
+
+    def test_random_generator_shape(self, rng):
+        instance = random_instance(8, rng)
+        assert instance.count == 8
+        assert all(size >= 1 for size in instance.sizes)

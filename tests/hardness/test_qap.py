@@ -1,0 +1,141 @@
+"""Unit tests for the QAP connection (Section 5.1)."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.core import expected_paging, optimal_strategy
+from repro.errors import InvalidInstanceError, SolverLimitError
+from repro.hardness import (
+    expected_paging_from_qap,
+    formulate_qap,
+    qap_objective,
+    solve_qap_bruteforce,
+    strategy_from_permutation,
+)
+from tests.conftest import random_exact_instance, random_instance
+
+
+class TestFormulation:
+    def test_rejects_non_two_device(self, rng):
+        instance = random_instance(rng, num_devices=3, num_cells=4)
+        with pytest.raises(InvalidInstanceError, match="m = 2"):
+            formulate_qap(instance)
+
+    def test_matrices_are_symmetric(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=5)
+        formulation = formulate_qap(instance)
+        c = formulation.num_cells
+        for i in range(c):
+            for j in range(c):
+                assert formulation.flow[i][j] == formulation.flow[j][i]
+                assert formulation.distance[i][j] == formulation.distance[j][i]
+
+    def test_distance_matrix_values(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=4)
+        formulation = formulate_qap(instance)
+        # B[r][s] = c - max(r+1, s+1) for 0-based rounds.
+        assert formulation.distance[0][0] == 3
+        assert formulation.distance[3][0] == 0
+        assert formulation.distance[1][2] == 1
+
+
+class TestObjective:
+    def test_objective_equals_c_minus_ep(self, rng):
+        """For ANY permutation: QAP objective = c - EP of that permutation."""
+        instance = random_exact_instance(rng, num_devices=2, num_cells=5, max_rounds=5)
+        formulation = formulate_qap(instance)
+        for permutation in itertools.islice(itertools.permutations(range(5)), 20):
+            objective = qap_objective(formulation, permutation)
+            strategy = strategy_from_permutation(permutation)
+            ep = expected_paging(instance, strategy)
+            assert expected_paging_from_qap(formulation, objective) == ep
+
+    def test_exact_arithmetic(self, rng):
+        instance = random_exact_instance(rng, num_devices=2, num_cells=4, max_rounds=4)
+        formulation = formulate_qap(instance)
+        value = qap_objective(formulation, (0, 1, 2, 3))
+        assert isinstance(value, Fraction)
+
+
+class TestBruteForce:
+    def test_matches_exact_solver(self, rng):
+        for _ in range(4):
+            instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=5)
+            formulation = formulate_qap(instance)
+            _pi, objective = solve_qap_bruteforce(formulation)
+            qap_ep = float(expected_paging_from_qap(formulation, objective))
+            exact_ep = float(optimal_strategy(instance).expected_paging)
+            assert qap_ep == pytest.approx(exact_ep)
+
+    def test_size_limit(self, rng):
+        instance = random_instance(rng, num_devices=2, num_cells=10, max_rounds=10)
+        formulation = formulate_qap(instance)
+        with pytest.raises(SolverLimitError):
+            solve_qap_bruteforce(formulation)
+
+
+class TestGeneralDelay:
+    """The §5.1 claim: for constant d the reduction stays polynomial."""
+
+    def test_matches_exact_solver_d2(self, rng):
+        from repro.hardness import solve_via_qap
+
+        for _ in range(4):
+            instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+            strategy, value = solve_via_qap(instance)
+            exact = optimal_strategy(instance)
+            assert float(value) == pytest.approx(float(exact.expected_paging))
+            assert strategy.length == 2
+
+    def test_matches_exact_solver_d3(self, rng):
+        from repro.hardness import solve_via_qap
+
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=3)
+        _strategy, value = solve_via_qap(instance)
+        exact = optimal_strategy(instance)
+        assert float(value) == pytest.approx(float(exact.expected_paging))
+
+    def test_strategy_value_consistent(self, rng):
+        from repro.hardness import solve_via_qap
+
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+        strategy, value = solve_via_qap(instance)
+        assert float(expected_paging(instance, strategy)) == pytest.approx(
+            float(value)
+        )
+
+    def test_formulation_validates_sizes(self, rng):
+        from repro.hardness import formulate_qap_for_sizes
+
+        instance = random_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        with pytest.raises(InvalidInstanceError):
+            formulate_qap_for_sizes(instance, (2, 1))
+        with pytest.raises(InvalidInstanceError):
+            formulate_qap_for_sizes(instance, (4, 0))
+
+    def test_d_equals_c_reduces_to_original_formulation(self, rng):
+        from repro.hardness import formulate_qap_for_sizes
+
+        instance = random_instance(rng, num_devices=2, num_cells=4, max_rounds=4)
+        general = formulate_qap_for_sizes(instance, (1, 1, 1, 1))
+        original = formulate_qap(instance)
+        assert general.distance == original.distance
+        for k in range(4):
+            for l in range(4):
+                assert float(general.flow[k][l]) == pytest.approx(
+                    float(original.flow[k][l])
+                )
+
+
+class TestStrategyFromPermutation:
+    def test_builds_sequential_strategy(self):
+        strategy = strategy_from_permutation((2, 0, 1))
+        assert strategy.group_sizes() == (1, 1, 1)
+        assert strategy.group(0) == frozenset({1})  # cell 1 -> round 0
+        assert strategy.group(2) == frozenset({0})  # cell 0 -> round 2
+
+    def test_rejects_repeated_round(self):
+        with pytest.raises(InvalidInstanceError, match="repeated"):
+            strategy_from_permutation((0, 0, 1))

@@ -1,0 +1,169 @@
+"""Unit tests for Quasipartition problems and the Lemma 3.7 reduction."""
+
+import itertools
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidInstanceError
+from repro.hardness import (
+    QUASIPARTITION1,
+    PartitionInstance,
+    QuasipartitionParameters,
+    extract_partition_witness,
+    has_partition,
+    has_quasipartition1,
+    random_instance,
+    reduce_partition_to_quasipartition2,
+    solve_quasipartition1,
+    solve_quasipartition2,
+    subset_with_count_and_sum,
+    verify_partition,
+)
+
+
+def brute_force_subset(sizes, count, target):
+    for subset in itertools.combinations(range(len(sizes)), count):
+        if sum(sizes[i] for i in subset) == target:
+            return subset
+    return None
+
+
+class TestSubsetDP:
+    def test_matches_brute_force(self, rng):
+        for _ in range(15):
+            sizes = [Fraction(int(v)) for v in rng.integers(0, 9, size=7)]
+            count = int(rng.integers(0, 8))
+            target = Fraction(int(rng.integers(0, 30)))
+            dp = subset_with_count_and_sum(sizes, count, target)
+            brute = brute_force_subset(sizes, count, target)
+            assert (dp is None) == (brute is None)
+            if dp is not None:
+                assert len(dp) == count
+                assert sum(sizes[i] for i in dp) == target
+
+    def test_rational_sizes(self):
+        sizes = [Fraction(1, 3), Fraction(1, 6), Fraction(1, 2)]
+        witness = subset_with_count_and_sum(sizes, 2, Fraction(1, 2))
+        assert witness == (0, 1)
+
+    def test_non_representable_target(self):
+        sizes = [Fraction(1, 3), Fraction(1, 3)]
+        assert subset_with_count_and_sum(sizes, 1, Fraction(1, 7)) is None
+
+    def test_rejects_negative_sizes(self):
+        with pytest.raises(InvalidInstanceError):
+            subset_with_count_and_sum([Fraction(-1)], 1, Fraction(-1))
+
+    def test_impossible_count(self):
+        assert subset_with_count_and_sum([Fraction(1)], 5, Fraction(1)) is None
+
+
+class TestQuasipartition1:
+    def test_yes_instance(self):
+        witness = solve_quasipartition1([Fraction(v) for v in (1, 1, 2)])
+        assert witness == (0, 1)
+
+    def test_no_instance(self):
+        assert not has_quasipartition1([Fraction(v) for v in (1, 1, 3)])
+
+    def test_zero_sizes_allowed(self):
+        assert has_quasipartition1([Fraction(0), Fraction(0), Fraction(0)])
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(InvalidInstanceError, match="divisible by 3"):
+            solve_quasipartition1([Fraction(1), Fraction(1)])
+
+    def test_larger_instance(self):
+        sizes = [Fraction(v) for v in (3, 1, 2, 2, 1, 3)]
+        witness = solve_quasipartition1(sizes)
+        assert witness is not None
+        assert len(witness) == 4
+        assert sum(sizes[i] for i in witness) == 6
+
+
+class TestParameters:
+    def test_quasipartition1_parameters(self):
+        assert QUASIPARTITION1.scale == 3
+        assert QUASIPARTITION1.mass_fraction == Fraction(1, 2)
+        assert QUASIPARTITION1.subset_size(2) == 4
+        assert QUASIPARTITION1.total_size(2) == 6
+
+    def test_rejects_non_integer_scaled(self):
+        with pytest.raises(InvalidInstanceError, match="integer"):
+            QuasipartitionParameters(
+                scale=2,
+                r_u=Fraction(1, 3),
+                r_v=Fraction(2, 3),
+                x_u=Fraction(1, 2),
+                x_v=Fraction(1, 2),
+            )
+
+    def test_rejects_ru_above_rv(self):
+        with pytest.raises(InvalidInstanceError, match="r_u <= r_v"):
+            QuasipartitionParameters(
+                scale=3,
+                r_u=Fraction(2, 3),
+                r_v=Fraction(1, 3),
+                x_u=Fraction(1, 2),
+                x_v=Fraction(1, 2),
+            )
+
+
+class TestLemma37:
+    def test_construction_shape(self):
+        instance = PartitionInstance((3, 1, 2, 2))
+        reduction = reduce_partition_to_quasipartition2(instance)
+        assert len(reduction.sizes) == reduction.parameters.total_size(reduction.h)
+        assert sum(reduction.sizes) == 1
+
+    def test_specials_dominate(self):
+        instance = PartitionInstance((3, 1, 2, 2))
+        reduction = reduce_partition_to_quasipartition2(instance)
+        big = reduction.sizes[reduction.special_big_index]
+        small = reduction.sizes[reduction.special_small_index]
+        start, stop = reduction.partition_slice
+        real_total = sum(reduction.sizes[start:stop])
+        assert big >= small
+        assert small > real_total / 2
+
+    def test_roundtrip_yes(self, rng):
+        for _ in range(8):
+            instance = PartitionInstance(
+                tuple(int(v) for v in rng.integers(1, 9, size=4))
+            )
+            reduction = reduce_partition_to_quasipartition2(instance)
+            witness = solve_quasipartition2(reduction.sizes, reduction.parameters)
+            assert has_partition(instance) == (witness is not None)
+            if witness is not None:
+                recovered = extract_partition_witness(reduction, witness)
+                assert verify_partition(instance, recovered)
+
+    def test_roundtrip_with_unequal_mass_parameters(self, rng):
+        """The x_u != x_v branch of Lemma 3.7 (mutatis mutandis case)."""
+        parameters = QuasipartitionParameters(
+            scale=3,
+            r_u=Fraction(1, 3),
+            r_v=Fraction(2, 3),
+            x_u=Fraction(2, 3),
+            x_v=Fraction(1, 3),
+        )
+        for _ in range(6):
+            instance = random_instance(4, rng, magnitude=9)
+            reduction = reduce_partition_to_quasipartition2(instance, parameters)
+            witness = solve_quasipartition2(reduction.sizes, reduction.parameters)
+            assert has_partition(instance) == (witness is not None)
+
+    def test_roundtrip_xv_larger(self, rng):
+        parameters = QuasipartitionParameters(
+            scale=4,
+            r_u=Fraction(1, 4),
+            r_v=Fraction(3, 4),
+            x_u=Fraction(1, 4),
+            x_v=Fraction(3, 4),
+        )
+        for _ in range(6):
+            instance = random_instance(4, rng, magnitude=9)
+            reduction = reduce_partition_to_quasipartition2(instance, parameters)
+            witness = solve_quasipartition2(reduction.sizes, reduction.parameters)
+            assert has_partition(instance) == (witness is not None)

@@ -1,0 +1,166 @@
+"""Unit tests for the Conference Call reduction gadgets (Lemmas 3.2 and 3.5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import expected_paging, optimal_strategy
+from repro.errors import InvalidInstanceError
+from repro.hardness import (
+    has_quasipartition1,
+    lemma35_lower_bound,
+    lift_two_device_instance,
+    multipartition_parameters,
+    reduce_multipartition_to_conference_call,
+    reduce_quasipartition1_to_conference_call,
+    solve_multipartition,
+    solve_quasipartition1,
+    unlift_strategy,
+)
+from tests.conftest import random_exact_instance
+
+
+def fractions(values):
+    return [Fraction(v) for v in values]
+
+
+class TestLemma32Gadget:
+    def test_gadget_probabilities_are_valid(self):
+        reduction = reduce_quasipartition1_to_conference_call(fractions((1, 1, 2)))
+        instance = reduction.instance
+        assert instance.num_devices == 2
+        assert instance.max_rounds == 2
+        assert sum(instance.row(0)) == 1
+        assert sum(instance.row(1)) == 1
+        assert all(p > 0 for row in instance.rows for p in row)
+
+    def test_yes_instance_hits_bound(self):
+        sizes = fractions((1, 1, 2))
+        assert has_quasipartition1(sizes)
+        reduction = reduce_quasipartition1_to_conference_call(sizes)
+        optimum = optimal_strategy(reduction.instance)
+        assert optimum.expected_paging == reduction.lower_bound
+
+    def test_no_instance_stays_above_bound(self):
+        sizes = fractions((1, 1, 3))
+        assert not has_quasipartition1(sizes)
+        reduction = reduce_quasipartition1_to_conference_call(sizes)
+        optimum = optimal_strategy(reduction.instance)
+        assert optimum.expected_paging > reduction.lower_bound
+
+    def test_witness_recovery(self):
+        sizes = fractions((3, 1, 2, 2, 1, 3))
+        reduction = reduce_quasipartition1_to_conference_call(sizes)
+        optimum = optimal_strategy(reduction.instance)
+        witness = reduction.witness_from_strategy(optimum.strategy)
+        assert len(witness) == 4
+        assert sum(sizes[i] for i in witness) == sum(sizes) / 2
+
+    def test_equivalence_batch(self, rng):
+        for _ in range(12):
+            sizes = fractions(int(v) for v in rng.integers(1, 9, size=3))
+            reduction = reduce_quasipartition1_to_conference_call(sizes)
+            optimum = optimal_strategy(reduction.instance)
+            assert (optimum.expected_paging == reduction.lower_bound) == (
+                solve_quasipartition1(sizes) is not None
+            )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidInstanceError, match="divisible"):
+            reduce_quasipartition1_to_conference_call(fractions((1, 2)))
+        with pytest.raises(InvalidInstanceError, match="strictly below"):
+            reduce_quasipartition1_to_conference_call(fractions((0, 0, 5)))
+
+
+class TestLemma35Gadget:
+    def test_gadget_probabilities_are_valid(self):
+        reduction = reduce_multipartition_to_conference_call(
+            fractions((1, 1, 1, 5)), 3, 2
+        )
+        instance = reduction.instance
+        assert instance.num_devices == 3
+        for row in instance.rows:
+            assert sum(row) == 1
+            assert all(p > 0 for p in row)
+
+    def test_lower_bound_formula(self):
+        # m = 2, d = 2, c = 3: b = (0, 2, 3), sum = (3-2) * 4 = 4.
+        expected = Fraction(3) - Fraction(5**2, 4 * 2 * 27) * 4
+        assert lemma35_lower_bound(2, 2, 3) == expected
+
+    def test_equivalence_m2(self, rng):
+        parameters = multipartition_parameters(2, 2)
+        for _ in range(10):
+            sizes = fractions(int(v) for v in rng.integers(1, 9, size=3))
+            reduction = reduce_multipartition_to_conference_call(sizes, 2, 2)
+            optimum = optimal_strategy(reduction.instance)
+            hits = optimum.expected_paging == reduction.lower_bound
+            assert hits == (solve_multipartition(sizes, parameters) is not None)
+
+    def test_equivalence_m3(self, rng):
+        parameters = multipartition_parameters(3, 2)
+        for _ in range(6):
+            sizes = fractions(int(v) for v in rng.integers(1, 7, size=4))
+            reduction = reduce_multipartition_to_conference_call(sizes, 3, 2)
+            optimum = optimal_strategy(reduction.instance)
+            hits = optimum.expected_paging == reduction.lower_bound
+            assert hits == (solve_multipartition(sizes, parameters) is not None)
+
+    def test_optimal_strategy_encodes_witness(self):
+        sizes = fractions((1, 1, 4))
+        reduction = reduce_multipartition_to_conference_call(sizes, 2, 2)
+        optimum = optimal_strategy(reduction.instance)
+        assert optimum.expected_paging == reduction.lower_bound
+        first = sorted(optimum.strategy.group(0))
+        # The first group must hold 2 cells carrying 1/3 of the mass: {0, 1}.
+        assert first == [0, 1]
+
+    def test_rejects_small_parameters(self):
+        with pytest.raises(InvalidInstanceError):
+            reduce_multipartition_to_conference_call(fractions((1, 1, 4)), 1, 2)
+        with pytest.raises(InvalidInstanceError, match="multiple"):
+            reduce_multipartition_to_conference_call(fractions((1, 1)), 2, 2)
+
+
+class TestLifting:
+    def test_lifted_shape(self, rng):
+        base = random_exact_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        lifted = lift_two_device_instance(base, 4)
+        assert lifted.num_devices == 4
+        assert lifted.num_cells == 5
+        assert lifted.max_rounds == 3
+        for row in lifted.rows:
+            assert sum(row) == 1
+
+    def test_lifted_optimum_isolates_extra_cell(self, rng):
+        base = random_exact_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        lifted = lift_two_device_instance(base, 3)
+        optimum = optimal_strategy(lifted)
+        assert optimum.strategy.group(0) == frozenset({4})
+
+    def test_unlift_strategy(self, rng):
+        base = random_exact_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        lifted = lift_two_device_instance(base, 3)
+        optimum = optimal_strategy(lifted)
+        induced = unlift_strategy(optimum.strategy, 4)
+        assert induced.num_cells == 4
+        value = expected_paging(base, induced)
+        best = optimal_strategy(base).expected_paging
+        assert value >= best
+        assert float(value) <= float(best) * 1.05  # near-optimal continuation
+
+    def test_unlift_rejects_wrong_first_group(self):
+        from repro.core import Strategy
+
+        with pytest.raises(InvalidInstanceError, match="extra cell"):
+            unlift_strategy(Strategy([[0, 4], [1, 2, 3]]), 4)
+
+    def test_rejects_bad_parameters(self, rng):
+        base = random_exact_instance(rng, num_devices=2, num_cells=4, max_rounds=2)
+        with pytest.raises(InvalidInstanceError):
+            lift_two_device_instance(base, 1)
+        with pytest.raises(InvalidInstanceError):
+            lift_two_device_instance(base, 3, attraction=Fraction(2))
+        three = random_exact_instance(rng, num_devices=3, num_cells=4, max_rounds=2)
+        with pytest.raises(InvalidInstanceError, match="two-device"):
+            lift_two_device_instance(three, 4)

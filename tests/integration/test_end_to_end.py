@@ -1,0 +1,114 @@
+"""Cross-module integration tests: the full pipelines a user would run."""
+
+import numpy as np
+import pytest
+
+from repro.cellnet import (
+    CellTopology,
+    GravityMobility,
+    LocationAreaPlan,
+    generate_trace,
+    stationary_distribution,
+)
+from repro.core import (
+    PagingInstance,
+    adaptive_expected_paging,
+    conference_call_heuristic,
+    expected_paging_float,
+    expected_paging_monte_carlo,
+    optimal_strategy,
+)
+from repro.distributions import (
+    empirical_distribution,
+    instance_from_traces,
+    total_variation,
+)
+
+
+class TestMobilityToPagingPipeline:
+    """Traces -> estimated distributions -> paging plan -> savings."""
+
+    def test_full_pipeline(self, rng):
+        topology = CellTopology.hexagonal_disk(2)
+        attraction = rng.uniform(0.5, 4.0, size=topology.num_cells)
+        models = [GravityMobility(topology, attraction) for _ in range(3)]
+        traces = [
+            generate_trace(model, int(rng.integers(topology.num_cells)), 600, rng)
+            for model in models
+        ]
+        instance = instance_from_traces(
+            traces, topology.num_cells, max_rounds=3
+        )
+        plan = conference_call_heuristic(instance)
+        assert float(plan.expected_paging) < topology.num_cells
+        saving = 1 - float(plan.expected_paging) / topology.num_cells
+        assert saving > 0.1, "skewed profiles should yield a real saving"
+
+    def test_estimated_profile_tracks_stationary(self, rng):
+        topology = CellTopology.hexagonal_disk(2)
+        attraction = rng.uniform(0.5, 4.0, size=topology.num_cells)
+        model = GravityMobility(topology, attraction)
+        trace = generate_trace(model, 0, 4_000, rng)
+        estimated = empirical_distribution(trace, topology.num_cells)
+        truth = stationary_distribution(
+            model, topology, samples=8_000, rng=np.random.default_rng(1)
+        )
+        assert total_variation(estimated, truth) < 0.15
+
+    def test_plan_quality_degrades_gracefully_with_short_traces(self, rng):
+        """Even crude estimates beat blanket paging on skewed mobility."""
+        topology = CellTopology.hexagonal_disk(2)
+        attraction = rng.uniform(0.2, 5.0, size=topology.num_cells)
+        model = GravityMobility(topology, attraction)
+        truth = stationary_distribution(
+            model, topology, samples=8_000, rng=np.random.default_rng(2)
+        )
+        truth_instance = PagingInstance.from_array(
+            np.vstack([truth, truth]), max_rounds=3, allow_zero=True
+        )
+        trace = generate_trace(model, 0, 150, rng)
+        estimate = empirical_distribution(trace, topology.num_cells)
+        planned = conference_call_heuristic(
+            PagingInstance.from_array(np.vstack([estimate, estimate]), max_rounds=3)
+        )
+        # Evaluate the plan from the estimate under the TRUE distribution.
+        achieved = expected_paging_float(truth_instance, planned.strategy)
+        assert achieved < topology.num_cells
+
+
+class TestPlannerConsistency:
+    """The planners agree with each other and with simulation."""
+
+    def test_three_ways_to_the_same_number(self, rng):
+        matrix = rng.dirichlet(np.ones(7), size=2)
+        instance = PagingInstance.from_array(matrix, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        closed = expected_paging_float(instance, plan.strategy)
+        simulated = expected_paging_monte_carlo(
+            instance, plan.strategy, trials=30_000, rng=rng
+        )
+        assert simulated == pytest.approx(closed, abs=0.08)
+        assert float(plan.expected_paging) == pytest.approx(closed)
+
+    def test_solution_quality_ladder(self, rng):
+        """optimal <= adaptive <= heuristic <= blanket, for this seed."""
+        matrix = rng.dirichlet(np.ones(7), size=2)
+        instance = PagingInstance.from_array(matrix, max_rounds=3)
+        optimum = float(optimal_strategy(instance).expected_paging)
+        adaptive = float(adaptive_expected_paging(instance))
+        heuristic = float(conference_call_heuristic(instance).expected_paging)
+        assert optimum <= heuristic + 1e-9
+        assert adaptive <= heuristic + 1e-9
+        assert heuristic <= instance.num_cells
+
+    def test_la_restricted_instance_round_trip(self, rng):
+        """Restricting to a location area and planning inside it works."""
+        topology = CellTopology.hexagonal_disk(2)
+        plan = LocationAreaPlan.by_bfs(topology, 3)
+        matrix = rng.dirichlet(np.ones(topology.num_cells), size=2)
+        instance = PagingInstance.from_array(matrix, max_rounds=3)
+        area_cells = plan.cells_of(0)
+        sub, mapping = instance.restrict([0, 1], area_cells, max_rounds=3)
+        local_plan = conference_call_heuristic(sub)
+        assert mapping == area_cells
+        assert float(local_plan.expected_paging) <= len(area_cells)

@@ -1,0 +1,151 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def instance_file(tmp_path):
+    path = tmp_path / "instance.json"
+    payload = {
+        "probabilities": [[0.5, 0.3, 0.1, 0.1], [0.1, 0.2, 0.3, 0.4]],
+        "max_rounds": 2,
+    }
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestPlan:
+    def test_heuristic_plan(self, instance_file, capsys):
+        assert main(["plan", instance_file]) == 0
+        out = capsys.readouterr().out
+        assert "round 1: page cells" in out
+        assert "e/(e-1) heuristic expected paging" in out
+
+    def test_exact_plan(self, instance_file, capsys):
+        assert main(["plan", instance_file, "--solver", "exact"]) == 0
+        assert "exact optimal" in capsys.readouterr().out
+
+    def test_adaptive_value(self, instance_file, capsys):
+        assert main(["plan", instance_file, "--solver", "adaptive"]) == 0
+        assert "adaptive replanning" in capsys.readouterr().out
+
+    def test_round_override(self, instance_file, capsys):
+        assert main(["plan", instance_file, "--rounds", "3"]) == 0
+        assert "d=3" in capsys.readouterr().out
+
+    def test_bandwidth_cap(self, instance_file, capsys):
+        assert main(["plan", instance_file, "--rounds", "2", "--bandwidth", "2"]) == 0
+        out = capsys.readouterr().out
+        for line in out.splitlines():
+            if "page cells" in line:
+                cells = line.split("page cells")[1]
+                assert cells.count(",") <= 1  # at most two cells per round
+
+    def test_output_writes_strategy(self, instance_file, tmp_path, capsys):
+        out_path = tmp_path / "plan.json"
+        assert main(["plan", instance_file, "--output", str(out_path)]) == 0
+        from repro.core import Strategy
+        from repro.core.serialization import load
+
+        restored = load(str(out_path))
+        assert isinstance(restored, Strategy)
+        assert restored.num_cells == 4
+
+    def test_fast_planner_flag(self, instance_file, capsys):
+        assert main(["plan", instance_file, "--fast"]) == 0
+        assert "heuristic expected paging" in capsys.readouterr().out
+
+    def test_missing_probabilities_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(SystemExit, match="probabilities"):
+            main(["plan", str(path)])
+
+
+class TestGadget:
+    def test_yes_instance(self, capsys):
+        assert main(["gadget", "1,1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "EP == LB" in out
+        assert "True" in out
+
+    def test_no_instance(self, capsys):
+        assert main(["gadget", "1,1,3"]) == 0
+        out = capsys.readouterr().out
+        assert "quasipartition witness: None" in out
+        assert "False" in out
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit, match="parse"):
+            main(["gadget", "1,banana,3"])
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert main(["experiments", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E2" in out
+        assert "E20" in out
+
+    def test_run_single(self, capsys):
+        assert main(["experiments", "E2"]) == 0
+        out = capsys.readouterr().out
+        assert "E2:" in out
+        assert "317" in out or "6.4694" in out
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            main(["experiments", "E999"])
+
+
+class TestRender:
+    def test_location_area_map(self, capsys):
+        assert main(["render", "--radius", "2", "--areas", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "19 cells" in out
+        assert "location-area id" in out
+
+    def test_strategy_overlay(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        matrix = rng.dirichlet(np.ones(19), size=2).tolist()
+        path = tmp_path / "inst.json"
+        path.write_text(json.dumps({"probabilities": matrix, "max_rounds": 3}))
+        assert main(["render", "--radius", "2", "--plan", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "paging round" in out
+        assert "expected paging" in out
+
+    def test_cell_count_mismatch_rejected(self, instance_file):
+        with pytest.raises(SystemExit, match="cells"):
+            main(["render", "--radius", "2", "--plan", instance_file])
+
+
+class TestSimulate:
+    def test_small_run(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--radius",
+                    "2",
+                    "--devices",
+                    "3",
+                    "--horizon",
+                    "80",
+                    "--seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cells_paged" in out
+        assert "19 cells" in out

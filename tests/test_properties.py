@@ -1,0 +1,290 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+These exercise the algebraic identities the library rests on — Lemma 2.1's
+telescoping, DP optimality over its family, stopping-rule monotonicity, the
+subset-sum witnesses — over randomly generated instances and strategies.
+"""
+
+import itertools
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PagingInstance,
+    Strategy,
+    by_expected_devices,
+    conference_call_heuristic,
+    expected_paging,
+    expected_paging_by_definition,
+    expected_paging_signature,
+    expected_paging_yellow,
+    optimize_over_order,
+    poisson_binomial_tail,
+    simulate_paging,
+    stopping_round_distribution,
+)
+from repro.hardness import subset_with_count_and_sum
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+@st.composite
+def exact_instances(draw, max_devices=3, max_cells=6):
+    """Random Fraction instances with positive rows summing to 1."""
+    m = draw(st.integers(1, max_devices))
+    c = draw(st.integers(2, max_cells))
+    d = draw(st.integers(1, c))
+    rows = []
+    for _ in range(m):
+        weights = draw(
+            st.lists(st.integers(1, 20), min_size=c, max_size=c)
+        )
+        total = sum(weights)
+        rows.append([Fraction(w, total) for w in weights])
+    return PagingInstance(rows, max_rounds=d)
+
+
+@st.composite
+def instances_with_strategies(draw):
+    """An instance plus a random valid strategy over its cells."""
+    instance = draw(exact_instances())
+    c = instance.num_cells
+    t = draw(st.integers(1, c))
+    # Random surjection onto t rounds: assign the first t cells to distinct
+    # rounds, the rest freely.
+    labels = list(range(t)) + [
+        draw(st.integers(0, t - 1)) for _ in range(c - t)
+    ]
+    permutation = draw(st.permutations(list(range(c))))
+    assignment = [0] * c
+    for position, cell in enumerate(permutation):
+        assignment[cell] = labels[position]
+    return instance, Strategy.from_assignment(assignment)
+
+
+# ----------------------------------------------------------------------
+# Lemma 2.1 identities
+# ----------------------------------------------------------------------
+@given(instances_with_strategies())
+@settings(max_examples=60, deadline=None)
+def test_telescoped_ep_equals_definition(data):
+    instance, strategy = data
+    assert expected_paging(instance, strategy) == expected_paging_by_definition(
+        instance, strategy
+    )
+
+
+@given(instances_with_strategies())
+@settings(max_examples=60, deadline=None)
+def test_ep_within_bounds(data):
+    instance, strategy = data
+    value = expected_paging(instance, strategy)
+    assert strategy.group_sizes()[0] <= value <= instance.num_cells
+
+
+@given(instances_with_strategies())
+@settings(max_examples=60, deadline=None)
+def test_stopping_distribution_is_a_distribution(data):
+    instance, strategy = data
+    probabilities = stopping_round_distribution(instance, strategy)
+    assert sum(probabilities) == 1
+    assert all(p >= 0 for p in probabilities)
+
+
+@given(instances_with_strategies())
+@settings(max_examples=40, deadline=None)
+def test_ep_is_expectation_of_simulation(data):
+    """EP equals the exact expectation of simulate_paging over all outcomes."""
+    instance, strategy = data
+    total = Fraction(0)
+    cells = range(instance.num_cells)
+    for locations in itertools.product(cells, repeat=instance.num_devices):
+        probability = Fraction(1)
+        for device, cell in enumerate(locations):
+            probability *= Fraction(instance.probability(device, cell))
+        if probability == 0:
+            continue
+        paged, _rounds = simulate_paging(instance, strategy, locations)
+        total += probability * paged
+    assert total == expected_paging(instance, strategy)
+
+
+# ----------------------------------------------------------------------
+# DP and heuristic invariants
+# ----------------------------------------------------------------------
+@given(exact_instances())
+@settings(max_examples=40, deadline=None)
+def test_dp_value_is_minimum_over_its_family(instance):
+    order = by_expected_devices(instance)
+    result = optimize_over_order(instance, order)
+    d = instance.max_rounds
+    c = instance.num_cells
+    for cuts in itertools.combinations(range(1, c), d - 1):
+        bounds = (0,) + cuts + (c,)
+        sizes = tuple(bounds[i + 1] - bounds[i] for i in range(d))
+        strategy = Strategy.from_order_and_sizes(order, sizes)
+        assert result.expected_paging <= expected_paging(instance, strategy)
+
+
+@given(exact_instances())
+@settings(max_examples=40, deadline=None)
+def test_heuristic_value_matches_its_strategy(instance):
+    result = conference_call_heuristic(instance)
+    assert result.expected_paging == expected_paging(instance, result.strategy)
+
+
+@given(exact_instances(max_devices=2, max_cells=5))
+@settings(max_examples=25, deadline=None)
+def test_heuristic_within_proven_factor(instance):
+    from repro.core import optimal_strategy
+
+    heuristic = conference_call_heuristic(instance)
+    optimum = optimal_strategy(instance)
+    ratio = Fraction(heuristic.expected_paging) / Fraction(optimum.expected_paging)
+    assert float(ratio) <= 1.5819767068693265 + 1e-12
+
+
+# ----------------------------------------------------------------------
+# Variant stopping rules
+# ----------------------------------------------------------------------
+@given(instances_with_strategies())
+@settings(max_examples=40, deadline=None)
+def test_yellow_cheaper_than_conference(data):
+    """Stopping earlier (any single hit) can never page more cells."""
+    instance, strategy = data
+    assert expected_paging_yellow(instance, strategy) <= expected_paging(
+        instance, strategy
+    )
+
+
+@given(instances_with_strategies(), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_signature_monotone_in_quorum(data, quorum):
+    instance, strategy = data
+    k = min(quorum, instance.num_devices)
+    lower = expected_paging_signature(instance, strategy, k)
+    full = expected_paging_signature(instance, strategy, instance.num_devices)
+    assert lower <= full
+
+
+@given(
+    st.lists(
+        st.fractions(min_value=0, max_value=1, max_denominator=20),
+        min_size=1,
+        max_size=5,
+    ),
+    st.integers(0, 6),
+)
+@settings(max_examples=80, deadline=None)
+def test_poisson_binomial_tail_properties(probabilities, quorum):
+    tail = poisson_binomial_tail(probabilities, quorum)
+    assert 0 <= tail <= 1
+    if quorum == 0:
+        assert tail == 1
+    if quorum > len(probabilities):
+        assert tail == 0
+    if quorum >= 1:
+        next_tail = poisson_binomial_tail(probabilities, quorum + 1)
+        assert next_tail <= tail
+
+
+# ----------------------------------------------------------------------
+# Exact variant solvers (tiny sizes)
+# ----------------------------------------------------------------------
+@given(exact_instances(max_devices=3, max_cells=4))
+@settings(max_examples=20, deadline=None)
+def test_variant_optima_are_ordered(instance):
+    """yellow* <= signature*(k) <= conference* for every k, exactly."""
+    from repro.core import optimal_signature, optimal_strategy, optimal_yellow_pages
+
+    m = instance.num_devices
+    yellow = optimal_yellow_pages(instance).expected_paging
+    conference = optimal_strategy(instance).expected_paging
+    previous = yellow
+    for quorum in range(1, m + 1):
+        signature = optimal_signature(instance, quorum).expected_paging
+        assert previous <= signature
+        previous = signature
+    assert previous == conference
+
+
+@given(exact_instances(max_devices=2, max_cells=4))
+@settings(max_examples=20, deadline=None)
+def test_adaptive_optimum_lower_bounds_everything(instance):
+    from repro.core import (
+        adaptive_expected_paging,
+        optimal_adaptive_expected_paging,
+        optimal_strategy,
+    )
+
+    adaptive_opt = optimal_adaptive_expected_paging(instance).expected_paging
+    assert adaptive_opt <= optimal_strategy(instance).expected_paging
+    assert adaptive_opt <= adaptive_expected_paging(instance)
+
+
+# ----------------------------------------------------------------------
+# Weighted costs
+# ----------------------------------------------------------------------
+@given(instances_with_strategies(), st.lists(st.integers(1, 9), min_size=8, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_weighted_ep_reduces_and_scales(data, raw_costs):
+    """Unit costs recover Lemma 2.1; scaling costs scales the expectation."""
+    from repro.core import expected_paging, weighted_expected_paging
+
+    instance, strategy = data
+    c = instance.num_cells
+    unit = weighted_expected_paging(instance, strategy, [Fraction(1)] * c)
+    assert unit == expected_paging(instance, strategy)
+    costs = [Fraction(v) for v in raw_costs[:c]]
+    base = weighted_expected_paging(instance, strategy, costs)
+    doubled = weighted_expected_paging(
+        instance, strategy, [2 * cost for cost in costs]
+    )
+    assert doubled == 2 * base
+
+
+@given(exact_instances(max_devices=2, max_cells=5))
+@settings(max_examples=30, deadline=None)
+def test_weighted_cut_dp_is_minimum_over_cuts(instance):
+    from repro.core import Strategy, weighted_expected_paging
+    from repro.core.weighted import by_density, optimize_cuts_weighted
+
+    costs = [Fraction(j + 1) for j in range(instance.num_cells)]
+    order = by_density(instance, costs)
+    finds = instance.prefix_find_probabilities(order)
+    prefix_costs = [Fraction(0)]
+    for cell in order:
+        prefix_costs.append(prefix_costs[-1] + costs[cell])
+    d = instance.max_rounds
+    sizes, value = optimize_cuts_weighted(finds, prefix_costs, d)
+    for cuts in itertools.combinations(range(1, instance.num_cells), d - 1):
+        bounds = (0,) + cuts + (instance.num_cells,)
+        manual_sizes = tuple(bounds[i + 1] - bounds[i] for i in range(d))
+        strategy = Strategy.from_order_and_sizes(order, manual_sizes)
+        assert value <= weighted_expected_paging(instance, strategy, costs)
+
+
+# ----------------------------------------------------------------------
+# Subset-sum DP
+# ----------------------------------------------------------------------
+@given(
+    st.lists(st.integers(0, 12), min_size=1, max_size=8),
+    st.integers(0, 8),
+    st.integers(0, 40),
+)
+@settings(max_examples=100, deadline=None)
+def test_subset_dp_sound_and_complete(values, count, target):
+    sizes = [Fraction(v) for v in values]
+    witness = subset_with_count_and_sum(sizes, count, Fraction(target))
+    brute = any(
+        sum(sizes[i] for i in combo) == target
+        for combo in itertools.combinations(range(len(sizes)), count)
+    ) if count <= len(sizes) else False
+    assert (witness is not None) == brute
+    if witness is not None:
+        assert len(witness) == count
+        assert len(set(witness)) == count
+        assert sum(sizes[i] for i in witness) == target

@@ -1,0 +1,87 @@
+"""Property-based tests on the NP-hardness machinery."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardness import (
+    PartitionInstance,
+    extract_partition_witness,
+    has_partition,
+    reduce_partition_to_quasipartition2,
+    reduce_quasipartition1_to_conference_call,
+    solve_partition,
+    solve_quasipartition1,
+    solve_quasipartition2,
+    verify_partition,
+)
+
+
+@st.composite
+def partition_instances(draw):
+    count = draw(st.sampled_from((2, 4, 6)))
+    sizes = tuple(
+        draw(st.integers(1, 12)) for _ in range(count)
+    )
+    return PartitionInstance(sizes)
+
+
+@given(partition_instances())
+@settings(max_examples=60, deadline=None)
+def test_partition_witnesses_always_verify(instance):
+    witness = solve_partition(instance)
+    if witness is not None:
+        assert verify_partition(instance, witness)
+    else:
+        # Exhaustive check that no witness was missed on these tiny sizes.
+        import itertools
+
+        g = instance.count
+        for subset in itertools.combinations(range(g), g // 2):
+            assert 2 * sum(instance.sizes[i] for i in subset) != instance.total
+
+
+@given(partition_instances())
+@settings(max_examples=25, deadline=None)
+def test_lemma37_reduction_preserves_the_answer(instance):
+    reduction = reduce_partition_to_quasipartition2(instance)
+    witness = solve_quasipartition2(reduction.sizes, reduction.parameters)
+    assert has_partition(instance) == (witness is not None)
+    if witness is not None:
+        recovered = extract_partition_witness(reduction, witness)
+        assert verify_partition(instance, recovered)
+
+
+@given(st.lists(st.integers(1, 9), min_size=3, max_size=3))
+@settings(max_examples=25, deadline=None)
+def test_lemma32_reduction_preserves_the_answer(raw_sizes):
+    from repro.core import optimal_strategy
+
+    sizes = [Fraction(v) for v in raw_sizes]
+    reduction = reduce_quasipartition1_to_conference_call(sizes)
+    optimum = optimal_strategy(reduction.instance)
+    hits_bound = optimum.expected_paging == reduction.lower_bound
+    assert hits_bound == (solve_quasipartition1(sizes) is not None)
+    if hits_bound:
+        witness = reduction.witness_from_strategy(optimum.strategy)
+        assert sum(sizes[i] for i in witness) * 2 == sum(sizes)
+        assert len(witness) == 2
+
+
+@given(st.lists(st.integers(0, 10), min_size=3, max_size=6))
+@settings(max_examples=50, deadline=None)
+def test_quasipartition1_decision_matches_brute_force(raw_sizes):
+    import itertools
+
+    if len(raw_sizes) % 3 != 0:
+        raw_sizes = raw_sizes[: 3 * (len(raw_sizes) // 3)]
+    sizes = [Fraction(v) for v in raw_sizes]
+    c = len(sizes)
+    total = sum(sizes)
+    witness = solve_quasipartition1(sizes)
+    brute = any(
+        2 * sum(sizes[i] for i in combo) == total
+        for combo in itertools.combinations(range(c), 2 * c // 3)
+    )
+    assert (witness is not None) == brute

@@ -1,0 +1,85 @@
+"""Meta-tests on the public API surface.
+
+Keeps ``__all__`` honest in every package: each listed name must exist, and
+the documented entry points must be importable from where the docs say.
+"""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.hardness",
+    "repro.analysis",
+    "repro.distributions",
+    "repro.cellnet",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_entries_exist(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} should declare __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing {name}"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_entries_sorted_and_unique(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert len(names) == len(set(names)), f"{package_name}.__all__ has duplicates"
+
+
+def test_top_level_reexports_cover_the_readme():
+    import repro
+
+    for name in (
+        "PagingInstance",
+        "Strategy",
+        "conference_call_heuristic",
+        "optimal_strategy",
+        "expected_paging",
+        "adaptive_expected_paging",
+    ):
+        assert hasattr(repro, name)
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_error_hierarchy():
+    from repro import (
+        InfeasibleError,
+        InvalidInstanceError,
+        InvalidStrategyError,
+        ReproError,
+        SimulationError,
+        SolverLimitError,
+    )
+
+    for error_type in (
+        InfeasibleError,
+        InvalidInstanceError,
+        InvalidStrategyError,
+        SimulationError,
+        SolverLimitError,
+    ):
+        assert issubclass(error_type, ReproError)
+    assert issubclass(InvalidInstanceError, ValueError)
+    assert issubclass(SolverLimitError, RuntimeError)
+
+
+def test_cli_entry_point_configured():
+    import tomllib
+    from pathlib import Path
+
+    pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+    config = tomllib.loads(pyproject.read_text())
+    assert config["project"]["scripts"]["repro"] == "repro.cli:main"
