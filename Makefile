@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench report examples all clean
+.PHONY: install test lint bench report save-report examples all clean
 
 install:
-	$(PYTHON) setup.py develop
+	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m repro.lint src tests
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
@@ -26,8 +29,8 @@ examples:
 		echo; \
 	done
 
-all: test bench report
+all: lint test bench report
 
 clean:
-	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results reports
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results reports src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -21,6 +21,8 @@ Quickstart::
     print(plan.group_sizes, float(plan.expected_paging))
 """
 
+from __future__ import annotations
+
 from .core import (
     APPROXIMATION_FACTOR,
     PagingInstance,

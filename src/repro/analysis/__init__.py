@@ -1,4 +1,11 @@
-"""Numeric verification of the paper's analysis and ratio measurement."""
+"""Numeric verification of the paper's analysis and ratio measurement.
+
+Covers the Section 3 extremum lemmas (Lemma 3.1, Lemma 3.4), the Section 4
+inequalities (Propositions 4.1/4.2, Lemmas 4.4/4.5), heuristic-vs-optimal
+ratio sweeps, and the §1.2 stationarity assumption probe.
+"""
+
+from __future__ import annotations
 
 from .convexity import (
     ExtremumCheck,

@@ -5,6 +5,8 @@ reporting policies, a location registry, and a time-stepped simulator whose
 conference-call searches are driven by the paper's paging strategies.
 """
 
+from __future__ import annotations
+
 from .calls import ConferenceCallRequest, PoissonConferenceCalls
 from .database import LocationRegistry, RegistryRecord
 from .geometry import HEX_DIRECTIONS, Hex, hex_disk, hex_rectangle, ring

@@ -9,6 +9,8 @@ Four commands cover the library's workflows:
 * ``repro experiments`` — regenerate experiment tables (all or by id).
 * ``repro gadget`` — run the Lemma 3.2 NP-hardness reduction on a list of
   sizes and report whether the optimum hits the lower bound.
+* ``repro lint`` — domain-aware static analysis (exact-arithmetic,
+  reproducibility, and paper-traceability rules; see docs/linting.md).
 
 JSON input format for ``plan``::
 
@@ -99,6 +101,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     render.add_argument("--rounds", type=int, default=3)
     render.add_argument("--seed", type=int, default=2002)
+
+    from .lint.engine import add_lint_arguments
+
+    lint = commands.add_parser(
+        "lint", help="run the domain-aware static-analysis rules (RPL001-RPL006)"
+    )
+    add_lint_arguments(lint)
 
     return parser
 
@@ -263,6 +272,12 @@ def _command_render(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    from .lint.engine import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
@@ -272,6 +287,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiments": _command_experiments,
         "gadget": _command_gadget,
         "render": _command_render,
+        "lint": _command_lint,
     }
     return handlers[args.command](args)
 

@@ -7,6 +7,8 @@ special case, exact solvers, and the Section 5 extensions (adaptive, Yellow
 Pages, Signature, bandwidth caps, clustered scheme).
 """
 
+from __future__ import annotations
+
 from .adaptive import (
     AdaptiveTrace,
     adaptive_expected_paging,

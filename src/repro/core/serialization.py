@@ -1,5 +1,8 @@
 """JSON (de)serialization for instances and strategies.
 
+Persists the §1.2 model objects — the `m x c` probability matrix and the
+ordered partition a strategy is — without losing exactness.
+
 Lets plans cross process boundaries: the CLI reads instances from JSON, and
 operators can persist the strategies the optimizer produced.  Exact
 instances serialize probabilities as ``"numerator/denominator"`` strings so

@@ -1,5 +1,7 @@
 """Synthetic location distributions and trace-based estimation."""
 
+from __future__ import annotations
+
 from .correlated import (
     AnchoredPopulation,
     anchored_population,

@@ -1,5 +1,7 @@
 """The experiment harness: every table the reproduction reports."""
 
+from __future__ import annotations
+
 from .advanced import (
     run_e19_adaptivity_gap,
     run_e20_imperfect_detection,
@@ -35,7 +37,13 @@ from .paper_claims import (
     run_e05_lemma34,
     run_e16_four_thirds,
 )
-from .runner import EXPERIMENTS, main, run_experiments, save_report
+from .runner import (
+    EXPERIMENTS,
+    lint_attestation,
+    main,
+    run_experiments,
+    save_report,
+)
 from .system import (
     heuristic_workload,
     run_e07_dp_scaling,
@@ -48,6 +56,7 @@ __all__ = [
     "EXPERIMENTS",
     "ExperimentTable",
     "heuristic_workload",
+    "lint_attestation",
     "main",
     "render_all",
     "run_e01_uniform_single_user",

@@ -93,14 +93,59 @@ def run_experiments(
     return tables
 
 
+def lint_attestation(
+    targets: Sequence[str] = ("src", "tests"),
+) -> "Dict[str, object]":
+    """Run ``repro lint`` over ``targets`` and summarize the outcome.
+
+    The reproduction report embeds this so a rendered report also records
+    that the tree satisfied the exactness/reproducibility/traceability
+    rules (RPL001–RPL006) at generation time.  When run from an installed
+    package with no source checkout, ``targets`` is empty and ``clean`` is
+    ``None`` — the attestation is "not applicable", not "passed".
+    """
+    from pathlib import Path
+
+    from ..lint import find_project_root, load_config, run_lint
+
+    root = find_project_root(Path.cwd()) or Path.cwd()
+    present = [target for target in targets if (root / target).exists()]
+    payload: Dict[str, object] = {
+        "tool": "replint",
+        "root": str(root),
+        "targets": present,
+        "clean": None,
+        "counts": {},
+        "violations": [],
+    }
+    if not present:
+        return payload
+    result = run_lint(
+        [str(root / target) for target in present],
+        config=load_config(root),
+        root=root,
+    )
+    payload["clean"] = result.clean
+    payload["files_checked"] = result.files_checked
+    payload["counts"] = result.counts()
+    payload["violations"] = [violation.to_json() for violation in result.violations]
+    return payload
+
+
 def save_report(
-    directory: str, names: Optional[Sequence[str]] = None
+    directory: str,
+    names: Optional[Sequence[str]] = None,
+    lint_targets: Optional[Sequence[str]] = ("src", "tests"),
 ) -> List[str]:
     """Run experiments and persist each table as ``.txt`` and ``.csv``.
 
     Returns the paths written.  This is what keeps the plain-text report and
-    plot-ready data in sync with one run.
+    plot-ready data in sync with one run.  Unless ``lint_targets`` is None,
+    a ``lint.json`` attestation (the ``repro lint --json`` outcome for the
+    source tree) is written alongside the tables, so the report records
+    that it was produced from a zero-violation tree.
     """
+    import json
     import os
 
     os.makedirs(directory, exist_ok=True)
@@ -112,6 +157,12 @@ def save_report(
         with open(stem + ".csv", "w") as handle:
             handle.write(table.to_csv())
         written.extend([stem + ".txt", stem + ".csv"])
+    if lint_targets is not None:
+        lint_path = os.path.join(directory, "lint.json")
+        with open(lint_path, "w") as handle:
+            json.dump(lint_attestation(lint_targets), handle, indent=2)
+            handle.write("\n")
+        written.append(lint_path)
     return written
 
 

@@ -6,6 +6,8 @@ intermediate problem so the iff-equivalences can be verified end to end on
 small instances.
 """
 
+from __future__ import annotations
+
 from .multipartition import (
     Lemma36Reduction,
     MultipartitionParameters,

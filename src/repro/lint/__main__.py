@@ -1,0 +1,10 @@
+"""Allow ``python -m repro.lint src tests``."""
+
+from __future__ import annotations
+
+import sys
+
+from .engine import main
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

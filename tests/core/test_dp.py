@@ -6,7 +6,6 @@ from fractions import Fraction
 import pytest
 
 from repro.core import (
-    PagingInstance,
     Strategy,
     by_expected_devices,
     dp_value_table,
@@ -75,7 +74,9 @@ class TestLemma47DP:
             small_instance, by_expected_devices(small_instance), max_rounds=1
         )
         assert result.group_sizes == (small_instance.num_cells,)
-        assert float(result.expected_paging) == small_instance.num_cells
+        assert float(result.expected_paging) == pytest.approx(
+            small_instance.num_cells
+        )
 
     def test_d_equals_c_one_cell_per_round_allowed(self, small_instance):
         result = optimize_over_order(

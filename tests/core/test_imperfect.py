@@ -1,6 +1,5 @@
 """Unit tests for the imperfect-detection model (Section 5)."""
 
-import numpy as np
 import pytest
 
 from repro.core import (
@@ -22,8 +21,9 @@ from tests.conftest import random_instance
 class TestDetectionModels:
     def test_constant_detection(self):
         model = ConstantDetection(0.8)
-        assert model.detection_probability(1) == 0.8
-        assert model.detection_probability(5) == 0.8
+        # the model returns the stored literal unchanged, so equality is exact
+        assert model.detection_probability(1) == 0.8  # replint: disable=RPL001
+        assert model.detection_probability(5) == 0.8  # replint: disable=RPL001
 
     def test_constant_validation(self):
         with pytest.raises(InvalidInstanceError):

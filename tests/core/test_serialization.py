@@ -1,10 +1,8 @@
 """Unit tests for JSON serialization."""
 
-from fractions import Fraction
-
 import pytest
 
-from repro.core import PagingInstance, Strategy
+from repro.core import Strategy
 from repro.core.serialization import (
     dumps,
     instance_from_dict,

@@ -10,7 +10,6 @@ from repro.core import (
     by_miss_probability,
     expected_paging_yellow,
     optimize_yellow_over_order,
-    simulate_paging,
     yellow_pages_greedy,
     yellow_pages_m_approximation,
     yellow_pages_weight_order,

@@ -1,8 +1,16 @@
 """Unit tests for the experiment runner."""
 
+import json
+
 import pytest
 
-from repro.experiments import EXPERIMENTS, main, run_experiments, save_report
+from repro.experiments import (
+    EXPERIMENTS,
+    lint_attestation,
+    main,
+    run_experiments,
+    save_report,
+)
 
 
 class TestRunner:
@@ -29,9 +37,22 @@ class TestRunner:
         assert expected <= set(EXPERIMENTS)
 
     def test_save_report_writes_txt_and_csv(self, tmp_path):
-        written = save_report(str(tmp_path), ["E2"])
+        written = save_report(str(tmp_path), ["E2"], lint_targets=None)
         assert len(written) == 2
         txt = (tmp_path / "e2.txt").read_text()
         csv = (tmp_path / "e2.csv").read_text()
         assert "E2:" in txt
         assert csv.splitlines()[0].startswith("variant,")
+
+    def test_save_report_writes_lint_attestation(self, tmp_path):
+        written = save_report(str(tmp_path), ["E2"])
+        assert written[-1].endswith("lint.json")
+        payload = json.loads((tmp_path / "lint.json").read_text())
+        assert payload["tool"] == "replint"
+        assert payload["clean"] is True
+        assert payload["violations"] == []
+
+    def test_lint_attestation_handles_missing_targets(self):
+        payload = lint_attestation(targets=("no/such/dir",))
+        assert payload["clean"] is None
+        assert payload["targets"] == []

@@ -1,0 +1,8 @@
+"""Fixture: RPL001 must fire on each bare float equality below."""
+
+
+def compare(ep, other):
+    a = float(ep) == float(other)  # line 5: float() == float()
+    b = ep == 0.3  # line 6: inexact float literal
+    c = ep != other * 0.1  # line 7: float arithmetic operand
+    return a, b, c

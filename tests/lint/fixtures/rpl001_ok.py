@@ -1,0 +1,14 @@
+"""Fixture: tolerant or exact comparisons RPL001 must accept."""
+
+import math
+from fractions import Fraction
+
+
+def compare(ep, other, approx):
+    a = math.isclose(float(ep), float(other))
+    b = ep == Fraction(3, 10)  # exact arithmetic comparison
+    c = ep == 6.0  # integral literal is exactly representable
+    d = float(ep) == approx(1.5)  # pytest.approx-style tolerant comparator
+    e = ep == 0.25  # 0.25 is exactly representable in binary
+    f = float(ep) == 0.3  # replint: disable=RPL001 cross-check of a stored literal
+    return a, b, c, d, e, f

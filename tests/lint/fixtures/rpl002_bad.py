@@ -1,0 +1,14 @@
+"""Fixture: RPL002 must fire on every unseeded-randomness pattern below."""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()  # line 9: no seed
+    a = np.random.uniform(0.0, 1.0)  # line 10: legacy global numpy RNG
+    b = random.random()  # line 11: stdlib global RNG
+    c = random.Random()  # line 12: no seed
+    np.random.seed(7)  # line 13: global seeding
+    return rng, a, b, c

@@ -1,0 +1,12 @@
+"""Fixture: seeded / passed-in randomness RPL002 must accept."""
+
+import random
+
+import numpy as np
+
+
+def draw(rng: np.random.Generator):
+    seeded = np.random.default_rng(2002)
+    spawned = np.random.default_rng(seeded.integers(1 << 31))
+    local = random.Random(7)
+    return rng.uniform(0.0, 1.0), seeded, spawned, local.random()

@@ -1,0 +1,15 @@
+"""Fixture: RPL003 must fire on float contamination of exact paths."""
+
+from fractions import Fraction
+
+
+def exact_lower_bound(value):
+    """Exact Section 4.3 style bound."""
+    return Fraction(320, 317) * value
+
+
+def evaluate():
+    poisoned = Fraction(0.1)  # line 12: captures binary rounding error
+    cast = Fraction(float("0.5"))  # line 13: float() into Fraction
+    bound = exact_lower_bound(1.5)  # line 14: float literal into exact fn
+    return poisoned, cast, bound

@@ -1,0 +1,15 @@
+"""Fixture: exact-arithmetic constructions RPL003 must accept."""
+
+from fractions import Fraction
+
+
+def exact_lower_bound(value):
+    """Exact Section 4.3 style bound."""
+    return Fraction(320, 317) * value
+
+
+def evaluate():
+    ratio = Fraction(1, 10)
+    parsed = Fraction("0.5")  # string parsing is exact
+    bound = exact_lower_bound(Fraction(3, 2))
+    return ratio, parsed, bound

@@ -1,0 +1,9 @@
+"""Fixture package whose public API drifted from its documentation."""
+
+from .impl import documented_fn, extra_fn, undocumented_fn
+
+__all__ = [
+    "missing_fn",  # not bound anywhere -> does not resolve
+    "documented_fn",  # bound and documented -> clean
+    "undocumented_fn",  # bound but absent from the doc -> drift
+]

@@ -1,0 +1,13 @@
+"""Implementation module for the RPL004 fixtures."""
+
+
+def documented_fn():
+    return 1
+
+
+def undocumented_fn():
+    return 2
+
+
+def extra_fn():
+    return 3

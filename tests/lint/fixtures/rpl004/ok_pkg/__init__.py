@@ -1,0 +1,5 @@
+"""Fixture package whose public API and documentation agree."""
+
+from .impl import documented_fn
+
+__all__ = ["documented_fn"]

@@ -1,0 +1,5 @@
+"""Implementation module for the clean RPL004 fixture."""
+
+
+def documented_fn():
+    return 1

@@ -1,0 +1,3 @@
+"""A module with prose but no anchor to any numbered paper statement."""
+
+VALUE = 1

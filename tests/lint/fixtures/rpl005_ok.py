@@ -1,0 +1,3 @@
+"""Implements the Lemma 2.1 closed form for expected paging."""
+
+VALUE = 1

@@ -1,0 +1,12 @@
+"""Fixture: RPL006 must fire on mutable defaults (and, when this file is
+placed under a configured future-import path, on the missing import)."""
+
+
+def collect(item, bucket=[]):  # line 5: mutable default
+    bucket.append(item)
+    return bucket
+
+
+def tally(key, counts={}):  # line 10: mutable default
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,10 @@
+"""Fixture: RPL006-clean defaults and future import present."""
+
+from __future__ import annotations
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

@@ -1,0 +1,136 @@
+"""Per-rule tests: every RPL code fires exactly where the fixtures say.
+
+Each rule has one ``*_bad.py`` fixture (known violations at known lines)
+and one ``*_ok.py`` fixture (the compliant spelling of the same code).
+"""
+
+from pathlib import Path
+
+from repro.lint import LintConfig, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+FIXTURES = REPO_ROOT / "tests" / "lint" / "fixtures"
+
+
+def lint_fixture(name, code, **config_kwargs):
+    config = LintConfig(select=(code,), **config_kwargs)
+    result = run_lint([str(FIXTURES / name)], config=config, root=REPO_ROOT)
+    return result
+
+
+def fired_lines(result, path_suffix=None):
+    return [
+        violation.line
+        for violation in result.violations
+        if path_suffix is None or violation.path.endswith(path_suffix)
+    ]
+
+
+class TestRPL001FloatEquality:
+    def test_bad_fixture_fires_per_line(self):
+        result = lint_fixture("rpl001_bad.py", "RPL001")
+        assert fired_lines(result) == [5, 6, 7]
+        assert all(v.code == "RPL001" for v in result.violations)
+
+    def test_ok_fixture_is_clean(self):
+        result = lint_fixture("rpl001_ok.py", "RPL001")
+        assert result.clean, result.violations
+
+
+class TestRPL002UnseededRandomness:
+    def test_bad_fixture_fires_per_line(self):
+        result = lint_fixture("rpl002_bad.py", "RPL002")
+        assert fired_lines(result) == [9, 10, 11, 12, 13]
+
+    def test_ok_fixture_is_clean(self):
+        result = lint_fixture("rpl002_ok.py", "RPL002")
+        assert result.clean, result.violations
+
+
+class TestRPL003Exactness:
+    def test_bad_fixture_fires_per_line(self):
+        result = lint_fixture("rpl003_bad.py", "RPL003")
+        assert fired_lines(result) == [12, 13, 14]
+
+    def test_fraction_of_float_message(self):
+        result = lint_fixture("rpl003_bad.py", "RPL003")
+        assert "Fraction(<float>)" in result.violations[0].message
+
+    def test_ok_fixture_is_clean(self):
+        result = lint_fixture("rpl003_ok.py", "RPL003")
+        assert result.clean, result.violations
+
+
+class TestRPL004ApiDrift:
+    def _run(self, flavour):
+        config = LintConfig(
+            select=("RPL004",),
+            api_init=f"tests/lint/fixtures/rpl004/{flavour}_pkg/__init__.py",
+            api_doc=f"tests/lint/fixtures/rpl004/{flavour}_api.md",
+        )
+        return run_lint(
+            [str(FIXTURES / "rpl004" / f"{flavour}_pkg")],
+            config=config,
+            root=REPO_ROOT,
+        )
+
+    def test_bad_fixture_reports_every_drift(self):
+        result = self._run("bad")
+        messages = [violation.message for violation in result.violations]
+        assert any("'missing_fn' does not resolve" in m for m in messages)
+        assert any("'undocumented_fn' is not documented" in m for m in messages)
+        assert any("'extra_fn' is imported" in m for m in messages)
+        assert any("repro.impl.ghost_fn" in m for m in messages)
+        assert any("repro.phantom_module.thing" in m for m in messages)
+        assert len(result.violations) == 5
+
+    def test_doc_violations_point_into_the_doc(self):
+        result = self._run("bad")
+        doc_lines = fired_lines(result, path_suffix="bad_api.md")
+        assert doc_lines == [7, 8]
+
+    def test_ok_fixture_is_clean(self):
+        result = self._run("ok")
+        assert result.clean, result.violations
+
+
+class TestRPL005PaperTraceability:
+    def test_bad_fixture_fires(self):
+        result = lint_fixture(
+            "rpl005_bad.py", "RPL005",
+            traceability_paths=("tests/lint/fixtures",),
+        )
+        assert fired_lines(result) == [1]
+        assert "paper anchor" in result.violations[0].message
+
+    def test_ok_fixture_is_clean(self):
+        result = lint_fixture(
+            "rpl005_ok.py", "RPL005",
+            traceability_paths=("tests/lint/fixtures",),
+        )
+        assert result.clean, result.violations
+
+    def test_rule_only_applies_to_configured_paths(self):
+        # default config: fixtures are outside core/analysis/hardness
+        result = lint_fixture("rpl005_bad.py", "RPL005")
+        assert result.clean
+
+
+class TestRPL006Hygiene:
+    def test_mutable_defaults_fire(self):
+        result = lint_fixture("rpl006_bad.py", "RPL006")
+        assert fired_lines(result) == [5, 10]
+
+    def test_future_import_required_under_configured_paths(self):
+        result = lint_fixture(
+            "rpl006_bad.py", "RPL006",
+            future_import_paths=("tests/lint/fixtures",),
+        )
+        assert fired_lines(result) == [1, 5, 10]
+
+    def test_ok_fixture_is_clean_even_under_configured_paths(self):
+        result = lint_fixture(
+            "rpl006_ok.py", "RPL006",
+            future_import_paths=("tests/lint/fixtures",),
+        )
+        assert result.clean, result.violations

@@ -8,8 +8,6 @@ silently rot.
 import re
 from pathlib import Path
 
-import pytest
-
 ROOT = Path(__file__).resolve().parent.parent
 
 CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
