@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench report save-report examples all clean
+.PHONY: install test lint bench bench-json report save-report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -11,10 +11,13 @@ test:
 	$(PYTHON) -m pytest tests/
 
 lint:
-	$(PYTHON) -m repro.lint src tests
+	$(PYTHON) -m repro.lint src tests benchmarks scripts
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-json:
+	$(PYTHON) -m repro.bench --profile full
 
 report:
 	$(PYTHON) -m repro.experiments.runner

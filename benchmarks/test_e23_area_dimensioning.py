@@ -1,5 +1,7 @@
 """E23 — location-area dimensioning (the intro's LA-design trade-off)."""
 
+import math
+
 from repro.experiments import run_e23_area_dimensioning
 
 
@@ -17,8 +19,8 @@ def test_e23_area_dimensioning(benchmark, record_table):
         )
     )
     rows = table.as_dicts()
-    low = [row for row in rows if row["call_rate"] == 0.05]
-    high = [row for row in rows if row["call_rate"] == 0.4]
+    low = [row for row in rows if math.isclose(row["call_rate"], 0.05)]
+    high = [row for row in rows if math.isclose(row["call_rate"], 0.4)]
     # Reports grow with area count; blanket paging-per-call shrinks.
     assert low[0]["reports"] == 0  # one area: never crosses a boundary
     assert low[-1]["reports"] > low[1]["reports"]

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Record one performance-trajectory snapshot (``BENCH_<n>.json``).
+
+Thin wrapper over ``repro bench`` for use without an installed console
+script::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py --profile smoke
+
+See docs/performance.md for the trajectory schema and workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench import main
+
+    raise SystemExit(main())

@@ -119,8 +119,25 @@ def compare_strategies(
     instance: PagingInstance,
     strategies: Iterable[Tuple[str, "object"]],
 ) -> List[Tuple[str, float]]:
-    """Evaluate labeled strategies on one instance (sorted by EP)."""
-    out = []
-    for label, strategy in strategies:
-        out.append((label, expected_paging_float(instance, strategy)))  # type: ignore[arg-type]
+    """Evaluate labeled strategies on one instance (sorted by EP).
+
+    Float instances score the whole stack in one call to
+    :func:`repro.core.batch.expected_paging_batch`; exact instances keep the
+    scalar Fraction evaluation per strategy.
+    """
+    pairs = list(strategies)
+    if not pairs:
+        return []
+    if instance.is_exact:
+        out = [
+            (label, expected_paging_float(instance, strategy))  # type: ignore[arg-type]
+            for label, strategy in pairs
+        ]
+    else:
+        from ..core.batch import expected_paging_batch
+
+        values = expected_paging_batch(
+            instance, [strategy for _, strategy in pairs]  # type: ignore[misc]
+        )
+        out = [(label, float(value)) for (label, _), value in zip(pairs, values)]
     return sorted(out, key=lambda pair: pair[1])

@@ -71,15 +71,22 @@ def simulate_search_with_movement(
     rng: np.random.Generator,
     *,
     neighbors: Optional[Sequence[Sequence[int]]] = None,
+    locations: Optional[Sequence[int]] = None,
 ) -> tuple:
     """One search against a moving population.
 
     Returns ``(cells_paged, missed)`` where ``missed`` indicates that the
     strategy finished without locating every device and a fallback sweep of
     the remaining cells was billed (as a real system would page system-wide).
+    ``locations`` optionally supplies the initial device cells (so callers
+    can draw all trials in one batched kernel); by default one joint outcome
+    is sampled from ``rng``.
     """
     c = instance.num_cells
-    locations = list(instance.sample_locations(rng))
+    if locations is None:
+        locations = list(instance.sample_locations(rng))
+    else:
+        locations = [int(cell) for cell in locations]
     remaining = set(range(instance.num_devices))
     paged_cells: set = set()
     paged = 0
@@ -111,16 +118,28 @@ def measure_movement_sensitivity(
     rng: np.random.Generator,
     neighbors: Optional[Sequence[Sequence[int]]] = None,
 ) -> MovementSensitivityResult:
-    """Monte-Carlo sweep of :func:`simulate_search_with_movement`."""
+    """Monte-Carlo sweep of :func:`simulate_search_with_movement`.
+
+    Initial locations for all trials are drawn with the batched sampler
+    (:func:`repro.core.batch.sample_locations_batch`); the per-round movement
+    draws remain inside each trial's simulation.
+    """
     if trials <= 0:
         raise ValueError("trials must be positive")
+    from ..core.batch import sample_locations_batch
     from ..core.expected_paging import expected_paging_float
 
+    initial = sample_locations_batch(instance, trials, rng)
     total = 0
     misses = 0
-    for _ in range(trials):
+    for k in range(trials):
         cost, missed = simulate_search_with_movement(
-            instance, strategy, mobility, rng, neighbors=neighbors
+            instance,
+            strategy,
+            mobility,
+            rng,
+            neighbors=neighbors,
+            locations=initial[:, k],
         )
         total += cost
         misses += int(missed)

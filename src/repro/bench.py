@@ -1,0 +1,435 @@
+"""The performance trajectory: ``repro bench`` → ``BENCH_<n>.json``.
+
+Every optimization PR should be able to show its speedup against a recorded
+baseline.  This module times the named kernel pairs on pinned seeds —
+
+* scalar vs vectorized Monte Carlo (:mod:`repro.core.expected_paging` vs
+  :mod:`repro.core.batch`) on an E22-scale instance,
+* the reference Lemma 4.7 planner (:mod:`repro.core.dp` via the Fig. 1
+  heuristic) vs the numpy planner (:mod:`repro.core.fast`),
+* scalar strategy scoring vs :func:`repro.core.batch.expected_paging_batch`,
+* the serial vs parallel experiment runner —
+
+and appends one schema'd snapshot (min/median per benchmark plus machine
+info) to the repo root as ``BENCH_<n>.json``, where ``n`` counts up from 0.
+The committed ``BENCH_0.json`` is the trajectory's origin; future PRs add
+``BENCH_1.json``, ``BENCH_2.json``, ... so regressions and wins stay
+visible in-tree.
+
+The ``smoke`` profile shrinks every size so CI can validate the pipeline in
+seconds; its timings are not comparable across machines and exist only to
+prove the trajectory machinery works.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+SCHEMA = "repro-bench/1"
+
+#: Pinned seeds: the trajectory must time the same workload in every PR.
+INSTANCE_SEED = 22
+STRATEGY_SEED = 220
+MONTE_CARLO_SEED = 2002
+
+_BENCH_FILE = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Size knobs per profile.  ``full`` is the recorded trajectory; ``smoke``
+#: exists so CI can exercise the whole pipeline in a few seconds.
+PROFILES: Dict[str, Dict[str, object]] = {
+    "full": {
+        "monte_carlo": {"devices": 4, "cells": 800, "rounds": 5, "trials": 100_000},
+        "planner": {"devices": 4, "cells": 250, "rounds": 5},
+        "batch_eval": {"devices": 4, "cells": 200, "rounds": 5, "strategies": 64},
+        "runner": {"experiments": ["E1", "E2", "E4", "E5", "E8"], "jobs": 4},
+        "repeats": 5,
+    },
+    "smoke": {
+        "monte_carlo": {"devices": 3, "cells": 24, "rounds": 3, "trials": 400},
+        "planner": {"devices": 3, "cells": 24, "rounds": 3},
+        "batch_eval": {"devices": 3, "cells": 16, "rounds": 3, "strategies": 6},
+        "runner": {"experiments": ["E1", "E4"], "jobs": 2},
+        "repeats": 2,
+    },
+}
+
+
+@dataclass
+class BenchmarkTiming:
+    """Repeated wall-clock timings of one named benchmark."""
+
+    name: str
+    params: Dict[str, object]
+    times_s: List[float] = field(default_factory=list)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.times_s)
+
+    @property
+    def median_s(self) -> float:
+        return float(np.median(self.times_s))
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "params": self.params,
+            "repeats": len(self.times_s),
+            "times_s": self.times_s,
+            "min_s": self.min_s,
+            "median_s": self.median_s,
+        }
+
+
+def _time(
+    function: Callable[[], object],
+    *,
+    repeats: int,
+    warmup: bool = True,
+) -> List[float]:
+    """Wall-clock ``function()`` ``repeats`` times (plus an untimed warmup)."""
+    if warmup:
+        function()
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def machine_info() -> Dict[str, object]:
+    """The hardware/software context a timing is only comparable within."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _bench_instance(devices: int, cells: int, rounds: int) -> "object":
+    from .core import PagingInstance
+
+    rng = np.random.default_rng(INSTANCE_SEED)
+    matrix = rng.dirichlet(np.ones(cells), size=devices)
+    return PagingInstance.from_array(matrix, max_rounds=rounds)
+
+
+def _random_strategies(cells: int, rounds: int, count: int) -> List["object"]:
+    from .core import Strategy
+
+    rng = np.random.default_rng(STRATEGY_SEED)
+    strategies = []
+    for _ in range(count):
+        order = tuple(int(j) for j in rng.permutation(cells))
+        cuts = np.sort(rng.choice(np.arange(1, cells), size=rounds - 1, replace=False))
+        bounds = [0, *(int(cut) for cut in cuts), cells]
+        sizes = tuple(bounds[i + 1] - bounds[i] for i in range(rounds))
+        strategies.append(Strategy.from_order_and_sizes(order, sizes))
+    return strategies
+
+
+def _bench_monte_carlo(config: Dict[str, int], repeats: int) -> List[BenchmarkTiming]:
+    from .core import (
+        conference_call_heuristic_fast,
+        expected_paging_monte_carlo,
+        expected_paging_monte_carlo_fast,
+    )
+
+    instance = _bench_instance(
+        int(config["devices"]), int(config["cells"]), int(config["rounds"])
+    )
+    strategy = conference_call_heuristic_fast(instance).strategy
+    trials = int(config["trials"])
+    params = dict(config)
+
+    def scalar() -> float:
+        return expected_paging_monte_carlo(
+            instance, strategy, trials=trials, rng=np.random.default_rng(MONTE_CARLO_SEED)
+        )
+
+    def fast() -> float:
+        return expected_paging_monte_carlo_fast(
+            instance, strategy, trials=trials, rng=np.random.default_rng(MONTE_CARLO_SEED)
+        )
+
+    # The scalar loop reference is timed once, without warmup: at the full
+    # profile's 100k trials it is tens of seconds per repetition, and the
+    # vectorized kernel's speedup dwarfs any timer noise.
+    scalar_times = _time(scalar, repeats=1, warmup=False)
+    fast_times = _time(fast, repeats=repeats)
+    return [
+        BenchmarkTiming("monte_carlo_scalar", params, scalar_times),
+        BenchmarkTiming("monte_carlo_fast", params, fast_times),
+    ]
+
+
+def _bench_planner(config: Dict[str, int], repeats: int) -> List[BenchmarkTiming]:
+    from .core import conference_call_heuristic, conference_call_heuristic_fast
+
+    instance = _bench_instance(
+        int(config["devices"]), int(config["cells"]), int(config["rounds"])
+    )
+    params = dict(config)
+    reference_times = _time(lambda: conference_call_heuristic(instance), repeats=repeats)
+    fast_times = _time(lambda: conference_call_heuristic_fast(instance), repeats=repeats)
+    return [
+        BenchmarkTiming("planner_reference", params, reference_times),
+        BenchmarkTiming("planner_fast", params, fast_times),
+    ]
+
+
+def _bench_batch_eval(config: Dict[str, int], repeats: int) -> List[BenchmarkTiming]:
+    from .core import expected_paging_batch, expected_paging_float
+
+    instance = _bench_instance(
+        int(config["devices"]), int(config["cells"]), int(config["rounds"])
+    )
+    strategies = _random_strategies(
+        int(config["cells"]), int(config["rounds"]), int(config["strategies"])
+    )
+    params = dict(config)
+
+    def scalar() -> List[float]:
+        return [expected_paging_float(instance, strategy) for strategy in strategies]
+
+    scalar_times = _time(scalar, repeats=repeats)
+    batch_times = _time(
+        lambda: expected_paging_batch(instance, strategies), repeats=repeats
+    )
+    return [
+        BenchmarkTiming("batch_eval_scalar", params, scalar_times),
+        BenchmarkTiming("batch_eval_batch", params, batch_times),
+    ]
+
+
+def _bench_runner(config: Dict[str, object], repeats: int) -> List[BenchmarkTiming]:
+    from .experiments import run_experiments
+
+    names = list(config["experiments"])  # type: ignore[arg-type]
+    jobs = int(config["jobs"])  # type: ignore[arg-type]
+    params = {"experiments": names, "jobs": jobs}
+    serial_times = _time(
+        lambda: run_experiments(names, jobs=1), repeats=max(1, repeats - 1), warmup=False
+    )
+    parallel_times = _time(
+        lambda: run_experiments(names, jobs=jobs),
+        repeats=max(1, repeats - 1),
+        warmup=False,
+    )
+    return [
+        BenchmarkTiming("runner_serial", params, serial_times),
+        BenchmarkTiming("runner_parallel", params, parallel_times),
+    ]
+
+
+def _speedup(results: Dict[str, BenchmarkTiming], slow: str, fast: str) -> float:
+    return results[slow].min_s / max(results[fast].min_s, 1e-12)
+
+
+def run_benchmarks(profile: str = "full") -> Dict[str, object]:
+    """Time every benchmark pair and assemble the trajectory payload."""
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; known: {sorted(PROFILES)}")
+    sizes = PROFILES[profile]
+    repeats = int(sizes["repeats"])  # type: ignore[arg-type]
+    timings: List[BenchmarkTiming] = []
+    timings += _bench_monte_carlo(sizes["monte_carlo"], repeats)  # type: ignore[arg-type]
+    timings += _bench_planner(sizes["planner"], repeats)  # type: ignore[arg-type]
+    timings += _bench_batch_eval(sizes["batch_eval"], repeats)  # type: ignore[arg-type]
+    timings += _bench_runner(sizes["runner"], repeats)  # type: ignore[arg-type]
+    by_name = {timing.name: timing for timing in timings}
+    return {
+        "schema": SCHEMA,
+        "profile": profile,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": machine_info(),
+        "benchmarks": [timing.to_json() for timing in timings],
+        "derived": {
+            "monte_carlo_speedup": _speedup(
+                by_name, "monte_carlo_scalar", "monte_carlo_fast"
+            ),
+            "planner_speedup": _speedup(by_name, "planner_reference", "planner_fast"),
+            "batch_eval_speedup": _speedup(
+                by_name, "batch_eval_scalar", "batch_eval_batch"
+            ),
+            "runner_speedup": _speedup(by_name, "runner_serial", "runner_parallel"),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Trajectory files
+# ---------------------------------------------------------------------------
+
+def next_bench_index(root: Path) -> int:
+    """The next free ``n`` for ``BENCH_<n>.json`` under ``root``."""
+    taken = [-1]
+    for entry in root.iterdir() if root.is_dir() else ():
+        match = _BENCH_FILE.match(entry.name)
+        if match:
+            taken.append(int(match.group(1)))
+    return max(taken) + 1
+
+
+def write_trajectory(
+    payload: Dict[str, object],
+    *,
+    root: Optional[Path] = None,
+    path: Optional[Path] = None,
+) -> Path:
+    """Persist one trajectory snapshot.
+
+    With ``path`` the payload goes exactly there; otherwise it becomes the
+    next ``BENCH_<n>.json`` at ``root`` (default: the project root found
+    from the current directory).  The chosen index is recorded in the
+    payload itself.
+    """
+    if path is None:
+        if root is None:
+            from .lint import find_project_root
+
+            root = find_project_root(Path.cwd()) or Path.cwd()
+        index = next_bench_index(root)
+        path = root / f"BENCH_{index}.json"
+    else:
+        match = _BENCH_FILE.match(Path(path).name)
+        index = int(match.group(1)) if match else None
+    payload = dict(payload)
+    payload["index"] = index
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def validate_payload(payload: object) -> List[str]:
+    """Schema-check one trajectory payload; returns the list of problems."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not a JSON object"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"schema must be {SCHEMA!r}, got {payload.get('schema')!r}")
+    if payload.get("profile") not in PROFILES:
+        problems.append(f"unknown profile {payload.get('profile')!r}")
+    machine = payload.get("machine")
+    if not isinstance(machine, dict) or "python" not in machine:
+        problems.append("machine info missing (needs at least 'python')")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        problems.append("benchmarks must be a non-empty list")
+        benchmarks = []
+    for entry in benchmarks:
+        if not isinstance(entry, dict):
+            problems.append("benchmark entry is not an object")
+            continue
+        name = entry.get("name", "<unnamed>")
+        for key in ("name", "params", "repeats", "times_s", "min_s", "median_s"):
+            if key not in entry:
+                problems.append(f"benchmark {name}: missing key {key!r}")
+        times = entry.get("times_s")
+        if isinstance(times, list) and times:
+            if entry.get("repeats") != len(times):
+                problems.append(f"benchmark {name}: repeats does not match times_s")
+            lo, hi = min(times), max(times)
+            min_s, median_s = entry.get("min_s"), entry.get("median_s")
+            if not isinstance(min_s, (int, float)) or not lo <= min_s <= hi:
+                problems.append(f"benchmark {name}: min_s outside observed times")
+            if not isinstance(median_s, (int, float)) or not lo <= median_s <= hi:
+                problems.append(f"benchmark {name}: median_s outside observed times")
+        else:
+            problems.append(f"benchmark {name}: times_s must be a non-empty list")
+    derived = payload.get("derived")
+    if not isinstance(derived, dict):
+        problems.append("derived speedups missing")
+    else:
+        for key, value in derived.items():
+            if not isinstance(value, (int, float)) or value <= 0:
+                problems.append(f"derived {key}: must be a positive number")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro bench`` options to an argparse parser."""
+    parser.add_argument(
+        "--profile",
+        choices=sorted(PROFILES),
+        default="full",
+        help="workload sizes: 'full' records the trajectory, 'smoke' is a "
+        "seconds-long CI pipeline check",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: the next BENCH_<n>.json at the repo root)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repo root for auto-numbering (default: auto-detected)",
+    )
+    parser.add_argument(
+        "--validate",
+        default=None,
+        metavar="PATH",
+        help="validate an existing trajectory JSON and exit",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute a bench run described by parsed CLI arguments."""
+    if args.validate is not None:
+        try:
+            payload = json.loads(Path(args.validate).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read {args.validate}: {error}", file=sys.stderr)
+            return 2
+        problems = validate_payload(payload)
+        for problem in problems:
+            print(f"{args.validate}: {problem}", file=sys.stderr)
+        print(
+            f"{args.validate}: "
+            + ("valid" if not problems else f"{len(problems)} problem(s)")
+        )
+        return 0 if not problems else 1
+    payload = run_benchmarks(args.profile)
+    root = Path(args.root).resolve() if args.root else None
+    path = Path(args.out) if args.out else None
+    written = write_trajectory(payload, root=root, path=path)
+    derived = payload["derived"]
+    print(f"trajectory written to {written}")
+    for key in sorted(derived):  # type: ignore[union-attr]
+        print(f"  {key}: {derived[key]:.1f}x")  # type: ignore[index]
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point: ``python -m repro.bench``."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="time the batched/parallel kernels on pinned seeds and "
+        "record one BENCH_<n>.json trajectory snapshot",
+    )
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

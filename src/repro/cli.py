@@ -6,11 +6,14 @@ Four commands cover the library's workflows:
   strategy (heuristic, exact, or adaptive value).
 * ``repro simulate`` — run the cellular-network simulation and print the
   link-usage summary.
-* ``repro experiments`` — regenerate experiment tables (all or by id).
+* ``repro experiments`` — regenerate experiment tables (all or by id),
+  optionally fanned out over worker processes with ``--jobs``.
 * ``repro gadget`` — run the Lemma 3.2 NP-hardness reduction on a list of
   sizes and report whether the optimum hits the lower bound.
 * ``repro lint`` — domain-aware static analysis (exact-arithmetic,
   reproducibility, and paper-traceability rules; see docs/linting.md).
+* ``repro bench`` — time the batched/parallel kernels on pinned seeds and
+  record a ``BENCH_<n>.json`` trajectory snapshot (see docs/performance.md).
 
 JSON input format for ``plan``::
 
@@ -83,6 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
     experiments.add_argument(
         "--list", action="store_true", help="list known experiment ids and exit"
     )
+    experiments.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes (default 1 = serial; output is byte-identical "
+        "either way)",
+    )
 
     gadget = commands.add_parser(
         "gadget", help="run the Lemma 3.2 reduction on comma-separated sizes"
@@ -108,6 +119,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "lint", help="run the domain-aware static-analysis rules (RPL001-RPL006)"
     )
     add_lint_arguments(lint)
+
+    from .bench import add_bench_arguments
+
+    bench = commands.add_parser(
+        "bench", help="record a BENCH_<n>.json performance-trajectory snapshot"
+    )
+    add_bench_arguments(bench)
 
     return parser
 
@@ -210,7 +228,7 @@ def _command_experiments(args: argparse.Namespace) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    print(run(args.ids or None))
+    print(run(args.ids or None, jobs=args.jobs))
     return 0
 
 
@@ -278,6 +296,12 @@ def _command_lint(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    from .bench import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
@@ -288,6 +312,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "gadget": _command_gadget,
         "render": _command_render,
         "lint": _command_lint,
+        "bench": _command_bench,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,12 @@ from .adaptive_optimal import (
     adaptivity_gap,
     optimal_adaptive_expected_paging,
 )
+from .batch import (
+    expected_paging_batch,
+    expected_paging_monte_carlo_fast,
+    sample_locations_batch,
+    simulate_paging_batch,
+)
 from .bandwidth import (
     bandwidth_limited_heuristic,
     bandwidth_limited_optimal,
@@ -86,6 +92,7 @@ from .expected_paging import (
     expected_paging_from_stop_probabilities,
     expected_paging_monte_carlo,
     expected_rounds,
+    prefix_stops_float,
     simulate_paging,
     stop_probabilities,
     stopping_round_distribution,
@@ -224,11 +231,13 @@ __all__ = [
     "dp_value_table",
     "enumerate_strategies",
     "expected_paging",
+    "expected_paging_batch",
     "expected_paging_by_definition",
     "expected_paging_float",
     "expected_paging_for_sizes",
     "expected_paging_from_stop_probabilities",
     "expected_paging_monte_carlo",
+    "expected_paging_monte_carlo_fast",
     "expected_paging_signature",
     "expected_paging_yellow",
     "expected_rounds",
@@ -254,11 +263,14 @@ __all__ = [
     "optimize_yellow_over_order",
     "perturbed_instance",
     "poisson_binomial_tail",
+    "prefix_stops_float",
     "profile_heuristic",
     "random_order",
     "ratio_lower_bound",
+    "sample_locations_batch",
     "signature_heuristic",
     "simulate_paging",
+    "simulate_paging_batch",
     "special_case_factor",
     "stop_probabilities",
     "stopping_round_distribution",

@@ -160,11 +160,20 @@ def adaptive_monte_carlo(
     rng: np.random.Generator,
     planner: Planner = conference_call_heuristic,
 ) -> float:
-    """Monte-Carlo estimate of the adaptive policy's expected paging."""
+    """Monte-Carlo estimate of the adaptive policy's expected paging.
+
+    Locations for all trials are drawn in one batched kernel
+    (:func:`repro.core.batch.sample_locations_batch`); the adaptive search
+    itself is inherently sequential per trial.
+    """
+    from .batch import sample_locations_batch
+
     if trials <= 0:
         raise ValueError("trials must be positive")
+    locations = sample_locations_batch(instance, trials, rng)
     total = 0
-    for _ in range(trials):
-        locations = instance.sample_locations(rng)
-        total += adaptive_search(instance, locations, planner=planner).cells_paged
+    for k in range(trials):
+        total += adaptive_search(
+            instance, tuple(int(cell) for cell in locations[:, k]), planner=planner
+        ).cells_paged
     return total / trials

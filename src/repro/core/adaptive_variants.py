@@ -187,14 +187,24 @@ def adaptive_quorum_monte_carlo(
     rng: np.random.Generator,
     planner: QuorumPlanner = signature_heuristic,
 ) -> float:
-    """Monte-Carlo estimate of the adaptive quorum policy's expected paging."""
+    """Monte-Carlo estimate of the adaptive quorum policy's expected paging.
+
+    All trial locations come from one batched draw
+    (:func:`repro.core.batch.sample_locations_batch`); only the adaptive
+    search itself remains per-trial.
+    """
+    from .batch import sample_locations_batch
+
     if trials <= 0:
         raise ValueError("trials must be positive")
+    locations = sample_locations_batch(instance, trials, rng)
     total = 0
-    for _ in range(trials):
-        locations = instance.sample_locations(rng)
+    for k in range(trials):
         total += adaptive_quorum_search(
-            instance, quorum, locations, planner=planner
+            instance,
+            quorum,
+            tuple(int(cell) for cell in locations[:, k]),
+            planner=planner,
         ).cells_paged
     return total / trials
 

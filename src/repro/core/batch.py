@@ -1,0 +1,175 @@
+"""Batched numpy kernels for the Lemma 2.1 evaluators.
+
+Every hot evaluation path in this package has a transparent one-at-a-time
+reference implementation (:mod:`repro.core.expected_paging`).  This module
+provides the production-scale counterparts, vectorized over *trials* and
+over *strategies*:
+
+* :func:`sample_locations_batch` — one ``(m, trials)`` categorical draw via
+  the cached row-wise cumulative distributions and ``searchsorted``, instead
+  of ``trials x m`` scalar draws.
+* :func:`simulate_paging_batch` — the Section 1.2 search simulated for every
+  trial at once: a cell→round lookup table maps each device's location to
+  its stopping round, a ``max`` over the device axis gives the search's
+  stopping round, and a gather of cumulative group sizes gives the cells
+  paged.  No Python loop over trials.
+* :func:`expected_paging_monte_carlo_fast` — the Monte-Carlo cross-check of
+  Lemma 2.1 built from the two kernels above.
+* :func:`expected_paging_batch` — scores a stack of strategies in one
+  broadcast from the cached per-device row arrays; float-identical to
+  :func:`repro.core.expected_paging.expected_paging_float` on float
+  instances (both run the same gather → cumsum → boundary-product →
+  telescoping pipeline, in the same order).
+
+The exact ``Fraction`` paths remain the reference oracle; these kernels are
+float64 only.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import InvalidStrategyError
+from .expected_paging import _check_compatible
+from .instance import PagingInstance
+from .strategy import Strategy
+
+
+def sample_locations_batch(
+    instance: PagingInstance, trials: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Draw ``trials`` joint location outcomes in one vectorized pass.
+
+    Returns an ``(m, trials)`` integer array; column ``k`` is one joint
+    outcome (a cell per device), distributed exactly like
+    :meth:`~repro.core.instance.PagingInstance.sample_locations`.  Inverse
+    transform sampling: one uniform per (device, trial), located in the
+    device's cached cumulative row by ``searchsorted``.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    cumulative = instance._cumulative_float_rows()
+    draws = rng.random((instance.num_devices, trials))
+    out = np.empty((instance.num_devices, trials), dtype=np.intp)
+    for i in range(instance.num_devices):
+        out[i] = np.searchsorted(cumulative[i], draws[i], side="right")
+    return out
+
+
+def _round_lookup(strategy: Strategy) -> Tuple[np.ndarray, np.ndarray]:
+    """``(cell→round table, cumulative group sizes)`` for one strategy."""
+    round_of_cell = np.empty(strategy.num_cells, dtype=np.intp)
+    for round_index, group in enumerate(strategy.groups):
+        round_of_cell[list(group)] = round_index
+    cumulative_sizes = np.cumsum(strategy.group_sizes())
+    return round_of_cell, cumulative_sizes
+
+
+def simulate_paging_batch(
+    instance: PagingInstance,
+    strategy: Strategy,
+    locations: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Run the search against every column of ``locations`` at once.
+
+    ``locations`` is an ``(m, trials)`` array of cell indices (the layout
+    produced by :func:`sample_locations_batch`).  Returns
+    ``(cells_paged, rounds_used)``, both ``(trials,)`` integer arrays, equal
+    per column to :func:`repro.core.expected_paging.simulate_paging`.
+
+    The search stops at the latest round in which any device's cell is
+    paged, so the per-trial stopping round is a lookup-table gather followed
+    by a ``max`` over the device axis; the cost is the cumulative group size
+    at that round.
+    """
+    _check_compatible(instance, strategy)
+    located = np.asarray(locations)
+    if located.ndim != 2 or located.shape[0] != instance.num_devices:
+        raise InvalidStrategyError(
+            f"expected a ({instance.num_devices}, trials) locations array, "
+            f"got shape {located.shape}"
+        )
+    if located.size and (
+        located.min() < 0 or located.max() >= instance.num_cells
+    ):
+        raise InvalidStrategyError(
+            f"locations must be cell indices in [0, {instance.num_cells})"
+        )
+    round_of_cell, cumulative_sizes = _round_lookup(strategy)
+    stop_round = round_of_cell[located].max(axis=0)
+    return cumulative_sizes[stop_round], stop_round + 1
+
+
+def expected_paging_monte_carlo_fast(
+    instance: PagingInstance,
+    strategy: Strategy,
+    *,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Vectorized Monte-Carlo estimate of expected paging.
+
+    Drop-in counterpart of
+    :func:`repro.core.expected_paging.expected_paging_monte_carlo`: same
+    estimator (mean cells paged over ``trials`` independent outcomes), but
+    the sampling and the search simulation both run as single numpy
+    kernels, with no Python loop over trials.
+    """
+    _check_compatible(instance, strategy)
+    locations = sample_locations_batch(instance, trials, rng)
+    cells_paged, _rounds = simulate_paging_batch(instance, strategy, locations)
+    return float(cells_paged.mean())
+
+
+def expected_paging_batch(
+    instance: PagingInstance, strategies: Sequence[Strategy]
+) -> np.ndarray:
+    """Expected paging of a stack of strategies, in one broadcast.
+
+    Returns a float64 array ``out[s] = EP(instance, strategies[s])``.  The
+    whole stack is evaluated from the instance's cached per-device row
+    arrays: gather rows into each strategy's cell order, one ``cumsum``
+    over the cell axis, read each strategy's prefix boundaries, multiply
+    over the device axis, and telescope (Lemma 2.1).  Shorter strategies
+    are padded with empty rounds, which contribute exactly ``0.0`` to the
+    telescoped sum, so every entry is bit-identical to the scalar
+    :func:`repro.core.expected_paging.expected_paging_float` on float
+    instances.
+    """
+    stack = list(strategies)
+    if not stack:
+        return np.zeros(0, dtype=np.float64)
+    for strategy in stack:
+        _check_compatible(instance, strategy)
+    rows = instance.float_rows()
+    num_strategies = len(stack)
+    c = instance.num_cells
+    max_rounds = max(strategy.length for strategy in stack)
+
+    orders = np.empty((num_strategies, c), dtype=np.intp)
+    # Padded boundaries repeat the full prefix (index c-1); the matching
+    # padded sizes are 0, so the repeated entries never contribute.
+    boundaries = np.full((num_strategies, max_rounds), c - 1, dtype=np.intp)
+    sizes = np.zeros((num_strategies, max_rounds), dtype=np.int64)
+    for s, strategy in enumerate(stack):
+        orders[s] = strategy.cells_in_order()
+        group_sizes = strategy.group_sizes()
+        boundaries[s, : len(group_sizes)] = np.cumsum(group_sizes) - 1
+        sizes[s, : len(group_sizes)] = group_sizes
+
+    # (m, s, c): each device's rows gathered into every strategy's order.
+    cumulative = np.cumsum(rows[:, orders], axis=2)
+    gather = np.broadcast_to(
+        boundaries[None, :, :], (rows.shape[0], num_strategies, max_rounds)
+    )
+    per_device = np.take_along_axis(cumulative, gather, axis=2)
+    stops = per_device[0].copy()
+    for i in range(1, per_device.shape[0]):
+        stops = stops * per_device[i]
+
+    cost = sizes.sum(axis=1).astype(np.float64)
+    for r in range(max_rounds - 1):
+        cost = cost - sizes[:, r + 1] * stops[:, r]
+    return cost

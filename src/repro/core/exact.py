@@ -21,6 +21,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import lru_cache
 from typing import Iterator, List, Optional, Tuple
 
 from ..errors import SolverLimitError
@@ -32,6 +33,28 @@ from .strategy import Strategy
 #: hundreds of millions of Python operations).
 MAX_EXACT_CELLS = 18
 
+#: How many per-instance ``F[mask]`` tables to keep memoized.  Each table has
+#: ``2^c`` entries, so the cache is deliberately small; it exists so repeated
+#: solves of the *same* instance (delay sweeps, bandwidth sweeps) pay for the
+#: table once.
+_FIND_TABLE_CACHE_SIZE = 8
+
+
+if hasattr(int, "bit_count"):  # Python >= 3.10
+
+    def _popcount_table(size: int) -> List[int]:
+        """``popcount[mask]`` for every mask below ``size`` via int.bit_count."""
+        return [mask.bit_count() for mask in range(size)]
+
+else:  # pragma: no cover - exercised on the 3.9 CI floor
+
+    def _popcount_table(size: int) -> List[int]:
+        """Incremental fallback: ``popcount[m] = popcount[m >> 1] + (m & 1)``."""
+        table = [0] * size
+        for mask in range(1, size):
+            table[mask] = table[mask >> 1] + (mask & 1)
+        return table
+
 
 @dataclass(frozen=True)
 class ExactResult:
@@ -41,8 +64,15 @@ class ExactResult:
     expected_paging: Number
 
 
-def _mask_find_probabilities(instance: PagingInstance) -> List[Number]:
-    """``F[mask] = prod_i P_i(mask)`` for every subset of cells, via bit DP."""
+@lru_cache(maxsize=_FIND_TABLE_CACHE_SIZE)
+def _mask_find_probabilities(instance: PagingInstance) -> Tuple[Number, ...]:
+    """``F[mask] = prod_i P_i(mask)`` for every subset of cells, via bit DP.
+
+    Memoized per instance (instances are hashable): the table depends only
+    on the probability rows, so delay/bandwidth sweeps such as
+    :func:`optimal_value_by_round_budget` build the ``2^c`` table once and
+    re-run only the chain DP.
+    """
     c = instance.num_cells
     exact = instance.is_exact
     zero: Number = Fraction(0) if exact else 0.0
@@ -62,7 +92,7 @@ def _mask_find_probabilities(instance: PagingInstance) -> List[Number]:
         for device_sums in sums:
             value = value * device_sums[mask]
         finds[mask] = value
-    return finds
+    return tuple(finds)
 
 
 def optimal_strategy(
@@ -88,7 +118,7 @@ def optimal_strategy(
     b = c if max_group_size is None else int(max_group_size)
     finds = _mask_find_probabilities(instance)
     full = (1 << c) - 1
-    popcount = [bin(mask).count("1") for mask in range(full + 1)]
+    popcount = _popcount_table(full + 1)
 
     minus_infinity = float("-inf")
     # bonus[mask] = best achievable sum of |S_{r+1}| * F(L_r) over the

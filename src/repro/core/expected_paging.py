@@ -26,6 +26,20 @@ from .strategy import Strategy
 
 StopProbability = Callable[[FrozenSet[int]], Number]
 
+#: How many device locations an error message spells out before truncating.
+#: Million-device instances must not interpolate a million-entry tuple into
+#: an exception string.
+_MAX_LOCATIONS_IN_MESSAGE = 16
+
+
+def _describe_locations(locations: Sequence[int]) -> str:
+    """A bounded rendering of a (possibly huge) locations tuple."""
+    values = tuple(locations)
+    if len(values) <= _MAX_LOCATIONS_IN_MESSAGE:
+        return repr(values)
+    head = ", ".join(str(v) for v in values[:_MAX_LOCATIONS_IN_MESSAGE])
+    return f"({head}, ... {len(values)} total)"
+
 
 def _check_compatible(instance: PagingInstance, strategy: Strategy) -> None:
     if strategy.num_cells != instance.num_cells:
@@ -38,12 +52,26 @@ def _check_compatible(instance: PagingInstance, strategy: Strategy) -> None:
 def all_found_probability(
     instance: PagingInstance, cells: FrozenSet[int]
 ) -> Number:
-    """``prod_i P_i(cells)``: the chance every device lies within ``cells``."""
-    one: Number = Fraction(1) if instance.is_exact else 1.0
-    product = one
-    for row in instance.rows:
-        product = product * sum((row[j] for j in cells), start=0 * one)
-    return product
+    """``prod_i P_i(cells)``: the chance every device lies within ``cells``.
+
+    Exact instances keep the Fraction generator sum (the reference oracle);
+    float instances sum the cached per-device row arrays
+    (:meth:`~repro.core.instance.PagingInstance.float_rows`) instead of
+    re-walking the row tuples one probability at a time.
+    """
+    if instance.is_exact:
+        one: Number = Fraction(1)
+        product = one
+        for row in instance.rows:
+            product = product * sum((row[j] for j in cells), start=0 * one)
+        return product
+    rows = instance.float_rows()
+    indices = np.fromiter(sorted(cells), dtype=np.intp, count=len(cells))
+    sums = rows[:, indices].sum(axis=1)
+    result = 1.0
+    for value in sums:
+        result = result * value
+    return float(result)
 
 
 def stop_probabilities(
@@ -84,9 +112,45 @@ def expected_paging(instance: PagingInstance, strategy: Strategy) -> Number:
     return expected_paging_from_stop_probabilities(strategy, stops)
 
 
+def prefix_stops_float(instance: PagingInstance, strategy: Strategy) -> np.ndarray:
+    """``Pr[F_r]`` for ``r = 1..t`` in float64, via one cumulative sum.
+
+    Gathers the cached row arrays in the strategy's cell order, cumulative-sums
+    along the cell axis, reads each prefix boundary, and multiplies over the
+    device axis sequentially.  :func:`repro.core.batch.expected_paging_batch`
+    runs this exact computation on a stack of strategies, which is what makes
+    the batch kernel float-identical to :func:`expected_paging_float`.
+    """
+    _check_compatible(instance, strategy)
+    rows = instance.float_rows()
+    order = np.fromiter(
+        strategy.cells_in_order(), dtype=np.intp, count=instance.num_cells
+    )
+    cumulative = np.cumsum(rows[:, order], axis=1)
+    boundaries = np.cumsum(strategy.group_sizes()) - 1
+    per_device = cumulative[:, boundaries]
+    stops = per_device[0].copy()
+    for i in range(1, per_device.shape[0]):
+        stops = stops * per_device[i]
+    return stops
+
+
 def expected_paging_float(instance: PagingInstance, strategy: Strategy) -> float:
-    """Float-valued expected paging regardless of the instance's arithmetic."""
-    return float(expected_paging(instance, strategy))
+    """Float-valued expected paging regardless of the instance's arithmetic.
+
+    Exact instances evaluate the Fraction closed form and round once at the
+    end.  Float instances use the vectorized prefix-stop path
+    (:func:`prefix_stops_float`), which the batch kernels reproduce
+    bit-for-bit.
+    """
+    if instance.is_exact:
+        return float(expected_paging(instance, strategy))
+    stops = prefix_stops_float(instance, strategy)
+    sizes = strategy.group_sizes()
+    cost = float(sum(sizes))
+    for r in range(len(sizes) - 1):
+        cost = cost - sizes[r + 1] * stops[r]
+    return float(cost)
 
 
 def stopping_round_distribution(
@@ -156,7 +220,7 @@ def simulate_paging(
         if not remaining:
             return paged, round_index
     raise InvalidStrategyError(
-        f"locations {tuple(locations)} not covered by the strategy"
+        f"locations {_describe_locations(locations)} not covered by the strategy"
     )
 
 

@@ -136,14 +136,25 @@ def expected_paging_imperfect_monte_carlo(
     trials: int,
     rng: np.random.Generator,
 ) -> float:
-    """Monte-Carlo expected paging of the cyclic strategy."""
+    """Monte-Carlo expected paging of the cyclic strategy.
+
+    The per-trial location draws are batched through
+    :func:`repro.core.batch.sample_locations_batch`; the detection coin
+    flips stay inside the per-trial sweep simulation.
+    """
+    from .batch import sample_locations_batch
+
     if trials <= 0:
         raise ValueError("trials must be positive")
+    locations = sample_locations_batch(instance, trials, rng)
     total = 0
-    for _ in range(trials):
-        locations = instance.sample_locations(rng)
+    for k in range(trials):
         total += simulate_imperfect_search(
-            instance, strategy, locations, model, rng
+            instance,
+            strategy,
+            tuple(int(cell) for cell in locations[:, k]),
+            model,
+            rng,
         ).cells_paged
     return total / trials
 

@@ -15,7 +15,7 @@ some entries vanish.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Iterable, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,7 +47,15 @@ class PagingInstance:
         zeros arise in its own Section 4.3 example and are harmless).
     """
 
-    __slots__ = ("_rows", "_num_cells", "_num_devices", "_max_rounds", "_exact")
+    __slots__ = (
+        "_rows",
+        "_num_cells",
+        "_num_devices",
+        "_max_rounds",
+        "_exact",
+        "_float_rows",
+        "_cumulative_rows",
+    )
 
     def __init__(
         self,
@@ -65,6 +73,8 @@ class PagingInstance:
         self._num_cells = len(rows[0])
         self._max_rounds = int(max_rounds)
         self._exact = all(_is_exact(p) for row in rows for p in row)
+        self._float_rows: Optional[np.ndarray] = None
+        self._cumulative_rows: Optional[np.ndarray] = None
         if validate:
             self._validate(allow_zero)
 
@@ -131,9 +141,35 @@ class PagingInstance:
         """The probability that ``device`` is located in ``cell``."""
         return self._rows[device][cell]
 
+    def float_rows(self) -> np.ndarray:
+        """The probability matrix as a cached, read-only ``float64`` array.
+
+        Built once per instance and shared by every float-arithmetic hot path
+        (:func:`repro.core.expected_paging.all_found_probability`, the batch
+        kernels in :mod:`repro.core.batch`, and location sampling), so
+        repeated evaluations never re-convert the row tuples.  The array is
+        marked read-only; use :meth:`as_array` for a private mutable copy.
+        """
+        if self._float_rows is None:
+            rows = np.array(
+                [[float(p) for p in row] for row in self._rows], dtype=np.float64
+            )
+            rows.setflags(write=False)
+            self._float_rows = rows
+        return self._float_rows
+
+    def _cumulative_float_rows(self) -> np.ndarray:
+        """Cached per-device cumulative distributions (rows normalized to 1)."""
+        if self._cumulative_rows is None:
+            cumulative = np.cumsum(self.float_rows(), axis=1)
+            cumulative /= cumulative[:, -1:]
+            cumulative.setflags(write=False)
+            self._cumulative_rows = cumulative
+        return self._cumulative_rows
+
     def as_array(self) -> np.ndarray:
-        """The probability matrix as a ``float64`` numpy array."""
-        return np.array([[float(p) for p in row] for row in self._rows])
+        """The probability matrix as a fresh mutable ``float64`` numpy array."""
+        return np.array(self.float_rows())
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -223,7 +259,13 @@ class PagingInstance:
     # Sampling
     # ------------------------------------------------------------------
     def sample_locations(self, rng: np.random.Generator) -> Tuple[int, ...]:
-        """Draw one joint location outcome: a cell index per device."""
+        """Draw one joint location outcome: a cell index per device.
+
+        Deliberately kept as the transparent per-device reference sampler
+        (it preserves the historical random stream for a given seed); bulk
+        draws should use :func:`repro.core.batch.sample_locations_batch`,
+        which draws the same distribution vectorized over trials.
+        """
         cells = np.arange(self._num_cells)
         out = []
         for row in self._rows:

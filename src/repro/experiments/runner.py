@@ -3,11 +3,24 @@
 ``python -m repro.experiments.runner`` regenerates all experiment tables —
 the per-table functions are also what the benchmark suite calls, so the
 printed report and the benchmark assertions always agree.
+
+Experiments are independent, so :func:`run_experiments` can fan them out
+over a process pool (``jobs=N``, the CLI's ``--jobs/-j``).  Determinism is
+preserved in both modes:
+
+* every experiment seeds its own generator internally (or receives a
+  deterministically spawned child of ``seed`` when one is given), and
+* results are collected in the selection order, never completion order,
+
+so a parallel run renders byte-identically to a serial one.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import inspect
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .advanced import (
     run_e19_adaptivity_gap,
@@ -80,21 +93,77 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
 }
 
 
+def _accepts_rng(function: Callable[..., ExperimentTable]) -> bool:
+    """True when the experiment function takes an ``rng`` keyword."""
+    try:
+        return "rng" in inspect.signature(function).parameters
+    except (TypeError, ValueError):  # pragma: no cover - builtins/partials
+        return False
+
+
+def _execute_experiment(task: Tuple[str, Optional[int], int]) -> ExperimentTable:
+    """Run one experiment; the process-pool (and serial) task body.
+
+    ``task`` is ``(name, seed, index)``.  When ``seed`` is given, the
+    experiment receives a generator built from the ``index``-th child of
+    ``np.random.SeedSequence(seed)`` — the same child in serial and parallel
+    runs, and independent of scheduling order.
+    """
+    name, seed, index = task
+    function = EXPERIMENTS[name]
+    if seed is not None and _accepts_rng(function):
+        child = np.random.SeedSequence(seed).spawn(index + 1)[index]
+        return function(rng=np.random.default_rng(child))
+    return function()
+
+
 def run_experiments(
     names: Optional[Sequence[str]] = None,
+    *,
+    jobs: Optional[int] = 1,
+    seed: Optional[int] = None,
 ) -> List[ExperimentTable]:
-    """Run the named experiments (all of them by default)."""
+    """Run the named experiments (all of them by default).
+
+    ``jobs`` fans the experiments out over a ``ProcessPoolExecutor``
+    (``None`` means one worker per CPU).  Output order always matches the
+    selection order, and each task's seeding is deterministic, so
+    ``jobs=N`` renders byte-identically to the serial run.  When the
+    platform cannot provide a process pool the runner silently falls back
+    to serial execution.
+
+    ``seed`` optionally rebases every rng-accepting experiment on a
+    deterministically spawned child of ``np.random.SeedSequence(seed)``;
+    by default each experiment keeps its own fixed internal seed.
+    """
     selected = list(EXPERIMENTS) if names is None else list(names)
-    tables = []
     for name in selected:
         if name not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
-        tables.append(EXPERIMENTS[name]())
-    return tables
+    tasks = [(name, seed, index) for index, name in enumerate(selected)]
+    if jobs is not None and jobs < 1:
+        raise ValueError(f"jobs must be a positive worker count or None, got {jobs}")
+    if jobs == 1 or len(tasks) <= 1:
+        return [_execute_experiment(task) for task in tasks]
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+
+        workers = jobs if jobs is not None else None
+        if workers is not None:
+            workers = min(workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_execute_experiment, tasks))
+    except (ImportError, NotImplementedError, OSError, PermissionError):
+        # Sandboxed/embedded interpreters may not allow worker processes;
+        # the serial path produces the identical tables.
+        return [_execute_experiment(task) for task in tasks]
+    except BrokenProcessPool:
+        return [_execute_experiment(task) for task in tasks]
 
 
 def lint_attestation(
-    targets: Sequence[str] = ("src", "tests"),
+    targets: Sequence[str] = ("src", "tests", "benchmarks", "scripts"),
 ) -> "Dict[str, object]":
     """Run ``repro lint`` over ``targets`` and summarize the outcome.
 
@@ -135,7 +204,9 @@ def lint_attestation(
 def save_report(
     directory: str,
     names: Optional[Sequence[str]] = None,
-    lint_targets: Optional[Sequence[str]] = ("src", "tests"),
+    lint_targets: Optional[Sequence[str]] = ("src", "tests", "benchmarks", "scripts"),
+    *,
+    jobs: Optional[int] = 1,
 ) -> List[str]:
     """Run experiments and persist each table as ``.txt`` and ``.csv``.
 
@@ -150,7 +221,7 @@ def save_report(
 
     os.makedirs(directory, exist_ok=True)
     written = []
-    for table in run_experiments(names):
+    for table in run_experiments(names, jobs=jobs):
         stem = os.path.join(directory, table.experiment_id.lower())
         with open(stem + ".txt", "w") as handle:
             handle.write(table.render() + "\n")
@@ -166,9 +237,11 @@ def save_report(
     return written
 
 
-def main(names: Optional[Sequence[str]] = None) -> str:
+def main(
+    names: Optional[Sequence[str]] = None, *, jobs: Optional[int] = 1
+) -> str:
     """Render the selected experiments as one report string."""
-    return render_all(run_experiments(names))
+    return render_all(run_experiments(names, jobs=jobs))
 
 
 if __name__ == "__main__":  # pragma: no cover - CLI entry point

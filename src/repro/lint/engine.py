@@ -368,8 +368,8 @@ def run_lint(
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     """Attach the ``repro lint`` options to an argparse parser."""
     parser.add_argument(
-        "paths", nargs="*", default=["src", "tests"],
-        help="files or directories to lint (default: src tests)",
+        "paths", nargs="*", default=["src", "tests", "benchmarks", "scripts"],
+        help="files or directories to lint (default: src tests benchmarks scripts)",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
     parser.add_argument(

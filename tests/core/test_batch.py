@@ -1,0 +1,218 @@
+"""Tests for the batched evaluation kernels (:mod:`repro.core.batch`)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PagingInstance,
+    Strategy,
+    expected_paging_batch,
+    expected_paging_float,
+    expected_paging_monte_carlo,
+    expected_paging_monte_carlo_fast,
+    prefix_stops_float,
+    sample_locations_batch,
+    simulate_paging,
+    simulate_paging_batch,
+)
+
+
+def _random_instance(rng, devices, cells, rounds):
+    matrix = rng.dirichlet(np.ones(cells), size=devices)
+    return PagingInstance.from_array(matrix, rounds)
+
+
+def _random_strategy(rng, cells, rounds):
+    order = tuple(int(j) for j in rng.permutation(cells))
+    cuts = np.sort(rng.choice(np.arange(1, cells), size=rounds - 1, replace=False))
+    bounds = [0, *(int(cut) for cut in cuts), cells]
+    sizes = tuple(bounds[i + 1] - bounds[i] for i in range(rounds))
+    return Strategy.from_order_and_sizes(order, sizes)
+
+
+class TestExpectedPagingBatch:
+    def test_matches_scalar_on_random_instances(self):
+        rng = np.random.default_rng(7)
+        for _ in range(10):
+            devices = int(rng.integers(1, 4))
+            cells = int(rng.integers(4, 12))
+            rounds = int(rng.integers(2, min(5, cells)))
+            instance = _random_instance(rng, devices, cells, rounds)
+            strategies = [_random_strategy(rng, cells, rounds) for _ in range(5)]
+            batch = expected_paging_batch(instance, strategies)
+            for value, strategy in zip(batch, strategies):
+                assert float(value) == pytest.approx(
+                    expected_paging_float(instance, strategy)
+                )
+
+    def test_bitwise_identical_to_scalar_float_path(self):
+        # Stronger than approx: the batch kernel runs the exact same
+        # gather/cumsum/telescoping pipeline as expected_paging_float, so on
+        # float instances the results are identical down to the last bit.
+        rng = np.random.default_rng(11)
+        instance = _random_instance(rng, 3, 10, 4)
+        strategies = [
+            _random_strategy(rng, 10, 4),
+            _random_strategy(rng, 10, 2),
+            Strategy.single_round(10),
+            Strategy([[0, 3], [1, 2, 4], [5, 6, 7, 8, 9]]),
+        ]
+        batch = expected_paging_batch(instance, strategies)
+        for value, strategy in zip(batch, strategies):
+            scalar = expected_paging_float(instance, strategy)
+            assert float(value).hex() == scalar.hex()
+
+    def test_mixed_round_counts_in_one_stack(self):
+        rng = np.random.default_rng(13)
+        instance = _random_instance(rng, 2, 8, 4)
+        strategies = [
+            Strategy.single_round(8),
+            _random_strategy(rng, 8, 2),
+            _random_strategy(rng, 8, 4),
+        ]
+        batch = expected_paging_batch(instance, strategies)
+        assert batch.shape == (3,)
+        for value, strategy in zip(batch, strategies):
+            assert float(value) == pytest.approx(
+                expected_paging_float(instance, strategy)
+            )
+
+    def test_empty_stack(self):
+        rng = np.random.default_rng(17)
+        instance = _random_instance(rng, 2, 6, 3)
+        assert expected_paging_batch(instance, []).shape == (0,)
+
+    def test_exact_instance_matches_fraction_oracle(self):
+        from fractions import Fraction
+
+        instance = PagingInstance(
+            [
+                [Fraction(1, 2), Fraction(1, 3), Fraction(1, 6)],
+                [Fraction(1, 4), Fraction(1, 4), Fraction(1, 2)],
+            ],
+            2,
+        )
+        strategy = Strategy([[0], [1, 2]])
+        batch = expected_paging_batch(instance, [strategy])
+        assert float(batch[0]) == pytest.approx(
+            expected_paging_float(instance, strategy)
+        )
+
+    def test_incompatible_strategy_raises(self):
+        rng = np.random.default_rng(19)
+        instance = _random_instance(rng, 2, 6, 3)
+        with pytest.raises(Exception):
+            expected_paging_batch(instance, [Strategy.single_round(7)])
+
+
+class TestPrefixStopsFloat:
+    def test_last_stop_is_one(self):
+        rng = np.random.default_rng(23)
+        instance = _random_instance(rng, 3, 9, 3)
+        strategy = _random_strategy(rng, 9, 3)
+        stops = prefix_stops_float(instance, strategy)
+        assert stops.shape == (3,)
+        assert stops[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(stops) >= -1e-12)
+
+
+class TestSampleLocationsBatch:
+    def test_shape_and_range(self):
+        rng = np.random.default_rng(29)
+        instance = _random_instance(rng, 3, 7, 3)
+        locations = sample_locations_batch(instance, 50, rng)
+        assert locations.shape == (3, 50)
+        assert locations.min() >= 0
+        assert locations.max() < 7
+
+    def test_skips_zero_probability_cells(self):
+        instance = PagingInstance.from_array(
+            np.array([[0.0, 1.0, 0.0]]), 2, allow_zero=True
+        )
+        rng = np.random.default_rng(31)
+        locations = sample_locations_batch(instance, 200, rng)
+        assert set(np.unique(locations)) == {1}
+
+    def test_empirical_frequencies(self):
+        instance = PagingInstance.from_array(np.array([[0.7, 0.2, 0.1]]), 2)
+        rng = np.random.default_rng(37)
+        locations = sample_locations_batch(instance, 20_000, rng)
+        freqs = np.bincount(locations[0], minlength=3) / 20_000
+        assert freqs[0] == pytest.approx(0.7, abs=0.02)
+        assert freqs[1] == pytest.approx(0.2, abs=0.02)
+        assert freqs[2] == pytest.approx(0.1, abs=0.02)
+
+    def test_rejects_nonpositive_trials(self):
+        rng = np.random.default_rng(41)
+        instance = _random_instance(rng, 2, 5, 2)
+        with pytest.raises(ValueError):
+            sample_locations_batch(instance, 0, rng)
+
+
+class TestSimulatePagingBatch:
+    def test_columnwise_matches_scalar_simulate(self):
+        rng = np.random.default_rng(43)
+        instance = _random_instance(rng, 3, 8, 3)
+        strategy = _random_strategy(rng, 8, 3)
+        locations = sample_locations_batch(instance, 60, rng)
+        cells_paged, rounds_used = simulate_paging_batch(
+            instance, strategy, locations
+        )
+        for k in range(60):
+            scalar_cells, scalar_rounds = simulate_paging(
+                instance, strategy, tuple(int(cell) for cell in locations[:, k])
+            )
+            assert int(cells_paged[k]) == scalar_cells
+            assert int(rounds_used[k]) == scalar_rounds
+
+    def test_rejects_bad_shape(self):
+        rng = np.random.default_rng(47)
+        instance = _random_instance(rng, 2, 6, 2)
+        strategy = Strategy.single_round(6)
+        with pytest.raises(ValueError):
+            simulate_paging_batch(instance, strategy, np.zeros((3, 5), dtype=np.intp))
+
+    def test_rejects_out_of_range_cells(self):
+        rng = np.random.default_rng(53)
+        instance = _random_instance(rng, 2, 6, 2)
+        strategy = Strategy.single_round(6)
+        bad = np.full((2, 4), 6, dtype=np.intp)
+        with pytest.raises(ValueError):
+            simulate_paging_batch(instance, strategy, bad)
+
+
+class TestMonteCarloFast:
+    def test_agrees_with_loop_reference(self):
+        rng = np.random.default_rng(59)
+        instance = _random_instance(rng, 2, 10, 3)
+        strategy = _random_strategy(rng, 10, 3)
+        reference = expected_paging_monte_carlo(
+            instance, strategy, trials=4000, rng=np.random.default_rng(61)
+        )
+        fast = expected_paging_monte_carlo_fast(
+            instance, strategy, trials=4000, rng=np.random.default_rng(61)
+        )
+        closed = expected_paging_float(instance, strategy)
+        assert fast == pytest.approx(closed, abs=0.35)
+        assert fast == pytest.approx(reference, abs=0.5)
+
+    def test_seeded_reproducibility(self):
+        rng = np.random.default_rng(67)
+        instance = _random_instance(rng, 2, 8, 3)
+        strategy = _random_strategy(rng, 8, 3)
+        first = expected_paging_monte_carlo_fast(
+            instance, strategy, trials=500, rng=np.random.default_rng(71)
+        )
+        second = expected_paging_monte_carlo_fast(
+            instance, strategy, trials=500, rng=np.random.default_rng(71)
+        )
+        assert first == pytest.approx(second, rel=0, abs=0)
+
+    def test_rejects_nonpositive_trials(self):
+        rng = np.random.default_rng(73)
+        instance = _random_instance(rng, 2, 5, 2)
+        strategy = Strategy.single_round(5)
+        with pytest.raises(ValueError):
+            expected_paging_monte_carlo_fast(
+                instance, strategy, trials=0, rng=np.random.default_rng(79)
+            )

@@ -96,3 +96,40 @@ class TestRoundBudgetSweep:
                 "Section 2: with positive probabilities a longer strategy "
                 "achieves strictly lower expected paging"
             )
+
+
+class TestPopcountTable:
+    def test_matches_bit_count(self):
+        from repro.core.exact import _popcount_table
+
+        table = _popcount_table(64)
+        assert table == [bin(mask).count("1") for mask in range(64)]
+
+    def test_incremental_recurrence(self):
+        from repro.core.exact import _popcount_table
+
+        table = _popcount_table(256)
+        for mask in range(1, 256):
+            assert table[mask] == table[mask >> 1] + (mask & 1)
+
+
+class TestFindTableCache:
+    def test_repeated_solves_hit_the_cache(self, rng):
+        from repro.core.exact import _mask_find_probabilities
+
+        _mask_find_probabilities.cache_clear()
+        instance = random_instance(rng, num_devices=2, num_cells=5, max_rounds=3)
+        optimal_value_by_round_budget(instance, (1, 3))
+        info = _mask_find_probabilities.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 2
+
+    def test_cache_keyed_by_instance(self, rng):
+        from repro.core.exact import _mask_find_probabilities
+
+        _mask_find_probabilities.cache_clear()
+        first = random_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+        second = random_instance(rng, num_devices=2, num_cells=5, max_rounds=2)
+        optimal_strategy(first)
+        optimal_strategy(second)
+        assert _mask_find_probabilities.cache_info().misses == 2

@@ -156,3 +156,22 @@ class TestLongerStrategiesWin:
         assert expected_paging_float(instance, fine) < expected_paging_float(
             instance, coarse
         )
+
+
+class TestLocationMessageTruncation:
+    def test_short_location_tuples_render_fully(self):
+        instance = PagingInstance.uniform(2, 3, 2)
+        strategy = Strategy([[0], [1, 2]])
+        with pytest.raises(InvalidStrategyError, match=r"\(0, 99\)"):
+            simulate_paging(instance, strategy, (0, 99))
+
+    def test_huge_location_tuples_are_truncated(self):
+        devices = 50
+        instance = PagingInstance.uniform(devices, 3, 2)
+        strategy = Strategy([[0], [1, 2]])
+        locations = tuple([99] * devices)
+        with pytest.raises(InvalidStrategyError) as excinfo:
+            simulate_paging(instance, strategy, locations)
+        message = str(excinfo.value)
+        assert f"... {devices} total" in message
+        assert len(message) < 200

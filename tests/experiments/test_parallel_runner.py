@@ -1,0 +1,43 @@
+"""Determinism of the parallel experiment runner."""
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import run_experiments
+from repro.experiments.tables import render_all
+
+# A cheap subset that still exercises rng-seeded and deterministic tables.
+SUBSET = ["E1", "E2", "E4", "E8"]
+
+
+class TestRunExperiments:
+    def test_parallel_renders_byte_identical_to_serial(self):
+        serial = render_all(run_experiments(SUBSET, jobs=1))
+        parallel = render_all(run_experiments(SUBSET, jobs=4))
+        assert parallel == serial
+
+    def test_seeded_runs_identical_across_job_counts(self):
+        serial = render_all(run_experiments(SUBSET, jobs=1, seed=99))
+        parallel = render_all(run_experiments(SUBSET, jobs=2, seed=99))
+        assert parallel == serial
+
+    def test_output_order_matches_selection_order(self):
+        tables = run_experiments(["E4", "E1"], jobs=2)
+        assert [table.experiment_id for table in tables] == ["E4", "E1"]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["E999"])
+
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ValueError):
+            run_experiments(SUBSET, jobs=0)
+
+
+class TestCliJobsFlag:
+    def test_jobs_flag_output_matches_serial(self, capsys):
+        assert cli_main(["experiments", "E1", "E4"]) == 0
+        serial = capsys.readouterr().out
+        assert cli_main(["experiments", "E1", "E4", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -1,0 +1,92 @@
+"""Tests for the benchmark trajectory (:mod:`repro.bench`)."""
+
+import json
+
+import pytest
+
+from repro import bench
+from repro.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    return bench.run_benchmarks("smoke")
+
+
+class TestRunBenchmarks:
+    def test_smoke_profile_produces_valid_payload(self, smoke_payload):
+        assert bench.validate_payload(smoke_payload) == []
+        assert smoke_payload["schema"] == bench.SCHEMA
+        assert smoke_payload["profile"] == "smoke"
+        names = [entry["name"] for entry in smoke_payload["benchmarks"]]
+        assert "monte_carlo_scalar" in names
+        assert "monte_carlo_fast" in names
+        assert "planner_reference" in names
+        assert "runner_parallel" in names
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError):
+            bench.run_benchmarks("huge")
+
+    def test_derived_speedups_positive(self, smoke_payload):
+        for value in smoke_payload["derived"].values():
+            assert value > 0
+
+
+class TestTrajectoryFiles:
+    def test_index_increments(self, tmp_path, smoke_payload):
+        assert bench.next_bench_index(tmp_path) == 0
+        first = bench.write_trajectory(smoke_payload, root=tmp_path)
+        assert first.name == "BENCH_0.json"
+        assert bench.next_bench_index(tmp_path) == 1
+        second = bench.write_trajectory(smoke_payload, root=tmp_path)
+        assert second.name == "BENCH_1.json"
+        payload = json.loads(second.read_text())
+        assert payload["index"] == 1
+        assert bench.validate_payload(payload) == []
+
+    def test_explicit_out_path(self, tmp_path, smoke_payload):
+        target = tmp_path / "custom.json"
+        written = bench.write_trajectory(smoke_payload, path=target)
+        assert written == target
+        assert bench.validate_payload(json.loads(target.read_text())) == []
+
+
+class TestValidatePayload:
+    def test_rejects_non_object(self):
+        assert bench.validate_payload([1, 2]) != []
+
+    def test_rejects_wrong_schema(self, smoke_payload):
+        broken = dict(smoke_payload)
+        broken["schema"] = "other/9"
+        assert any("schema" in problem for problem in bench.validate_payload(broken))
+
+    def test_rejects_inconsistent_stats(self, smoke_payload):
+        broken = json.loads(json.dumps(smoke_payload))
+        broken["benchmarks"][0]["min_s"] = -1.0
+        assert any("min_s" in problem for problem in bench.validate_payload(broken))
+
+    def test_rejects_empty_benchmarks(self, smoke_payload):
+        broken = dict(smoke_payload)
+        broken["benchmarks"] = []
+        assert bench.validate_payload(broken) != []
+
+
+class TestCli:
+    def test_bench_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_0.json"
+        assert cli_main(["bench", "--profile", "smoke", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "trajectory written" in stdout
+        assert cli_main(["bench", "--validate", str(out)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert cli_main(["bench", "--validate", str(bad)]) == 1
+        capsys.readouterr()
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        assert cli_main(["bench", "--validate", str(tmp_path / "none.json")]) == 2
+        capsys.readouterr()
