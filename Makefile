@@ -2,13 +2,19 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-json report save-report examples all clean
+.PHONY: install test docs-test lint bench bench-json report save-report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Every ```python block in README.md and docs/*.md must execute green,
+# and the modules the docs reference must pass the lint rules.
+docs-test:
+	$(PYTHON) -m pytest tests/test_docs.py tests/test_readme.py -q
+	$(PYTHON) -m repro.lint src
 
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks scripts

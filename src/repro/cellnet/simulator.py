@@ -20,6 +20,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import SimulationError
+from ..obs.events import current_tracer
+from ..obs.instrument import span
 from .calls import ConferenceCallRequest, PoissonConferenceCalls
 from .database import LocationRegistry
 from .location_areas import LocationAreaPlan
@@ -269,17 +271,32 @@ class CellularSimulator:
                 used_fallback=outcome.used_fallback,
             )
         )
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.count("cellnet.calls")
+            tracer.count("cellnet.cells_paged", outcome.cells_paged)
+            tracer.observe("cellnet.rounds_to_find", outcome.rounds_used)
+            tracer.observe("cellnet.cells_paged_per_call", outcome.cells_paged)
+            if outcome.used_fallback:
+                tracer.count("cellnet.fallback_searches")
         return outcome
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Advance the system for ``horizon`` steps and report usage."""
-        for time in range(1, self._config.horizon + 1):
-            self._step_movement(time)
-            if self._calls is not None:
-                request = self._calls.maybe_arrival(time, self._rng)
-                if request is not None:
-                    self._handle_call(request)
+        with span(
+            "cellnet.run",
+            horizon=self._config.horizon,
+            devices=len(self._devices),
+            cells=self._topology.num_cells,
+            pager=self._config.pager,
+        ):
+            for time in range(1, self._config.horizon + 1):
+                self._step_movement(time)
+                if self._calls is not None:
+                    request = self._calls.maybe_arrival(time, self._rng)
+                    if request is not None:
+                        self._handle_call(request)
         return SimulationReport(
             metrics=self._metrics,
             config=self._config,

@@ -14,6 +14,12 @@ Four commands cover the library's workflows:
   reproducibility, and paper-traceability rules; see docs/linting.md).
 * ``repro bench`` — time the batched/parallel kernels on pinned seeds and
   record a ``BENCH_<n>.json`` trajectory snapshot (see docs/performance.md).
+* ``repro trace`` — summarize a ``trace.jsonl`` produced by the global
+  ``--trace PATH`` flag (see docs/observability.md).
+
+``repro --trace PATH <command> ...`` runs any command under a JSONL tracer:
+spans, counters, and paging histograms land in ``PATH`` for ``repro trace``
+to read.
 
 JSON input format for ``plan``::
 
@@ -31,11 +37,41 @@ from typing import Optional, Sequence
 import numpy as np
 
 
+#: One line per subcommand — rendered in the ``--help`` epilog and asserted
+#: against the README command table by ``tests/test_cli.py``.
+COMMAND_SUMMARY: "dict[str, str]" = {
+    "plan": "plan a paging strategy from a JSON instance",
+    "simulate": "run the cellular-network simulation",
+    "experiments": "regenerate experiment tables (optionally --jobs N)",
+    "gadget": "run the Lemma 3.2 NP-hardness reduction",
+    "render": "ASCII map of a network's areas or a plan",
+    "lint": "domain-aware static analysis (RPL001-RPL006)",
+    "bench": "record a BENCH_<n>.json performance snapshot",
+    "trace": "summarize a trace.jsonl written by --trace",
+}
+
+
 def _build_parser() -> argparse.ArgumentParser:
+    epilog_lines = ["commands:"] + [
+        f"  repro {name:<12} {summary}" for name, summary in COMMAND_SUMMARY.items()
+    ]
+    epilog_lines.append(
+        "\nany command accepts a leading `--trace PATH` to record spans, "
+        "counters,\nand paging histograms as JSON lines (docs/observability.md)."
+    )
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Conference Call paging under delay constraints "
         "(Bar-Noy & Malewicz, PODC 2002)",
+        epilog="\n".join(epilog_lines),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="run the command under a JSONL tracer writing to PATH "
+        "(read it back with `repro trace PATH`)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -126,6 +162,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="record a BENCH_<n>.json performance-trajectory snapshot"
     )
     add_bench_arguments(bench)
+
+    from .obs.report import add_trace_arguments
+
+    trace = commands.add_parser(
+        "trace", help="summarize a trace.jsonl produced by `repro --trace PATH`"
+    )
+    add_trace_arguments(trace)
 
     return parser
 
@@ -302,6 +345,12 @@ def _command_bench(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    from .obs.report import run_from_args
+
+    return run_from_args(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point (also installed as the ``repro`` console script)."""
     args = _build_parser().parse_args(argv)
@@ -313,8 +362,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "render": _command_render,
         "lint": _command_lint,
         "bench": _command_bench,
+        "trace": _command_trace,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if args.trace is not None:
+        from .obs import JsonlSink, Tracer, use_tracer
+
+        with use_tracer(Tracer(JsonlSink(args.trace))):
+            status = handler(args)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+        return status
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -27,11 +27,13 @@ float64 only.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import InvalidStrategyError
+from ..obs.events import current_tracer
+from ..obs.instrument import span
 from .expected_paging import _check_compatible
 from .instance import PagingInstance
 from .strategy import Strategy
@@ -99,7 +101,14 @@ def simulate_paging_batch(
         )
     round_of_cell, cumulative_sizes = _round_lookup(strategy)
     stop_round = round_of_cell[located].max(axis=0)
-    return cumulative_sizes[stop_round], stop_round + 1
+    rounds_used = stop_round + 1
+    tracer = current_tracer()
+    if tracer.enabled and rounds_used.size:
+        tracer.count("batch.trials", int(rounds_used.size))
+        values, counts = np.unique(rounds_used, return_counts=True)
+        for value, count in zip(values.tolist(), counts.tolist()):
+            tracer.observe("batch.rounds_to_find", value, count)
+    return cumulative_sizes[stop_round], rounds_used
 
 
 def expected_paging_monte_carlo_fast(
@@ -118,9 +127,15 @@ def expected_paging_monte_carlo_fast(
     kernels, with no Python loop over trials.
     """
     _check_compatible(instance, strategy)
-    locations = sample_locations_batch(instance, trials, rng)
-    cells_paged, _rounds = simulate_paging_batch(instance, strategy, locations)
-    return float(cells_paged.mean())
+    with span(
+        "batch.monte_carlo",
+        cells=instance.num_cells,
+        devices=instance.num_devices,
+        trials=trials,
+    ):
+        locations = sample_locations_batch(instance, trials, rng)
+        cells_paged, _rounds = simulate_paging_batch(instance, strategy, locations)
+        return float(cells_paged.mean())
 
 
 def expected_paging_batch(
@@ -143,6 +158,19 @@ def expected_paging_batch(
         return np.zeros(0, dtype=np.float64)
     for strategy in stack:
         _check_compatible(instance, strategy)
+    with span(
+        "batch.expected_paging",
+        cells=instance.num_cells,
+        devices=instance.num_devices,
+        strategies=len(stack),
+    ):
+        return _expected_paging_batch_impl(instance, stack)
+
+
+def _expected_paging_batch_impl(
+    instance: PagingInstance, stack: List[Strategy]
+) -> np.ndarray:
+    """The broadcast pipeline behind :func:`expected_paging_batch`."""
     rows = instance.float_rows()
     num_strategies = len(stack)
     c = instance.num_cells

@@ -27,6 +27,7 @@ from fractions import Fraction
 from typing import Optional, Sequence, Tuple
 
 from ..errors import InfeasibleError
+from ..obs.instrument import traced
 from .expected_paging import expected_paging
 from .instance import Number, PagingInstance
 from .ordering import validate_order
@@ -47,6 +48,7 @@ class OrderedDPResult:
         return len(self.group_sizes)
 
 
+@traced("core.dp")
 def optimize_over_order(
     instance: PagingInstance,
     order: Sequence[int],

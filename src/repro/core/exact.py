@@ -25,6 +25,7 @@ from functools import lru_cache
 from typing import Iterator, List, Optional, Tuple
 
 from ..errors import SolverLimitError
+from ..obs.instrument import traced
 from .expected_paging import expected_paging
 from .instance import Number, PagingInstance
 from .strategy import Strategy
@@ -95,6 +96,7 @@ def _mask_find_probabilities(instance: PagingInstance) -> Tuple[Number, ...]:
     return tuple(finds)
 
 
+@traced("core.exact")
 def optimal_strategy(
     instance: PagingInstance,
     *,

@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from ..obs.instrument import span
 from .dp import OrderedDPResult, optimize_over_order
 from .instance import PagingInstance
 from .ordering import by_expected_devices
@@ -35,13 +36,19 @@ def conference_call_heuristic(
     ``max_group_size`` set it solves the bandwidth-limited extension of
     Section 5, for which the same approximation argument applies.
     """
-    order = by_expected_devices(instance)
-    return optimize_over_order(
-        instance,
-        order,
-        max_rounds=max_rounds,
-        max_group_size=max_group_size,
-    )
+    with span(
+        "core.heuristic",
+        cells=instance.num_cells,
+        devices=instance.num_devices,
+        rounds=instance.max_rounds if max_rounds is None else max_rounds,
+    ):
+        order = by_expected_devices(instance)
+        return optimize_over_order(
+            instance,
+            order,
+            max_rounds=max_rounds,
+            max_group_size=max_group_size,
+        )
 
 
 def guarantee_bound(optimal_value: float) -> float:

@@ -22,6 +22,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import JsonlSink, Tracer, current_tracer, load_events, use_tracer
+
 from .advanced import (
     run_e19_adaptivity_gap,
     run_e20_imperfect_detection,
@@ -101,20 +103,34 @@ def _accepts_rng(function: Callable[..., ExperimentTable]) -> bool:
         return False
 
 
-def _execute_experiment(task: Tuple[str, Optional[int], int]) -> ExperimentTable:
+def _run_one(name: str, seed: Optional[int], index: int) -> ExperimentTable:
+    """Run one experiment inside a per-experiment span."""
+    function = EXPERIMENTS[name]
+    with current_tracer().span(f"experiments.{name}", index=index):
+        if seed is not None and _accepts_rng(function):
+            child = np.random.SeedSequence(seed).spawn(index + 1)[index]
+            return function(rng=np.random.default_rng(child))
+        return function()
+
+
+def _execute_experiment(
+    task: Tuple[str, Optional[int], int, Optional[str]]
+) -> ExperimentTable:
     """Run one experiment; the process-pool (and serial) task body.
 
-    ``task`` is ``(name, seed, index)``.  When ``seed`` is given, the
-    experiment receives a generator built from the ``index``-th child of
-    ``np.random.SeedSequence(seed)`` — the same child in serial and parallel
-    runs, and independent of scheduling order.
+    ``task`` is ``(name, seed, index, trace_path)``.  When ``seed`` is
+    given, the experiment receives a generator built from the ``index``-th
+    child of ``np.random.SeedSequence(seed)`` — the same child in serial and
+    parallel runs, and independent of scheduling order.  When ``trace_path``
+    is given the task installs its own JSONL tracer writing there — worker
+    processes cannot share the parent's sink, so each writes a private file
+    that :func:`run_experiments` merges on collect.
     """
-    name, seed, index = task
-    function = EXPERIMENTS[name]
-    if seed is not None and _accepts_rng(function):
-        child = np.random.SeedSequence(seed).spawn(index + 1)[index]
-        return function(rng=np.random.default_rng(child))
-    return function()
+    name, seed, index, trace_path = task
+    if trace_path is None:
+        return _run_one(name, seed, index)
+    with use_tracer(Tracer(JsonlSink(trace_path))):
+        return _run_one(name, seed, index)
 
 
 def run_experiments(
@@ -135,31 +151,76 @@ def run_experiments(
     ``seed`` optionally rebases every rng-accepting experiment on a
     deterministically spawned child of ``np.random.SeedSequence(seed)``;
     by default each experiment keeps its own fixed internal seed.
+
+    When a tracer is active (``repro --trace`` / :func:`repro.obs.tracing`)
+    every experiment runs inside an ``experiments.<id>`` span.  Parallel
+    workers cannot reach the parent's sink, so each task writes a private
+    JSONL file which is merged back into the active tracer after collection
+    — the merged trace is independent of scheduling order because counters
+    and histograms are commutative aggregates and spans carry their ids.
     """
     selected = list(EXPERIMENTS) if names is None else list(names)
     for name in selected:
         if name not in EXPERIMENTS:
             raise KeyError(f"unknown experiment {name!r}; known: {list(EXPERIMENTS)}")
-    tasks = [(name, seed, index) for index, name in enumerate(selected)]
     if jobs is not None and jobs < 1:
         raise ValueError(f"jobs must be a positive worker count or None, got {jobs}")
-    if jobs == 1 or len(tasks) <= 1:
-        return [_execute_experiment(task) for task in tasks]
-    try:
-        from concurrent.futures import ProcessPoolExecutor
-        from concurrent.futures.process import BrokenProcessPool
+    serial = jobs == 1 or len(selected) <= 1
+    tracer = current_tracer()
+    trace_dir: Optional[str] = None
+    if tracer.enabled and not serial:
+        import tempfile
 
-        workers = jobs if jobs is not None else None
-        if workers is not None:
-            workers = min(workers, len(tasks))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_execute_experiment, tasks))
-    except (ImportError, NotImplementedError, OSError, PermissionError):
-        # Sandboxed/embedded interpreters may not allow worker processes;
-        # the serial path produces the identical tables.
-        return [_execute_experiment(task) for task in tasks]
-    except BrokenProcessPool:
-        return [_execute_experiment(task) for task in tasks]
+        trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+    tasks = [
+        (
+            name,
+            seed,
+            index,
+            None if trace_dir is None else f"{trace_dir}/task-{index}.jsonl",
+        )
+        for index, name in enumerate(selected)
+    ]
+    try:
+        if serial:
+            return [_execute_experiment(task) for task in tasks]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            workers = jobs if jobs is not None else None
+            if workers is not None:
+                workers = min(workers, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_execute_experiment, tasks))
+        except (ImportError, NotImplementedError, OSError, PermissionError):
+            # Sandboxed/embedded interpreters may not allow worker
+            # processes; the serial path produces the identical tables.
+            return [_execute_experiment(task) for task in tasks]
+        except BrokenProcessPool:
+            return [_execute_experiment(task) for task in tasks]
+    finally:
+        if trace_dir is not None:
+            _merge_worker_traces(tracer, tasks, trace_dir)
+
+
+def _merge_worker_traces(
+    tracer: "Tracer",
+    tasks: Sequence[Tuple[str, Optional[int], int, Optional[str]]],
+    trace_dir: str,
+) -> None:
+    """Fold per-worker trace files back into the parent tracer, then clean up."""
+    import os
+    import shutil
+
+    try:
+        for _name, _seed, _index, trace_path in tasks:
+            if trace_path is None or not os.path.exists(trace_path):
+                continue
+            for event in load_events(trace_path):
+                tracer.absorb(event)
+    finally:
+        shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def lint_attestation(
@@ -207,6 +268,7 @@ def save_report(
     lint_targets: Optional[Sequence[str]] = ("src", "tests", "benchmarks", "scripts"),
     *,
     jobs: Optional[int] = 1,
+    trace: bool = True,
 ) -> List[str]:
     """Run experiments and persist each table as ``.txt`` and ``.csv``.
 
@@ -214,14 +276,24 @@ def save_report(
     plot-ready data in sync with one run.  Unless ``lint_targets`` is None,
     a ``lint.json`` attestation (the ``repro lint --json`` outcome for the
     source tree) is written alongside the tables, so the report records
-    that it was produced from a zero-violation tree.
+    that it was produced from a zero-violation tree.  Unless ``trace`` is
+    False, the run itself executes under a JSONL tracer and a
+    ``trace.jsonl`` attestation lands next to ``lint.json`` — summarize it
+    with ``repro trace <dir>/trace.jsonl``.
     """
     import json
     import os
 
     os.makedirs(directory, exist_ok=True)
     written = []
-    for table in run_experiments(names, jobs=jobs):
+    if trace:
+        trace_path = os.path.join(directory, "trace.jsonl")
+        with use_tracer(Tracer(JsonlSink(trace_path))):
+            tables = run_experiments(names, jobs=jobs)
+        written.append(trace_path)
+    else:
+        tables = run_experiments(names, jobs=jobs)
+    for table in tables:
         stem = os.path.join(directory, table.experiment_id.lower())
         with open(stem + ".txt", "w") as handle:
             handle.write(table.render() + "\n")

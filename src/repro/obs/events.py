@@ -1,0 +1,215 @@
+"""Event primitives and the thread-local :class:`Tracer`.
+
+The observability layer is zero-dependency and deliberately small: three
+event kinds cover what a paging system is judged on — *where the time goes*
+(spans), *how much work happened* (counters), and *how outcomes distribute*
+(histograms; production paging lives and dies on the distribution of
+rounds-to-find and cells paged, not just the mean EP of Lemma 2.1).
+
+Event schema (``repro-trace/1``) — one JSON object per event::
+
+    {"event": "meta",      "schema": "repro-trace/1", "created": "..."}
+    {"event": "span",      "name": "core.heuristic", "elapsed_s": 0.018,
+     "attrs": {"cells": 250, "devices": 4, "rounds": 5}}
+    {"event": "counter",   "name": "batch.trials", "value": 100000}
+    {"event": "histogram", "name": "cellnet.rounds_to_find",
+     "counts": {"1": 52, "2": 30, "3": 18}}
+
+Spans are emitted as they finish; counters and histograms are aggregated
+inside the tracer and emitted by :meth:`Tracer.flush` (so a 100k-trial
+Monte-Carlo run writes one histogram event, not 100k).
+
+A :class:`Tracer` wraps a sink (:mod:`repro.obs.sinks`).  The *active*
+tracer is thread-local; instrumented code asks :func:`current_tracer` and
+checks ``tracer.enabled`` before building any event, so the default
+:class:`~repro.obs.sinks.NullSink` configuration costs one attribute lookup
+per instrumentation site (measured ≤ 5% on the ``repro bench`` scenarios,
+see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .sinks import NullSink, Sink
+
+SCHEMA = "repro-trace/1"
+
+
+class _Span:
+    """A running span; created by :meth:`Tracer.span`, emits on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        self._tracer.emit(
+            {
+                "event": "span",
+                "name": self.name,
+                "elapsed_s": elapsed,
+                "attrs": self.attrs,
+            }
+        )
+
+
+class _NullContext:
+    """Reentrant, reusable no-op context manager (the disabled-span path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+NULL_CONTEXT = _NullContext()
+
+
+class Tracer:
+    """Collects events for one sink; aggregate state lives here.
+
+    ``enabled`` mirrors the sink's flag: a tracer over a
+    :class:`~repro.obs.sinks.NullSink` reports ``False`` and every method
+    short-circuits, which is what keeps default-mode overhead negligible.
+    """
+
+    def __init__(self, sink: Optional[Sink] = None) -> None:
+        self.sink: Sink = NullSink() if sink is None else sink
+        self.enabled: bool = self.sink.enabled
+        self._counters: Dict[str, int] = {}
+        self._histograms: Dict[str, Dict[int, int]] = {}
+        if self.enabled:
+            self.sink.write(
+                {
+                    "event": "meta",
+                    "schema": SCHEMA,
+                    "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+                }
+            )
+
+    # -- primitives ----------------------------------------------------
+    def span(self, name: str, **attrs: object) -> object:
+        """A context manager timing one phase; no-op when disabled."""
+        if not self.enabled:
+            return NULL_CONTEXT
+        return _Span(self, name, attrs)
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the named counter."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def observe(self, name: str, value: int, count: int = 1) -> None:
+        """Add ``count`` occurrences of integer ``value`` to a histogram."""
+        if not self.enabled:
+            return
+        bucket = self._histograms.setdefault(name, {})
+        key = int(value)
+        bucket[key] = bucket.get(key, 0) + int(count)
+
+    def emit(self, event: Dict[str, object]) -> None:
+        """Write one finished event straight to the sink."""
+        if self.enabled:
+            self.sink.write(event)
+
+    # -- merging -------------------------------------------------------
+    def absorb(self, event: Dict[str, object]) -> None:
+        """Fold one event from another trace into this tracer.
+
+        Spans pass through; counters and histograms merge into this
+        tracer's aggregates; ``meta`` headers are dropped.  This is how the
+        parallel experiment runner folds per-worker trace files back into
+        the parent's sink.
+        """
+        if not self.enabled:
+            return
+        kind = event.get("event")
+        if kind == "counter":
+            self.count(str(event.get("name")), int(event.get("value", 0)))
+        elif kind == "histogram":
+            counts = event.get("counts")
+            if isinstance(counts, dict):
+                for value, count in counts.items():
+                    self.observe(str(event.get("name")), int(value), int(count))
+        elif kind == "span":
+            self.sink.write(event)
+
+    # -- lifecycle -----------------------------------------------------
+    def flush(self) -> None:
+        """Emit aggregated counters/histograms and flush the sink."""
+        if not self.enabled:
+            return
+        for name in sorted(self._counters):
+            self.sink.write(
+                {"event": "counter", "name": name, "value": self._counters[name]}
+            )
+        self._counters.clear()
+        for name in sorted(self._histograms):
+            counts = self._histograms[name]
+            self.sink.write(
+                {
+                    "event": "histogram",
+                    "name": name,
+                    "counts": {str(k): counts[k] for k in sorted(counts)},
+                }
+            )
+        self._histograms.clear()
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Flush aggregates and close the sink."""
+        self.flush()
+        self.sink.close()
+
+
+#: The process-wide fallback: tracing disabled.
+_NULL_TRACER = Tracer(NullSink())
+
+_ACTIVE = threading.local()
+
+
+def current_tracer() -> Tracer:
+    """The thread's active tracer (a disabled one when none is installed)."""
+    return getattr(_ACTIVE, "tracer", _NULL_TRACER)
+
+
+def set_tracer(tracer: Optional[Tracer]) -> None:
+    """Install ``tracer`` as this thread's active tracer (None resets)."""
+    if tracer is None:
+        if hasattr(_ACTIVE, "tracer"):
+            del _ACTIVE.tracer
+    else:
+        _ACTIVE.tracer = tracer
+
+
+@contextmanager
+def use_tracer(tracer: Tracer, *, close: bool = True) -> Iterator[Tracer]:
+    """Make ``tracer`` active for the block; restore (and close) after."""
+    previous = getattr(_ACTIVE, "tracer", None)
+    _ACTIVE.tracer = tracer
+    try:
+        yield tracer
+    finally:
+        if previous is None:
+            del _ACTIVE.tracer
+        else:
+            _ACTIVE.tracer = previous
+        if close:
+            tracer.close()

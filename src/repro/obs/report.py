@@ -1,0 +1,245 @@
+"""Turn a ``trace.jsonl`` file into a human-readable performance report.
+
+``repro trace <run.jsonl>`` renders per-phase span timing (count / total /
+mean / max per span name), counters, and histograms — in particular the
+rounds-to-find distribution that tail-sensitive paging analyses need
+(mean EP alone hides exactly the tail a delay constraint is about).
+
+The module is also a library: :func:`summarize` aggregates any iterable of
+``repro-trace/1`` events, :func:`render` formats the summary, and
+:func:`to_json` is the structured equivalent for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .events import SCHEMA
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings of every span sharing one name."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    min_s: float = float("inf")
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def add(self, elapsed_s: float) -> None:
+        self.count += 1
+        self.total_s += elapsed_s
+        self.min_s = min(self.min_s, elapsed_s)
+        self.max_s = max(self.max_s, elapsed_s)
+
+
+@dataclass
+class TraceSummary:
+    """Everything :func:`summarize` extracts from one trace."""
+
+    schema: Optional[str] = None
+    created: Optional[str] = None
+    events: int = 0
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    histograms: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    problems: List[str] = field(default_factory=list)
+
+
+def load_events(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Parse a JSONL trace file into a list of event dictionaries."""
+    events: List[Dict[str, object]] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(f"{path}:{lineno}: not valid JSON ({error})")
+            if not isinstance(payload, dict):
+                raise ValueError(f"{path}:{lineno}: event is not a JSON object")
+            events.append(payload)
+    return events
+
+
+def summarize(events: Iterable[Dict[str, object]]) -> TraceSummary:
+    """Aggregate events into per-name span stats, counters, histograms."""
+    summary = TraceSummary()
+    for event in events:
+        summary.events += 1
+        kind = event.get("event")
+        if kind == "meta":
+            summary.schema = str(event.get("schema"))
+            created = event.get("created")
+            summary.created = str(created) if created is not None else None
+            if summary.schema != SCHEMA:
+                summary.problems.append(
+                    f"unexpected schema {summary.schema!r} (reader speaks {SCHEMA!r})"
+                )
+        elif kind == "span":
+            name = str(event.get("name", "<unnamed>"))
+            stats = summary.spans.setdefault(name, SpanStats(name))
+            try:
+                stats.add(float(event.get("elapsed_s", 0.0)))  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                summary.problems.append(f"span {name!r}: bad elapsed_s")
+        elif kind == "counter":
+            name = str(event.get("name", "<unnamed>"))
+            try:
+                summary.counters[name] = summary.counters.get(name, 0) + int(
+                    event.get("value", 0)  # type: ignore[arg-type]
+                )
+            except (TypeError, ValueError):
+                summary.problems.append(f"counter {name!r}: bad value")
+        elif kind == "histogram":
+            name = str(event.get("name", "<unnamed>"))
+            counts = event.get("counts")
+            if not isinstance(counts, dict):
+                summary.problems.append(f"histogram {name!r}: counts missing")
+                continue
+            bucket = summary.histograms.setdefault(name, {})
+            for value, count in counts.items():
+                try:
+                    key = int(value)
+                    bucket[key] = bucket.get(key, 0) + int(count)
+                except (TypeError, ValueError):
+                    summary.problems.append(f"histogram {name!r}: bad bucket")
+        else:
+            summary.problems.append(f"unknown event kind {kind!r}")
+    return summary
+
+
+def _histogram_line(counts: Dict[int, int], width: int = 24) -> List[str]:
+    """Render one histogram as aligned ``value count bar`` lines."""
+    total = sum(counts.values())
+    peak = max(counts.values())
+    lines = []
+    for value in sorted(counts):
+        count = counts[value]
+        bar = "#" * max(1, round(width * count / peak))
+        share = 100.0 * count / total
+        lines.append(f"    {value:>6}  {count:>10}  {share:5.1f}%  {bar}")
+    mean = sum(v * n for v, n in counts.items()) / total
+    lines.append(f"    mean {mean:.3f} over {total} observations")
+    return lines
+
+
+def render(summary: TraceSummary) -> str:
+    """Format a :class:`TraceSummary` as the ``repro trace`` report."""
+    lines: List[str] = []
+    header = f"trace summary ({summary.events} events"
+    if summary.created:
+        header += f", created {summary.created}"
+    header += ")"
+    lines.append(header)
+    if summary.spans:
+        lines.append("")
+        lines.append(
+            f"  {'span':<28} {'count':>7} {'total_s':>10} "
+            f"{'mean_s':>10} {'max_s':>10}"
+        )
+        for name in sorted(
+            summary.spans, key=lambda n: summary.spans[n].total_s, reverse=True
+        ):
+            stats = summary.spans[name]
+            lines.append(
+                f"  {name:<28} {stats.count:>7} {stats.total_s:>10.4f} "
+                f"{stats.mean_s:>10.6f} {stats.max_s:>10.6f}"
+            )
+    if summary.counters:
+        lines.append("")
+        lines.append("  counters:")
+        for name in sorted(summary.counters):
+            lines.append(f"    {name:<30} {summary.counters[name]:>12}")
+    for name in sorted(summary.histograms):
+        lines.append("")
+        lines.append(f"  histogram {name}:")
+        lines.extend(_histogram_line(summary.histograms[name]))
+    for problem in summary.problems:
+        lines.append(f"  warning: {problem}")
+    if not (summary.spans or summary.counters or summary.histograms):
+        lines.append("  (no span/counter/histogram events)")
+    return "\n".join(lines)
+
+
+def to_json(summary: TraceSummary) -> Dict[str, object]:
+    """The structured form of the report (``repro trace --json``)."""
+    return {
+        "schema": summary.schema,
+        "created": summary.created,
+        "events": summary.events,
+        "spans": {
+            name: {
+                "count": stats.count,
+                "total_s": stats.total_s,
+                "mean_s": stats.mean_s,
+                "min_s": stats.min_s,
+                "max_s": stats.max_s,
+            }
+            for name, stats in summary.spans.items()
+        },
+        "counters": dict(summary.counters),
+        "histograms": {
+            name: {str(value): count for value, count in sorted(counts.items())}
+            for name, counts in summary.histograms.items()
+        },
+        "problems": list(summary.problems),
+    }
+
+
+# ---------------------------------------------------------------------------
+# CLI (`repro trace`)
+# ---------------------------------------------------------------------------
+
+def add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``repro trace`` options to an argparse parser."""
+    parser.add_argument("trace_file", help="path to a trace.jsonl file")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the structured summary instead of the text report",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    """Execute ``repro trace`` from parsed CLI arguments."""
+    try:
+        events = load_events(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"cannot read {args.trace_file}: {error}", file=sys.stderr)
+        return 2
+    summary = summarize(events)
+    try:
+        if args.json:
+            print(json.dumps(to_json(summary), indent=2))
+        else:
+            print(render(summary))
+    except BrokenPipeError:  # e.g. `repro trace run.jsonl | head`
+        sys.stderr.close()  # suppress the interpreter's shutdown warning
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point: ``python -m repro.obs.report``."""
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="summarize a trace.jsonl produced by `repro --trace`",
+    )
+    add_trace_arguments(parser)
+    return run_from_args(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -37,12 +37,22 @@ class TestRunner:
         assert expected <= set(EXPERIMENTS)
 
     def test_save_report_writes_txt_and_csv(self, tmp_path):
-        written = save_report(str(tmp_path), ["E2"], lint_targets=None)
+        written = save_report(str(tmp_path), ["E2"], lint_targets=None, trace=False)
         assert len(written) == 2
         txt = (tmp_path / "e2.txt").read_text()
         csv = (tmp_path / "e2.csv").read_text()
         assert "E2:" in txt
         assert csv.splitlines()[0].startswith("variant,")
+
+    def test_save_report_writes_trace_attestation(self, tmp_path):
+        from repro.obs import load_events, summarize
+
+        written = save_report(str(tmp_path), ["E2"], lint_targets=None)
+        assert any(path.endswith("trace.jsonl") for path in written)
+        summary = summarize(load_events(tmp_path / "trace.jsonl"))
+        assert summary.schema == "repro-trace/1"
+        assert "experiments.E2" in summary.spans
+        assert summary.spans["experiments.E2"].count == 1
 
     def test_save_report_writes_lint_attestation(self, tmp_path):
         written = save_report(str(tmp_path), ["E2"])

@@ -1,0 +1,302 @@
+"""Unit tests for ``repro.obs``: sinks, tracer, instrumentation, reports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    SCHEMA,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    Tracer,
+    count,
+    current_tracer,
+    load_events,
+    observe,
+    render,
+    set_tracer,
+    span,
+    summarize,
+    to_json,
+    traced,
+    tracing,
+    use_tracer,
+)
+
+
+def traced_events(sink):
+    """Split a MemorySink's events by kind, dropping the meta header."""
+    kinds = {}
+    for event in sink.events:
+        kinds.setdefault(event["event"], []).append(event)
+    return kinds
+
+
+class TestSinks:
+    def test_null_sink_is_disabled(self):
+        assert NullSink.enabled is False
+        assert Tracer(NullSink()).enabled is False
+
+    def test_memory_sink_buffers(self):
+        sink = MemorySink()
+        sink.write({"event": "counter", "name": "x", "value": 1})
+        assert sink.events[-1]["name"] == "x"
+
+    def test_jsonl_sink_roundtrip(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        sink.write({"event": "counter", "name": "x", "value": 3})
+        sink.close()
+        assert load_events(path) == [{"event": "counter", "name": "x", "value": 3}]
+
+    def test_jsonl_sink_created_eagerly_and_closed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = JsonlSink(path)
+        assert path.exists()  # empty trace file even before any event
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.write({"event": "counter", "name": "x", "value": 1})
+
+
+class TestTracer:
+    def test_meta_header_written_first(self):
+        sink = MemorySink()
+        Tracer(sink)
+        assert sink.events[0]["event"] == "meta"
+        assert sink.events[0]["schema"] == SCHEMA
+
+    def test_span_emits_elapsed_and_attrs(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("phase.one", cells=12):
+            pass
+        event = sink.events[-1]
+        assert event["event"] == "span"
+        assert event["name"] == "phase.one"
+        assert event["elapsed_s"] >= 0.0
+        assert event["attrs"] == {"cells": 12}
+
+    def test_counters_and_histograms_aggregate_until_flush(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.count("calls")
+        tracer.count("calls", 2)
+        tracer.observe("rounds", 1)
+        tracer.observe("rounds", 1)
+        tracer.observe("rounds", 3)
+        assert traced_events(sink) == {"meta": sink.events[:1]}  # nothing yet
+        tracer.flush()
+        kinds = traced_events(sink)
+        assert kinds["counter"] == [{"event": "counter", "name": "calls", "value": 3}]
+        assert kinds["histogram"][0]["counts"] == {"1": 2, "3": 1}
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer()  # defaults to NullSink
+        with tracer.span("x"):
+            tracer.count("c")
+            tracer.observe("h", 1)
+        tracer.flush()
+        tracer.close()  # must not raise
+
+    def test_absorb_merges_commutatively(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        worker_events = [
+            {"event": "meta", "schema": SCHEMA, "created": "x"},
+            {"event": "span", "name": "w", "elapsed_s": 0.5, "attrs": {}},
+            {"event": "counter", "name": "calls", "value": 2},
+            {"event": "histogram", "name": "rounds", "counts": {"2": 5}},
+        ]
+        tracer.count("calls", 1)
+        tracer.observe("rounds", 2)
+        for event in worker_events:
+            tracer.absorb(event)
+        tracer.flush()
+        summary = summarize(sink.events)
+        assert summary.counters["calls"] == 3
+        assert summary.histograms["rounds"] == {2: 6}
+        assert summary.spans["w"].count == 1
+        # worker meta headers are dropped, not duplicated
+        assert sum(1 for e in sink.events if e["event"] == "meta") == 1
+
+
+class TestActiveTracer:
+    def test_default_is_disabled(self):
+        assert current_tracer().enabled is False
+
+    def test_use_tracer_restores_previous(self):
+        outer = Tracer(MemorySink())
+        inner = Tracer(MemorySink())
+        with use_tracer(outer, close=False):
+            assert current_tracer() is outer
+            with use_tracer(inner, close=False):
+                assert current_tracer() is inner
+            assert current_tracer() is outer
+        assert current_tracer().enabled is False
+
+    def test_set_tracer_none_resets(self):
+        tracer = Tracer(MemorySink())
+        set_tracer(tracer)
+        assert current_tracer() is tracer
+        set_tracer(None)
+        assert current_tracer().enabled is False
+
+    def test_thread_local_isolation(self):
+        tracer = Tracer(MemorySink())
+        seen = []
+
+        def probe():
+            seen.append(current_tracer().enabled)
+
+        with use_tracer(tracer, close=False):
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+        assert seen == [False]  # other threads never see this tracer
+
+
+class TestInstrumentHelpers:
+    def test_module_level_span_count_observe(self):
+        sink = MemorySink()
+        with tracing(sink):
+            with span("demo.phase", size=2):
+                count("demo.calls")
+                observe("demo.rounds", 2)
+        summary = summarize(sink.events)
+        assert summary.spans["demo.phase"].count == 1
+        assert summary.counters == {"demo.calls": 1}
+        assert summary.histograms == {"demo.rounds": {2: 1}}
+
+    def test_helpers_are_noops_without_tracer(self):
+        with span("demo.phase"):
+            count("demo.calls")
+            observe("demo.rounds", 1)  # must not raise or leak state
+
+    def test_traced_decorator(self):
+        calls = []
+
+        @traced("demo.fn")
+        def function(value):
+            calls.append(value)
+            return value * 2
+
+        assert function(3) == 6  # no tracer: plain call
+        sink = MemorySink()
+        with tracing(sink):
+            assert function(4) == 8
+        assert calls == [3, 4]
+        assert summarize(sink.events).spans["demo.fn"].count == 1
+
+    def test_tracing_accepts_path(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with tracing(path):
+            count("demo.calls", 5)
+        summary = summarize(load_events(path))
+        assert summary.counters == {"demo.calls": 5}
+
+    def test_tracing_default_memory_sink(self):
+        with tracing(close=False) as tracer:
+            count("demo.calls")
+            tracer.flush()
+        assert summarize(tracer.sink.events).counters == {"demo.calls": 1}
+
+
+class TestReport:
+    def _summary(self):
+        sink = MemorySink()
+        with tracing(sink):
+            with span("a.slow"):
+                pass
+            with span("a.slow"):
+                pass
+            count("calls", 7)
+            observe("rounds", 1, 3)
+            observe("rounds", 2)
+        return summarize(sink.events)
+
+    def test_summarize_aggregates(self):
+        summary = self._summary()
+        assert summary.schema == SCHEMA
+        assert summary.spans["a.slow"].count == 2
+        assert summary.spans["a.slow"].total_s >= summary.spans["a.slow"].max_s
+        assert summary.counters == {"calls": 7}
+        assert summary.histograms == {"rounds": {1: 3, 2: 1}}
+        assert summary.problems == []
+
+    def test_render_sections(self):
+        text = render(self._summary())
+        assert text.startswith("trace summary")
+        assert "a.slow" in text
+        assert "calls" in text
+        assert "histogram rounds:" in text
+        assert "mean 1.250 over 4 observations" in text
+
+    def test_to_json_roundtrips_through_json(self):
+        payload = json.loads(json.dumps(to_json(self._summary())))
+        assert payload["spans"]["a.slow"]["count"] == 2
+        assert payload["histograms"]["rounds"] == {"1": 3, "2": 1}
+
+    def test_summarize_flags_problems(self):
+        summary = summarize(
+            [
+                {"event": "meta", "schema": "other/9", "created": "x"},
+                {"event": "mystery"},
+                {"event": "histogram", "name": "h"},
+            ]
+        )
+        assert len(summary.problems) == 3
+
+    def test_load_events_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"event": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_events(path)
+
+
+class TestInstrumentedHotPaths:
+    """The library's built-in spans/counters actually fire."""
+
+    def _instance(self):
+        import numpy as np
+
+        from repro import PagingInstance
+
+        rng = np.random.default_rng(0)
+        return PagingInstance.from_array(
+            rng.dirichlet(np.ones(6), size=2), max_rounds=2
+        )
+
+    def test_planner_spans(self):
+        from repro import conference_call_heuristic, optimal_strategy
+
+        sink = MemorySink()
+        instance = self._instance()
+        with tracing(sink):
+            conference_call_heuristic(instance)
+            optimal_strategy(instance)
+        summary = summarize(sink.events)
+        for name in ("core.heuristic", "core.dp", "core.exact"):
+            assert summary.spans[name].count == 1, name
+
+    def test_batch_kernel_histograms(self):
+        import numpy as np
+
+        from repro import conference_call_heuristic
+        from repro.core import expected_paging_monte_carlo_fast
+
+        instance = self._instance()
+        strategy = conference_call_heuristic(instance).strategy
+        sink = MemorySink()
+        with tracing(sink):
+            expected_paging_monte_carlo_fast(
+                instance,
+                strategy,
+                trials=500,
+                rng=np.random.default_rng(1),
+            )
+        summary = summarize(sink.events)
+        assert summary.spans["batch.monte_carlo"].count == 1
+        assert summary.counters["batch.trials"] == 500
+        assert sum(summary.histograms["batch.rounds_to_find"].values()) == 500

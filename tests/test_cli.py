@@ -1,10 +1,13 @@
 """Unit tests for the command-line interface."""
 
+import argparse
 import json
+import re
+from pathlib import Path
 
 import pytest
 
-from repro.cli import main
+from repro.cli import COMMAND_SUMMARY, _build_parser, main
 
 
 @pytest.fixture
@@ -126,6 +129,71 @@ class TestRender:
     def test_cell_count_mismatch_rejected(self, instance_file):
         with pytest.raises(SystemExit, match="cells"):
             main(["render", "--radius", "2", "--plan", instance_file])
+
+
+class TestTrace:
+    def test_global_flag_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["--trace", str(path), "experiments", "E2"]) == 0
+        captured = capsys.readouterr()
+        assert "E2:" in captured.out
+        assert f"trace written to {path}" in captured.err
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events[0]["event"] == "meta"
+        assert events[0]["schema"] == "repro-trace/1"
+        assert any(
+            event.get("name") == "experiments.E2"
+            for event in events
+            if event["event"] == "span"
+        )
+
+    def test_subcommand_renders_report(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["--trace", str(path), "experiments", "E2"]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "experiments.E2" in out
+
+    def test_subcommand_json_output(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        assert main(["--trace", str(path), "experiments", "E2"]) == 0
+        capsys.readouterr()
+        assert main(["trace", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-trace/1"
+        assert payload["spans"]["experiments.E2"]["count"] == 1
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestCommandSurface:
+    """README table, --help epilog, and the parser must agree."""
+
+    def _parser_commands(self):
+        parser = _build_parser()
+        action = next(
+            a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+        )
+        return list(action.choices)
+
+    def test_summary_matches_parser(self):
+        assert self._parser_commands() == list(COMMAND_SUMMARY)
+
+    def test_summary_matches_readme_table(self):
+        readme = (Path(__file__).resolve().parent.parent / "README.md").read_text()
+        table_commands = re.findall(r"^\| `repro (\w+)` \|", readme, re.MULTILINE)
+        assert table_commands == list(COMMAND_SUMMARY)
+
+    def test_help_epilog_lists_every_command(self):
+        help_text = _build_parser().format_help()
+        for name, summary in COMMAND_SUMMARY.items():
+            assert f"repro {name}" in help_text
+            assert summary in help_text
+        assert "--trace PATH" in help_text
 
 
 class TestSimulate:

@@ -1,0 +1,81 @@
+"""Executable-documentation harness for every page under ``docs/``.
+
+The tutorial promises "every snippet runs as-is"; this module makes that a
+CI property for the whole ``docs/`` tree, not just README/tutorial (which
+``test_readme.py`` already guards).  Every ```python block of every
+``docs/*.md`` page is extracted and executed in order, one shared namespace
+per document — so a snippet may build on the previous one, exactly as a
+reader would run them.  Snippets must be seeded and offline; a page whose
+examples cannot run does not merge.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = ROOT / "docs"
+
+CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def python_blocks(path: Path):
+    return CODE_BLOCK.findall(path.read_text())
+
+
+def doc_pages():
+    return sorted(DOCS_DIR.glob("*.md"))
+
+
+def test_docs_directory_is_nonempty():
+    assert doc_pages(), "docs/ should contain markdown pages"
+
+
+@pytest.mark.parametrize("path", doc_pages(), ids=lambda p: p.name)
+def test_every_python_block_runs(path):
+    """Each page's python blocks execute top to bottom, shared namespace."""
+    blocks = python_blocks(path)
+    if not blocks:
+        pytest.skip(f"{path.name} has no python blocks")
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        code = compile(block, f"{path.name}[{index}]", "exec")
+        exec(code, namespace)  # noqa: S102 - executing our own documentation
+
+
+class TestCoverageFloors:
+    """The pages the ISSUE names must actually contain runnable examples."""
+
+    def test_tutorial_has_enough_snippets(self):
+        assert len(python_blocks(DOCS_DIR / "tutorial.md")) >= 5
+
+    def test_api_reference_import_blocks_are_concrete(self):
+        """No `import ...` placeholders — every block must compile."""
+        for index, block in enumerate(python_blocks(DOCS_DIR / "api.md")):
+            compile(block, f"api.md[{index}]", "exec")
+
+    def test_observability_page_demonstrates_tracing(self):
+        blocks = python_blocks(DOCS_DIR / "observability.md")
+        assert len(blocks) >= 3
+        joined = "\n".join(blocks)
+        assert "tracing" in joined
+        assert "summarize" in joined
+
+
+class TestTutorialClaims:
+    """The tutorial's concrete numbers stay true as the code evolves."""
+
+    def test_plan_example_numbers(self):
+        import numpy as np
+
+        from repro import PagingInstance, conference_call_heuristic
+
+        rng = np.random.default_rng(0)
+        profiles = rng.dirichlet(np.full(12, 0.5), size=3)
+        instance = PagingInstance.from_array(profiles, max_rounds=3)
+        plan = conference_call_heuristic(instance)
+        assert sum(plan.group_sizes) == 12
+        assert plan.group_sizes == (6, 3, 3)  # quoted in the tutorial
+        # "~30% below blanket paging" claim
+        assert float(plan.expected_paging) < 0.75 * 12

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.distributions",
     "repro.cellnet",
     "repro.experiments",
+    "repro.obs",
 ]
 
 
