@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test docs-test lint bench bench-json report save-report examples all clean
+.PHONY: install test docs-test lint bench bench-json faults-smoke report save-report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -24,6 +24,11 @@ bench:
 
 bench-json:
 	$(PYTHON) -m repro.bench --profile full
+
+# Tiny fault-matrix scenario: zero-fault bypass, reproducibility under
+# faults, and the delay-budget cap (docs/robustness.md); CI runs this.
+faults-smoke:
+	$(PYTHON) scripts/faults_smoke.py
 
 report:
 	$(PYTHON) -m repro.experiments.runner

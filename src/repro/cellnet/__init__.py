@@ -9,6 +9,14 @@ from __future__ import annotations
 
 from .calls import ConferenceCallRequest, PoissonConferenceCalls
 from .database import LocationRegistry, RegistryRecord
+from .faults import (
+    DEFAULT_RECOVERY,
+    CellOutage,
+    FaultInjector,
+    FaultModel,
+    RecoveryPolicy,
+    ResilientPager,
+)
 from .geometry import HEX_DIRECTIONS, Hex, hex_disk, hex_rectangle, ring
 from .location_areas import LocationAreaPlan
 from .metrics import CallRecord, LinkUsageMetrics
@@ -59,6 +67,7 @@ from .simulator import (
 from .topology import CellTopology
 
 __all__ = [
+    "DEFAULT_RECOVERY",
     "HEX_DIRECTIONS",
     "PAGER_FACTORIES",
     "AdaptivePager",
@@ -68,12 +77,15 @@ __all__ = [
     "sweep_location_area_sizes",
     "BlanketPager",
     "CallRecord",
+    "CellOutage",
     "CellTopology",
     "CostAwarePager",
     "CellularSimulator",
     "ConferenceCallRequest",
     "DeviceState",
     "DistanceReport",
+    "FaultInjector",
+    "FaultModel",
     "GravityMobility",
     "Hex",
     "HeuristicPager",
@@ -88,8 +100,10 @@ __all__ = [
     "PoissonConferenceCalls",
     "RandomWalk",
     "RandomWaypoint",
+    "RecoveryPolicy",
     "RegistryRecord",
     "ReportingPolicy",
+    "ResilientPager",
     "SimulationConfig",
     "SimulationReport",
     "TimerReport",

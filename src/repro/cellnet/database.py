@@ -25,6 +25,31 @@ class RegistryRecord:
     #: set when the device is on an active call and thus precisely located
     confirmed_cell: Optional[int] = None
 
+    def age(self, time: int) -> int:
+        """Steps elapsed since this record was last touched."""
+        return time - self.updated_at
+
+    def confirmed_fix(
+        self, *, time: Optional[int] = None, stale_after: Optional[int] = None
+    ) -> Optional[int]:
+        """The confirmed cell, unless the fix aged past ``stale_after``.
+
+        With no staleness window (``stale_after=None``, the fault-free
+        default) this is just ``confirmed_cell``.  Under fault injection
+        (``FaultModel.stale_after``) a fix older than the window is
+        distrusted — the system falls back to the reported-area belief,
+        modelling registries that go stale between refreshes.
+        """
+        if self.confirmed_cell is None:
+            return None
+        if (
+            stale_after is not None
+            and time is not None
+            and self.age(time) > stale_after
+        ):
+            return None
+        return self.confirmed_cell
+
 
 @dataclass
 class LocationRegistry:

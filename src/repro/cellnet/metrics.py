@@ -21,6 +21,10 @@ class CallRecord:
     cells_paged: int
     rounds_used: int
     used_fallback: bool
+    #: participants the search gave up on (0 outside fault injection)
+    failed_devices: int = 0
+    #: re-page retry rounds spent by the recovery policy
+    retries: int = 0
 
 
 @dataclass
@@ -32,6 +36,20 @@ class LinkUsageMetrics:
     cells_paged: int = 0
     calls_handled: int = 0
     fallback_searches: int = 0
+    #: calls that proceeded without at least one participant (fault injection)
+    degraded_calls: int = 0
+    #: total participants given up on across all degraded calls
+    failed_device_count: int = 0
+    #: re-page retry rounds spent by the recovery policy
+    retry_rounds: int = 0
+    #: downlink paging messages lost to injected faults
+    pages_lost: int = 0
+    #: uplink location updates lost to injected faults
+    updates_lost: int = 0
+    #: pages blocked because the target cell was in a scheduled outage
+    outage_pages: int = 0
+    #: registry lookups whose confirmed fix had aged past the staleness window
+    stale_lookups: int = 0
     rounds_histogram: Dict[int, int] = field(default_factory=dict)
     call_records: List[CallRecord] = field(default_factory=list)
 
@@ -46,10 +64,27 @@ class LinkUsageMetrics:
         self.cells_paged += record.cells_paged
         if record.used_fallback:
             self.fallback_searches += 1
+        if record.failed_devices:
+            self.degraded_calls += 1
+            self.failed_device_count += record.failed_devices
+        self.retry_rounds += record.retries
         self.rounds_histogram[record.rounds_used] = (
             self.rounds_histogram.get(record.rounds_used, 0) + 1
         )
         self.call_records.append(record)
+
+    # -- fault accounting (driven by cellnet.faults.FaultInjector) ------
+    def record_page_lost(self) -> None:
+        self.pages_lost += 1
+
+    def record_update_lost(self) -> None:
+        self.updates_lost += 1
+
+    def record_outage_page(self) -> None:
+        self.outage_pages += 1
+
+    def record_stale_lookup(self) -> None:
+        self.stale_lookups += 1
 
     # ------------------------------------------------------------------
     @property
@@ -80,4 +115,11 @@ class LinkUsageMetrics:
             "mean_rounds_per_call": self.mean_rounds_per_call,
             "fallbacks": float(self.fallback_searches),
             "total_wireless": float(self.total_wireless_messages),
+            "degraded_calls": float(self.degraded_calls),
+            "failed_devices": float(self.failed_device_count),
+            "retry_rounds": float(self.retry_rounds),
+            "pages_lost": float(self.pages_lost),
+            "updates_lost": float(self.updates_lost),
+            "outage_pages": float(self.outage_pages),
+            "stale_lookups": float(self.stale_lookups),
         }

@@ -29,12 +29,27 @@ from ..errors import SimulationError
 
 @dataclass(frozen=True)
 class PagingOutcome:
-    """The result of one search operation."""
+    """The result of one search operation.
+
+    The fault-free pagers always locate everyone, so ``failed_devices`` is
+    empty and ``retries_used`` zero for them; the fault-aware
+    :class:`~repro.cellnet.faults.ResilientPager` fills both when a search
+    degrades into a partial conference (docs/robustness.md).
+    """
 
     found_cells: Dict[int, int]  # device -> cell where it answered
     cells_paged: int
     rounds_used: int
     used_fallback: bool
+    #: local participant indices the search gave up on (degraded call)
+    failed_devices: Tuple[int, ...] = ()
+    #: re-page retry rounds spent by the recovery policy
+    retries_used: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every wanted device was located."""
+        return not self.failed_devices
 
 
 def build_sub_instance(

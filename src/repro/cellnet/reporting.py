@@ -10,6 +10,13 @@ wireless message but shrinks the search space of later pagings.  Policies:
 * :class:`DistanceReport` — report after drifting ``k`` hops from the last
   reported cell [Bar-Noy & Kessler 1993 family].
 * :class:`TimerReport` — report every ``T`` time steps regardless of motion.
+
+A policy only decides that an update *is sent*; whether it arrives is the
+network's business.  Under fault injection
+(:class:`~repro.cellnet.faults.FaultModel` ``update_loss``) the simulator
+still charges the uplink message to the metrics but may drop it before the
+registry, so the system's belief goes stale exactly as a lossy uplink makes
+it in the field.
 """
 
 from __future__ import annotations

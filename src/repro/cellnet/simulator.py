@@ -10,6 +10,12 @@ paging optimizer restricted to the registry's candidate set.
 This is the substrate for experiment E13: the end-to-end comparison of
 blanket LA paging (the GSM MAP / IS-41 standard) against the paper's
 delay-constrained heuristic and its adaptive variant.
+
+``SimulationConfig.faults`` switches on the resilience layer
+(:mod:`repro.cellnet.faults`): lost pages, cell outages, lost location
+updates, and stale-registry windows, with bounded retry/backoff recovery
+inside the same delay budget ``d``.  A ``None`` (or all-zero) fault model
+keeps every code path and rng draw identical to the fault-free engine.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from ..obs.events import current_tracer
 from ..obs.instrument import span
 from .calls import ConferenceCallRequest, PoissonConferenceCalls
 from .database import LocationRegistry
+from .faults import DEFAULT_RECOVERY, FaultInjector, FaultModel, RecoveryPolicy, ResilientPager
 from .location_areas import LocationAreaPlan
 from .metrics import CallRecord, LinkUsageMetrics
 from .mobility import MobilityModel
@@ -60,6 +67,13 @@ class SimulationConfig:
     #: station continuously, so the system tracks its cell exactly (paper
     #: Section 1.1).  0 disables durations (calls are instantaneous).
     mean_call_duration: int = 0
+    #: declarative fault model (docs/robustness.md); ``None`` — and any
+    #: all-zero model — keeps the fault-free engine bit-identical to the
+    #: pre-faults simulator on the same seed.
+    faults: Optional[FaultModel] = None
+    #: recovery behavior when faults are active (defaults to
+    #: ``faults.DEFAULT_RECOVERY``); ignored without an active fault model.
+    recovery: Optional[RecoveryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -76,6 +90,15 @@ class SimulationConfig:
             raise SimulationError(f"unknown reporting policy {self.reporting!r}")
         if self.prior_mode not in ("online", "uniform"):
             raise SimulationError(f"unknown prior mode {self.prior_mode!r}")
+        if self.faults is not None and not isinstance(self.faults, FaultModel):
+            raise SimulationError("faults must be a cellnet.faults.FaultModel")
+        if self.recovery is not None and not isinstance(self.recovery, RecoveryPolicy):
+            raise SimulationError("recovery must be a cellnet.faults.RecoveryPolicy")
+
+    @property
+    def faults_active(self) -> bool:
+        """True when a non-trivial fault model is configured."""
+        return self.faults is not None and not self.faults.is_zero
 
 
 @dataclass
@@ -128,6 +151,18 @@ class CellularSimulator:
         self._metrics = LinkUsageMetrics()
         self._pager = PAGER_FACTORIES[config.pager]()
         self._policy = self._build_policy()
+        # A zero fault model is bypassed entirely: no injector, no extra rng
+        # draws, bit-identical runs to the fault-free engine on the same seed.
+        self._injector: Optional[FaultInjector] = None
+        self._resilient: Optional[ResilientPager] = None
+        if config.faults_active:
+            assert config.faults is not None
+            self._injector = FaultInjector(config.faults, rng, self._metrics)
+            self._resilient = ResilientPager(
+                config.pager,
+                self._injector,
+                config.recovery if config.recovery is not None else DEFAULT_RECOVERY,
+            )
         self._calls = PoissonConferenceCalls(
             config.call_rate, len(mobility_models)
         ) if len(mobility_models) >= 2 else None
@@ -164,11 +199,21 @@ class CellularSimulator:
         return TimerReport(config.timer_period)
 
     # ------------------------------------------------------------------
-    def _candidate_cells(self, device: int) -> Tuple[int, ...]:
+    def _candidate_cells(self, device: int, time: int) -> Tuple[int, ...]:
         """Where the system will look, given its belief about the device."""
         record = self._registry.lookup(device)
+        stale_after = (
+            self._injector.model.stale_after if self._injector is not None else None
+        )
+        confirmed = record.confirmed_fix(time=time, stale_after=stale_after)
+        if confirmed is not None:
+            return (confirmed,)
         if record.confirmed_cell is not None:
-            return (record.confirmed_cell,)
+            # a fix existed but aged out of the staleness window
+            self._metrics.record_stale_lookup()
+            tracer = current_tracer()
+            if tracer.enabled:
+                tracer.count("faults.stale_lookups")
         config = self._config
         if config.reporting == "always":
             assert record.reported_cell is not None
@@ -220,12 +265,16 @@ class CellularSimulator:
                 steps_since_report=state.steps_since_report,
             )
             if self._policy.should_report(move):
-                self._registry.report(
-                    index, self._plan.area_of(new_cell), new_cell, time
-                )
+                # The device always pays the uplink message and believes it
+                # reported; under fault injection the message may be lost
+                # before the registry, whose belief then goes stale.
                 self._metrics.record_report()
                 state.last_reported_cell = new_cell
                 state.steps_since_report = 0
+                if self._injector is None or self._injector.update_delivered(time):
+                    self._registry.report(
+                        index, self._plan.area_of(new_cell), new_cell, time
+                    )
 
     def _handle_call(self, request: ConferenceCallRequest) -> PagingOutcome:
         participants = request.participants
@@ -236,18 +285,33 @@ class CellularSimulator:
             {
                 cell
                 for device in participants
-                for cell in self._candidate_cells(device)
+                for cell in self._candidate_cells(device, request.time)
             }
         )
         priors = [self._prior(device) for device in participants]
         true_cells = [self._devices[device].cell for device in participants]
-        outcome = self._pager.search(
-            priors,
-            candidate_union,
-            true_cells,
-            self._config.max_paging_rounds,
-            self._topology.num_cells,
-        )
+        if self._resilient is None:
+            outcome = self._pager.search(
+                priors,
+                candidate_union,
+                true_cells,
+                self._config.max_paging_rounds,
+                self._topology.num_cells,
+            )
+        else:
+            with span(
+                "faults.injected",
+                time=request.time,
+                participants=len(participants),
+            ):
+                outcome = self._resilient.search(
+                    priors,
+                    candidate_union,
+                    true_cells,
+                    self._config.max_paging_rounds,
+                    self._topology.num_cells,
+                    time=request.time,
+                )
         duration = 0
         if self._config.mean_call_duration > 0:
             duration = 1 + int(
@@ -269,6 +333,8 @@ class CellularSimulator:
                 cells_paged=outcome.cells_paged,
                 rounds_used=outcome.rounds_used,
                 used_fallback=outcome.used_fallback,
+                failed_devices=len(outcome.failed_devices),
+                retries=outcome.retries_used,
             )
         )
         tracer = current_tracer()
@@ -279,6 +345,14 @@ class CellularSimulator:
             tracer.observe("cellnet.cells_paged_per_call", outcome.cells_paged)
             if outcome.used_fallback:
                 tracer.count("cellnet.fallback_searches")
+            if outcome.retries_used:
+                tracer.count("cellnet.retries", outcome.retries_used)
+            if self._resilient is not None:
+                tracer.observe(
+                    "cellnet.failed_devices_per_call", len(outcome.failed_devices)
+                )
+                if outcome.failed_devices:
+                    tracer.count("cellnet.degraded_calls")
         return outcome
 
     # ------------------------------------------------------------------

@@ -41,8 +41,8 @@ import numpy as np
 #: against the README command table by ``tests/test_cli.py``.
 COMMAND_SUMMARY: "dict[str, str]" = {
     "plan": "plan a paging strategy from a JSON instance",
-    "simulate": "run the cellular-network simulation",
-    "experiments": "regenerate experiment tables (optionally --jobs N)",
+    "simulate": "run the cellular-network simulation (optionally with faults)",
+    "experiments": "regenerate experiment tables (--jobs N, --checkpoint/--resume)",
     "gadget": "run the Lemma 3.2 NP-hardness reduction",
     "render": "ASCII map of a network's areas or a plan",
     "lint": "domain-aware static analysis (RPL001-RPL006)",
@@ -112,6 +112,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--rounds", type=int, default=3, help="paging delay budget")
     simulate.add_argument("--seed", type=int, default=2002)
+    simulate.add_argument(
+        "--page-loss",
+        type=float,
+        default=0.0,
+        help="probability a downlink page is lost (enables the fault engine)",
+    )
+    simulate.add_argument(
+        "--update-loss",
+        type=float,
+        default=0.0,
+        help="probability an uplink location update is lost",
+    )
+    simulate.add_argument(
+        "--stale-after",
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="distrust confirmed registry fixes older than STEPS",
+    )
+    simulate.add_argument(
+        "--outage",
+        action="append",
+        default=None,
+        metavar="CELL:START:END",
+        help="schedule a cell outage (repeatable)",
+    )
+    simulate.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="re-page retries under faults (exponential backoff, within --rounds)",
+    )
 
     experiments = commands.add_parser(
         "experiments", help="regenerate experiment tables"
@@ -129,6 +161,26 @@ def _build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes (default 1 = serial; output is byte-identical "
         "either way)",
+    )
+    experiments.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="persist each finished table to DIR (manifest + per-task files) "
+        "so an interrupted run can be resumed",
+    )
+    experiments.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse completed tables from --checkpoint DIR and run only "
+        "what is missing (byte-identical to an uninterrupted run)",
+    )
+    experiments.add_argument(
+        "--task-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="automatic in-process retries of failed tasks/workers",
     )
 
     gadget = commands.add_parser(
@@ -230,12 +282,30 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_outages(specs):
+    from .cellnet import CellOutage
+
+    outages = []
+    for spec in specs or ():
+        parts = spec.split(":")
+        if len(parts) != 3:
+            raise SystemExit(f"--outage wants CELL:START:END, got {spec!r}")
+        try:
+            cell, start, end = (int(part) for part in parts)
+        except ValueError:
+            raise SystemExit(f"--outage wants integers, got {spec!r}")
+        outages.append(CellOutage(cell=cell, start=start, end=end))
+    return tuple(outages)
+
+
 def _command_simulate(args: argparse.Namespace) -> int:
     from .cellnet import (
         CellTopology,
         CellularSimulator,
+        FaultModel,
         GravityMobility,
         LocationAreaPlan,
+        RecoveryPolicy,
         SimulationConfig,
     )
 
@@ -246,12 +316,20 @@ def _command_simulate(args: argparse.Namespace) -> int:
         0.5, 3.0, size=topology.num_cells
     )
     models = [GravityMobility(topology, attraction) for _ in range(args.devices)]
+    faults = FaultModel(
+        page_loss=args.page_loss,
+        update_loss=args.update_loss,
+        stale_after=args.stale_after,
+        outages=_parse_outages(args.outage),
+    )
     config = SimulationConfig(
         horizon=args.horizon,
         call_rate=args.call_rate,
         max_paging_rounds=args.rounds,
         reporting=args.reporting,
         pager=args.pager,
+        faults=None if faults.is_zero else faults,
+        recovery=None if faults.is_zero else RecoveryPolicy(max_retries=args.retries),
     )
     simulator = CellularSimulator(topology, plan, models, config, rng=rng)
     report = simulator.run()
@@ -271,7 +349,17 @@ def _command_experiments(args: argparse.Namespace) -> int:
         for name in EXPERIMENTS:
             print(name)
         return 0
-    print(run(args.ids or None, jobs=args.jobs))
+    if args.resume and args.checkpoint is None:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    print(
+        run(
+            args.ids or None,
+            jobs=args.jobs,
+            checkpoint_dir=args.checkpoint,
+            resume=args.resume,
+            task_retries=args.task_retries,
+        )
+    )
     return 0
 
 

@@ -38,11 +38,13 @@ from .paper_claims import (
     run_e16_four_thirds,
 )
 from .runner import (
+    CHECKPOINT_SCHEMA,
     EXPERIMENTS,
     lint_attestation,
     main,
     run_experiments,
     save_report,
+    spawn_task_seed,
 )
 from .system import (
     heuristic_workload,
@@ -53,6 +55,7 @@ from .system import (
 from .tables import ExperimentTable, render_all
 
 __all__ = [
+    "CHECKPOINT_SCHEMA",
     "EXPERIMENTS",
     "ExperimentTable",
     "heuristic_workload",
@@ -89,4 +92,5 @@ __all__ = [
     "run_e26_learning_curve",
     "run_experiments",
     "save_report",
+    "spawn_task_seed",
 ]

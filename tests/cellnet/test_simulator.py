@@ -203,3 +203,27 @@ class TestCallDurations:
             base.metrics.mean_cells_per_call
             == explicit.metrics.mean_cells_per_call
         )
+
+
+class TestDeterminism:
+    """Every stochastic path flows through the instance Generator: running
+    the same configuration twice from the same seed must reproduce the full
+    report, for every pager/reporting combination and with faults on."""
+
+    @pytest.mark.parametrize("pager", ["blanket", "heuristic", "adaptive"])
+    @pytest.mark.parametrize("reporting", ["la", "always", "distance"])
+    def test_same_seed_same_report(self, pager, reporting):
+        first = build_simulator(pager=pager, reporting=reporting).run()
+        second = build_simulator(pager=pager, reporting=reporting).run()
+        assert first.metrics == second.metrics
+        assert first.summary() == second.summary()
+
+    def test_same_seed_same_report_with_durations(self):
+        first = build_simulator(call_rate=0.3, mean_call_duration=20).run()
+        second = build_simulator(call_rate=0.3, mean_call_duration=20).run()
+        assert first.metrics == second.metrics
+
+    def test_different_seeds_differ(self):
+        first = build_simulator(seed=11).run()
+        second = build_simulator(seed=12).run()
+        assert first.metrics != second.metrics

@@ -1,0 +1,276 @@
+"""Checkpoint/resume, seed spawning, retries, and the serial-fallback warning."""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments import (
+    CHECKPOINT_SCHEMA,
+    run_experiments,
+    spawn_task_seed,
+)
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    _execute_with_retries,
+    _task_filename,
+)
+from repro.experiments.tables import render_all
+from repro.obs import MemorySink, Tracer, use_tracer
+
+# A cheap subset that still exercises rng-seeded and deterministic tables.
+SUBSET = ["E1", "E2", "E4", "E8"]
+
+
+class TestSpawnTaskSeed:
+    """Regression for the quadratic seed-spawn bug: the O(1) spelling must
+    stay byte-identical to the legacy ``spawn(index + 1)[index]`` scheme."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 99, 2**31])
+    @pytest.mark.parametrize("index", [0, 1, 7, 40])
+    def test_matches_legacy_spawn(self, seed, index):
+        legacy = np.random.SeedSequence(seed).spawn(index + 1)[index]
+        direct = spawn_task_seed(seed, index)
+        assert direct.spawn_key == legacy.spawn_key
+        assert list(direct.generate_state(8)) == list(legacy.generate_state(8))
+
+    def test_identical_generator_output(self):
+        legacy = np.random.SeedSequence(42).spawn(6)[5]
+        direct = spawn_task_seed(42, 5)
+        assert np.array_equal(
+            np.random.default_rng(legacy).random(16),
+            np.random.default_rng(direct).random(16),
+        )
+
+    def test_children_are_distinct(self):
+        states = {tuple(spawn_task_seed(7, i).generate_state(4)) for i in range(20)}
+        assert len(states) == 20
+
+
+class TestCheckpoint:
+    def test_fresh_run_writes_manifest_and_tasks(self, tmp_path):
+        directory = tmp_path / "ck"
+        run_experiments(SUBSET, checkpoint_dir=str(directory))
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert manifest["schema"] == CHECKPOINT_SCHEMA
+        assert manifest["names"] == SUBSET
+        assert manifest["seed"] is None
+        assert sorted(manifest["completed"]) == ["0", "1", "2", "3"]
+        for index, name in enumerate(SUBSET):
+            assert (directory / _task_filename(index, name)).exists()
+
+    def test_resume_renders_byte_identical(self, tmp_path):
+        baseline = render_all(run_experiments(SUBSET))
+        directory = str(tmp_path / "ck")
+        run_experiments(SUBSET, checkpoint_dir=directory)
+        resumed = render_all(
+            run_experiments(SUBSET, checkpoint_dir=directory, resume=True)
+        )
+        assert resumed == baseline
+
+    def test_resume_after_partial_checkpoint(self, tmp_path):
+        """Deleting task files simulates a crash mid-run; resume re-runs
+        exactly the missing tasks and renders identically."""
+        baseline = render_all(run_experiments(SUBSET))
+        directory = tmp_path / "ck"
+        run_experiments(SUBSET, checkpoint_dir=str(directory))
+        (directory / _task_filename(1, "E2")).unlink()
+        (directory / _task_filename(3, "E8")).unlink()
+        resumed = render_all(
+            run_experiments(SUBSET, checkpoint_dir=str(directory), resume=True)
+        )
+        assert resumed == baseline
+
+    def test_resume_parallel_matches_serial(self, tmp_path):
+        baseline = render_all(run_experiments(SUBSET))
+        directory = tmp_path / "ck"
+        run_experiments(SUBSET, checkpoint_dir=str(directory))
+        (directory / _task_filename(0, "E1")).unlink()
+        (directory / _task_filename(2, "E4")).unlink()
+        resumed = render_all(
+            run_experiments(
+                SUBSET, jobs=2, checkpoint_dir=str(directory), resume=True
+            )
+        )
+        assert resumed == baseline
+
+    def test_resume_counts_resumed_tasks(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        run_experiments(["E1", "E2"], checkpoint_dir=directory)
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            run_experiments(["E1", "E2"], checkpoint_dir=directory, resume=True)
+        counts = {
+            e["name"]: e["value"]
+            for e in sink.events
+            if e.get("event") == "counter"
+        }
+        assert counts.get("runner.tasks_resumed") == 2
+
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            run_experiments(["E1"], resume=True)
+
+    def test_resume_without_manifest_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="manifest"):
+            run_experiments(
+                ["E1"], checkpoint_dir=str(tmp_path / "empty"), resume=True
+            )
+
+    def test_resume_rejects_mismatched_selection(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        run_experiments(["E1", "E2"], checkpoint_dir=directory)
+        with pytest.raises(ValueError, match="selection or seed"):
+            run_experiments(["E1", "E4"], checkpoint_dir=directory, resume=True)
+
+    def test_resume_rejects_mismatched_seed(self, tmp_path):
+        directory = str(tmp_path / "ck")
+        run_experiments(["E1"], checkpoint_dir=directory, seed=1)
+        with pytest.raises(ValueError, match="selection or seed"):
+            run_experiments(["E1"], checkpoint_dir=directory, resume=True, seed=2)
+
+    def test_resume_rejects_wrong_schema(self, tmp_path):
+        directory = tmp_path / "ck"
+        directory.mkdir()
+        (directory / "manifest.json").write_text(
+            json.dumps({"schema": "elsewhere/9", "names": ["E1"], "seed": None})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            run_experiments(["E1"], checkpoint_dir=str(directory), resume=True)
+
+    def test_checkpointed_tables_round_trip_pickle(self, tmp_path):
+        directory = tmp_path / "ck"
+        tables = run_experiments(["E1"], checkpoint_dir=str(directory))
+        with open(directory / _task_filename(0, "E1"), "rb") as handle:
+            stored = pickle.load(handle)
+        assert render_all([stored]) == render_all(tables)
+
+    def test_rejects_negative_task_retries(self):
+        with pytest.raises(ValueError, match="task_retries"):
+            run_experiments(["E1"], task_retries=-1)
+
+
+class TestInterruptedRunResumes:
+    def test_failure_checkpoints_predecessors_then_resumes(
+        self, tmp_path, monkeypatch
+    ):
+        """A task that dies mid-run leaves earlier tables checkpointed; once
+        the cause is fixed, --resume completes without re-running them."""
+        baseline = render_all(run_experiments(["E1", "E2"]))
+        directory = tmp_path / "ck"
+
+        def explode(*args, **kwargs):
+            raise OSError("worker lost")
+
+        monkeypatch.setitem(EXPERIMENTS, "E2", explode)
+        with pytest.raises(OSError):
+            run_experiments(
+                ["E1", "E2"], checkpoint_dir=str(directory), task_retries=0
+            )
+        manifest = json.loads((directory / "manifest.json").read_text())
+        assert list(manifest["completed"].values()) == [_task_filename(0, "E1")]
+
+        monkeypatch.undo()
+        resumed = render_all(
+            run_experiments(["E1", "E2"], checkpoint_dir=str(directory), resume=True)
+        )
+        assert resumed == baseline
+
+
+class TestTaskRetries:
+    def test_execute_with_retries_recovers_flaky_task(self, monkeypatch):
+        calls = {"n": 0}
+        real = EXPERIMENTS["E1"]
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setitem(EXPERIMENTS, "E1", flaky)
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            table = _execute_with_retries(("E1", None, 0, None), 1)
+        assert render_all([table]) == render_all([real()])
+        counts = {
+            e["name"]: e["value"]
+            for e in sink.events
+            if e.get("event") == "counter"
+        }
+        assert counts.get("runner.task_retries") == 1
+
+    def test_zero_retries_propagates_the_error(self, monkeypatch):
+        def explode(*args, **kwargs):
+            raise OSError("fatal")
+
+        monkeypatch.setitem(EXPERIMENTS, "E1", explode)
+        with pytest.raises(OSError, match="fatal"):
+            _execute_with_retries(("E1", None, 0, None), 0)
+
+    def test_serial_run_retries_flaky_experiment(self, monkeypatch):
+        baseline = render_all(run_experiments(["E1"]))
+        calls = {"n": 0}
+        real = EXPERIMENTS["E1"]
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("transient")
+            return real(*args, **kwargs)
+
+        monkeypatch.setitem(EXPERIMENTS, "E1", flaky)
+        assert render_all(run_experiments(["E1"], task_retries=1)) == baseline
+
+
+class TestSerialFallback:
+    def test_pool_failure_warns_and_still_produces_tables(self, monkeypatch):
+        baseline = render_all(run_experiments(SUBSET))
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise NotImplementedError("no process pool here")
+
+        import concurrent.futures
+
+        monkeypatch.setattr(
+            concurrent.futures, "ProcessPoolExecutor", NoPool
+        )
+        sink = MemorySink()
+        with use_tracer(Tracer(sink)):
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                tables = run_experiments(SUBSET, jobs=4)
+        assert render_all(tables) == baseline
+        counts = {
+            e["name"]: e["value"]
+            for e in sink.events
+            if e.get("event") == "counter"
+        }
+        assert counts.get("runner.serial_fallback") == 1
+
+    def test_healthy_pool_does_not_warn(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", RuntimeWarning)
+            run_experiments(["E1", "E2"], jobs=2)
+
+
+class TestCliCheckpointFlags:
+    def test_cli_resume_matches_fresh_run(self, tmp_path, capsys):
+        directory = str(tmp_path / "ck")
+        assert cli_main(["experiments", "E1", "E2", "--checkpoint", directory]) == 0
+        fresh = capsys.readouterr().out
+        assert (
+            cli_main(
+                ["experiments", "E1", "E2", "--checkpoint", directory, "--resume"]
+            )
+            == 0
+        )
+        assert capsys.readouterr().out == fresh
+
+    def test_cli_resume_requires_checkpoint(self):
+        with pytest.raises(SystemExit, match="--checkpoint"):
+            cli_main(["experiments", "E1", "--resume"])
