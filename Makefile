@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test docs-test lint bench bench-json faults-smoke report save-report examples all clean
+.PHONY: install test docs-test lint bench bench-json faults-smoke solvers-smoke report save-report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -29,6 +29,11 @@ bench-json:
 # faults, and the delay-budget cap (docs/robustness.md); CI runs this.
 faults-smoke:
 	$(PYTHON) scripts/faults_smoke.py
+
+# Registry contract: `repro solvers --json` schema, the no-required-option
+# solver sweep, and the §4.3 gadget pins (docs/architecture.md); CI runs this.
+solvers-smoke:
+	$(PYTHON) scripts/solvers_smoke.py
 
 report:
 	$(PYTHON) -m repro.experiments.runner

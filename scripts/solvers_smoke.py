@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Solver-registry smoke check (``make solvers-smoke``).
+
+Exercises the registry seam end to end (docs/architecture.md):
+
+1. ``repro solvers --json`` emits the machine-readable registry —
+   schema ``repro-solvers/1``, at least ten solvers, every spec complete
+   with a legal kind, a summary, and a paper anchor;
+2. every registered solver without required options runs on the §4.3
+   gadget (when it supports it) and returns a well-formed
+   ``SolverResult`` carrying its own registry name;
+3. the gadget pins the exact/heuristic pair bit-for-bit
+   (317/49 vs 320/49, the Theorem 4.8 tightness witness).
+
+Exits non-zero if any check fails; prints one line per check so CI logs
+show what was exercised.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+from contextlib import redirect_stdout
+from fractions import Fraction
+from pathlib import Path
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+    from repro.cli import main as cli_main
+    from repro.core import lower_bound_instance
+    from repro.solvers import KINDS, SolverResult, get_solver, list_solvers
+
+    failures = 0
+
+    def check(label, ok, detail=""):
+        global failures
+        status = "ok" if ok else "FAIL"
+        failures += status == "FAIL"
+        print(f"{label:>20}: {status}  {detail}".rstrip())
+
+    # 1. machine-readable registry listing, exactly as CI consumes it
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        exit_code = cli_main(["solvers", "--json"])
+    payload = json.loads(buffer.getvalue())
+    specs = payload["solvers"]
+    check(
+        "solvers --json",
+        exit_code == 0 and payload["schema"] == "repro-solvers/1",
+        f"schema={payload.get('schema')}",
+    )
+    check("registry size", payload["count"] == len(specs) >= 10, f"count={payload['count']}")
+    spec_keys = {
+        "name", "kind", "capabilities", "summary", "anchor",
+        "options", "required", "factor", "wraps",
+    }
+    check(
+        "spec completeness",
+        all(
+            spec_keys <= set(spec)
+            and spec["kind"] in KINDS
+            and spec["summary"]
+            and spec["anchor"]
+            and spec["wraps"]
+            for spec in specs
+        ),
+    )
+
+    # 2. every no-required-option solver runs on the gadget it supports
+    instance = lower_bound_instance()
+    ran, well_formed = 0, True
+    for spec in list_solvers():
+        if spec.required:
+            continue
+        solver = get_solver(spec.name)
+        if not solver.supports(instance):
+            continue
+        result = solver(instance)
+        ran += 1
+        well_formed = well_formed and (
+            isinstance(result, SolverResult)
+            and result.solver == spec.name
+            and result.kind == spec.kind
+            and result.wall_time_s > 0
+        )
+    check("solver sweep", well_formed and ran >= 8, f"ran={ran}")
+
+    # 3. the §4.3 gadget pins the exact/heuristic pair
+    optimal = get_solver("exact")(instance)
+    plan = get_solver("heuristic")(instance)
+    check(
+        "gadget values",
+        optimal.expected_paging == Fraction(317, 49)
+        and plan.expected_paging == Fraction(320, 49),
+        f"exact={optimal.expected_paging} heuristic={plan.expected_paging}",
+    )
+
+    if failures:
+        print(f"solvers-smoke: {failures} check(s) failed", file=sys.stderr)
+        raise SystemExit(1)
+    print("solvers-smoke: registry contract holds")

@@ -47,6 +47,13 @@ from .errors import (
     SimulationError,
     SolverLimitError,
 )
+from .solvers import (
+    SolverResult,
+    UnknownSolverError,
+    get_solver,
+    list_solvers,
+    solve_instance,
+)
 
 __version__ = "1.0.0"
 
@@ -59,16 +66,21 @@ __all__ = [
     "ReproError",
     "SimulationError",
     "SolverLimitError",
+    "SolverResult",
     "Strategy",
+    "UnknownSolverError",
     "adaptive_expected_paging",
     "adaptive_search",
     "conference_call_heuristic",
     "expected_paging",
     "expected_paging_float",
+    "get_solver",
+    "list_solvers",
     "optimal_single_user",
     "optimal_strategy",
     "optimize_over_order",
     "signature_heuristic",
+    "solve_instance",
     "two_device_two_round_heuristic",
     "yellow_pages_greedy",
     "__version__",

@@ -8,7 +8,11 @@ baseline.  This module times the named kernel pairs on pinned seeds —
 * the reference Lemma 4.7 planner (:mod:`repro.core.dp` via the Fig. 1
   heuristic) vs the numpy planner (:mod:`repro.core.fast`),
 * scalar strategy scoring vs :func:`repro.core.batch.expected_paging_batch`,
-* the serial vs parallel experiment runner —
+* the serial vs parallel experiment runner,
+* a sweep over the ``repro.solvers`` registry: every no-required-option
+  solver that supports the pinned instance is timed under its registry
+  name (heuristic kinds on a large instance, exact/variant kinds on a
+  small one) —
 
 and appends one schema'd snapshot (min/median per benchmark plus machine
 info) to the repo root as ``BENCH_<n>.json``, where ``n`` counts up from 0.
@@ -53,6 +57,10 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "planner": {"devices": 4, "cells": 250, "rounds": 5},
         "batch_eval": {"devices": 4, "cells": 200, "rounds": 5, "strategies": 64},
         "runner": {"experiments": ["E1", "E2", "E4", "E5", "E8"], "jobs": 4},
+        "solvers": {
+            "large": {"devices": 4, "cells": 250, "rounds": 5, "kinds": ["heuristic"]},
+            "small": {"devices": 3, "cells": 9, "rounds": 3, "kinds": ["exact", "variant"]},
+        },
         "repeats": 5,
     },
     "smoke": {
@@ -60,6 +68,10 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "planner": {"devices": 3, "cells": 24, "rounds": 3},
         "batch_eval": {"devices": 3, "cells": 16, "rounds": 3, "strategies": 6},
         "runner": {"experiments": ["E1", "E4"], "jobs": 2},
+        "solvers": {
+            "large": {"devices": 3, "cells": 24, "rounds": 3, "kinds": ["heuristic"]},
+            "small": {"devices": 2, "cells": 7, "rounds": 2, "kinds": ["exact", "variant"]},
+        },
         "repeats": 2,
     },
 }
@@ -237,6 +249,39 @@ def _bench_runner(config: Dict[str, object], repeats: int) -> List[BenchmarkTimi
     ]
 
 
+def _bench_solvers(
+    config: Dict[str, Dict[str, object]], repeats: int
+) -> List[BenchmarkTiming]:
+    """Time every parameter-free registered solver that fits the instance.
+
+    The registry is the source of truth: any solver added later shows up in
+    the next trajectory snapshot automatically, timed under its registry
+    name.  Solvers with required options (orders, quorums, cost vectors)
+    and solvers whose ``supports`` predicate rejects the pinned instance
+    are skipped — the sweep never fabricates inputs.
+    """
+    from .solvers import get_solver, list_solvers
+
+    timings: List[BenchmarkTiming] = []
+    for scale in ("large", "small"):
+        cfg = dict(config[scale])
+        kinds = set(cfg["kinds"])  # type: ignore[arg-type]
+        instance = _bench_instance(
+            int(cfg["devices"]), int(cfg["cells"]), int(cfg["rounds"])  # type: ignore[arg-type]
+        )
+        for spec in list_solvers():
+            if spec.kind not in kinds or spec.required:
+                continue
+            solver = get_solver(spec.name)
+            if not solver.supports(instance):
+                continue
+            times = _time(lambda: solver(instance), repeats=repeats)
+            params = dict(cfg)
+            params.update({"solver": spec.name, "kind": spec.kind})
+            timings.append(BenchmarkTiming(f"solver_{spec.name}", params, times))
+    return timings
+
+
 def _speedup(results: Dict[str, BenchmarkTiming], slow: str, fast: str) -> float:
     return results[slow].min_s / max(results[fast].min_s, 1e-12)
 
@@ -252,6 +297,8 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
     timings += _bench_planner(sizes["planner"], repeats)  # type: ignore[arg-type]
     timings += _bench_batch_eval(sizes["batch_eval"], repeats)  # type: ignore[arg-type]
     timings += _bench_runner(sizes["runner"], repeats)  # type: ignore[arg-type]
+    solver_timings = _bench_solvers(sizes["solvers"], repeats)  # type: ignore[arg-type]
+    timings += solver_timings
     by_name = {timing.name: timing for timing in timings}
     return {
         "schema": SCHEMA,
@@ -268,6 +315,7 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
                 by_name, "batch_eval_scalar", "batch_eval_batch"
             ),
             "runner_speedup": _speedup(by_name, "runner_serial", "runner_parallel"),
+            "solvers_timed": float(len(solver_timings)),
         },
     }
 

@@ -48,10 +48,10 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.heuristic import conference_call_heuristic
 from ..core.strategy import Strategy
 from ..errors import SimulationError
 from ..obs.instrument import count
+from ..solvers import get_solver
 from .metrics import LinkUsageMetrics
 from .paging import PagingOutcome, build_sub_instance
 
@@ -255,12 +255,17 @@ class ResilientPager:
         pager: str,
         injector: FaultInjector,
         policy: Optional[RecoveryPolicy] = None,
+        *,
+        planner_solver: str = "heuristic",
     ) -> None:
         if pager not in ("blanket", "heuristic", "adaptive"):
             raise SimulationError(f"unknown base pager {pager!r}")
         self._pager = pager
         self._injector = injector
         self._policy = policy if policy is not None else DEFAULT_RECOVERY
+        # Non-blanket plans come from the solver registry by name, so a
+        # deployment can swap the planning policy without touching this class.
+        self._planner = get_solver(planner_solver)
 
     @property
     def policy(self) -> RecoveryPolicy:
@@ -278,7 +283,7 @@ class ResilientPager:
                 raise SimulationError("cannot page an empty candidate set")
             return Strategy.single_round(len(cells)), cells
         instance, cells = build_sub_instance(priors, candidate_cells, rounds)
-        return conference_call_heuristic(instance).strategy, cells
+        return self._planner(instance).strategy, cells
 
     def search(
         self,

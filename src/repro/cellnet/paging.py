@@ -21,10 +21,10 @@ from typing import Callable, Dict, Sequence, Tuple
 import numpy as np
 
 from ..core.adaptive import adaptive_search
-from ..core.heuristic import conference_call_heuristic
 from ..core.instance import PagingInstance
 from ..core.strategy import Strategy
 from ..errors import SimulationError
+from ..solvers import get_solver
 
 
 @dataclass(frozen=True)
@@ -123,9 +123,18 @@ class BlanketPager:
 
 
 class HeuristicPager:
-    """The paper's e/(e-1) strategy within the delay budget."""
+    """The paper's e/(e-1) strategy within the delay budget.
+
+    The planner is looked up in the solver registry (``repro.solvers``) so
+    deployments can swap policies by name without touching the pager.
+    """
 
     name = "heuristic"
+    planner_solver = "heuristic"
+
+    def __init__(self, planner_solver: str = "heuristic") -> None:
+        self.planner_solver = planner_solver
+        self._planner = get_solver(planner_solver)
 
     def search(
         self,
@@ -136,7 +145,7 @@ class HeuristicPager:
         num_cells: int,
     ) -> PagingOutcome:
         instance, cells = build_sub_instance(priors, candidate_cells, max_rounds)
-        plan = conference_call_heuristic(instance)
+        plan = self._planner(instance)
         found, paged, rounds, complete = page_with_strategy(
             plan.strategy, cells, true_cells
         )
@@ -203,15 +212,13 @@ class CostAwarePager:
         max_rounds: int,
         num_cells: int,
     ) -> PagingOutcome:
-        from ..core.weighted import weighted_heuristic
-
         if len(self._costs) != num_cells:
             raise SimulationError(
                 f"cost table covers {len(self._costs)} cells, network has {num_cells}"
             )
         instance, cells = build_sub_instance(priors, candidate_cells, max_rounds)
         local_costs = [self._costs[cell] for cell in cells]
-        plan = weighted_heuristic(instance, local_costs)
+        plan = get_solver("weighted-heuristic")(instance, costs=local_costs)
         found, paged, rounds, complete = page_with_strategy(
             plan.strategy, cells, true_cells
         )

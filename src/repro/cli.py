@@ -1,9 +1,13 @@
 """Command-line interface: ``repro <command>``.
 
-Four commands cover the library's workflows:
+The commands cover the library's workflows:
 
 * ``repro plan`` — read a probability matrix from JSON and print a paging
   strategy (heuristic, exact, or adaptive value).
+* ``repro solve`` — run any solver from the ``repro.solvers`` registry on a
+  JSON instance by name (``--solver NAME``, see ``repro solvers``).
+* ``repro solvers`` — list the solver registry: name, kind, capability
+  flags, approximation factor, and paper anchor per entry.
 * ``repro simulate`` — run the cellular-network simulation and print the
   link-usage summary.
 * ``repro experiments`` — regenerate experiment tables (all or by id),
@@ -41,11 +45,13 @@ import numpy as np
 #: against the README command table by ``tests/test_cli.py``.
 COMMAND_SUMMARY: "dict[str, str]" = {
     "plan": "plan a paging strategy from a JSON instance",
+    "solve": "run any registered solver on a JSON instance by name",
+    "solvers": "list the solver registry (kind, capabilities, factor)",
     "simulate": "run the cellular-network simulation (optionally with faults)",
     "experiments": "regenerate experiment tables (--jobs N, --checkpoint/--resume)",
     "gadget": "run the Lemma 3.2 NP-hardness reduction",
     "render": "ASCII map of a network's areas or a plan",
-    "lint": "domain-aware static analysis (RPL001-RPL006)",
+    "lint": "domain-aware static analysis (RPL001-RPL007)",
     "bench": "record a BENCH_<n>.json performance snapshot",
     "trace": "summarize a trace.jsonl written by --trace",
 }
@@ -94,6 +100,67 @@ def _build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="use the vectorized planner (large instances, heuristic only)",
+    )
+
+    solve = commands.add_parser(
+        "solve", help="run any registered solver on a JSON instance"
+    )
+    solve.add_argument("input", help="path to a JSON instance file, or '-' for stdin")
+    solve.add_argument(
+        "--solver",
+        default="heuristic",
+        metavar="NAME",
+        help="registry name (list them with `repro solvers`)",
+    )
+    solve.add_argument("--rounds", type=int, default=None, help="override the delay d")
+    solve.add_argument(
+        "--bandwidth",
+        type=int,
+        default=None,
+        help="max cells paged per round (solvers with the bandwidth capability)",
+    )
+    solve.add_argument(
+        "--quorum",
+        type=int,
+        default=None,
+        help="devices that must be found (signature/quorum solvers)",
+    )
+    solve.add_argument(
+        "--order",
+        default=None,
+        metavar="J0,J1,...",
+        help="explicit cell order (solvers with the ordered capability)",
+    )
+    solve.add_argument(
+        "--costs",
+        default=None,
+        metavar="W0,W1,...",
+        help="per-cell paging costs (solvers with the weighted capability)",
+    )
+    solve.add_argument(
+        "--output", default=None, help="write the planned strategy to a JSON file"
+    )
+    solve.add_argument(
+        "--json", action="store_true", help="emit the result as JSON on stdout"
+    )
+
+    solvers = commands.add_parser(
+        "solvers", help="list the solver registry as a capabilities table"
+    )
+    solvers.add_argument(
+        "--kind",
+        choices=("exact", "heuristic", "dp", "variant"),
+        default=None,
+        help="only solvers of this kind",
+    )
+    solvers.add_argument(
+        "--capability",
+        default=None,
+        metavar="FLAG",
+        help="only solvers carrying this capability flag",
+    )
+    solvers.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON on stdout"
     )
 
     simulate = commands.add_parser("simulate", help="run the cellular simulation")
@@ -204,7 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
     from .lint.engine import add_lint_arguments
 
     lint = commands.add_parser(
-        "lint", help="run the domain-aware static-analysis rules (RPL001-RPL006)"
+        "lint", help="run the domain-aware static-analysis rules (RPL001-RPL007)"
     )
     add_lint_arguments(lint)
 
@@ -241,13 +308,8 @@ def _load_instance(path: str):
 
 
 def _command_plan(args: argparse.Namespace) -> int:
-    from .core import (
-        adaptive_expected_paging,
-        conference_call_heuristic,
-        conference_call_heuristic_fast,
-        optimal_strategy,
-    )
     from .core.serialization import save
+    from .solvers import get_solver
 
     instance = _load_instance(args.input)
     if args.rounds is not None:
@@ -257,28 +319,139 @@ def _command_plan(args: argparse.Namespace) -> int:
         f"cells, d={instance.max_rounds} rounds"
     )
     if args.solver == "adaptive":
-        value = adaptive_expected_paging(instance)
-        print(f"adaptive replanning expected paging: {float(value):.4f} cells")
+        result = get_solver("adaptive")(instance)
+        print(
+            f"adaptive replanning expected paging: "
+            f"{result.expected_paging_float:.4f} cells"
+        )
         return 0
     if args.solver == "exact":
-        result = optimal_strategy(instance, max_group_size=args.bandwidth)
-        strategy = result.strategy
-        value = result.expected_paging
+        result = get_solver("exact")(instance, max_group_size=args.bandwidth)
         label = "exact optimal"
     else:
-        planner = (
-            conference_call_heuristic_fast if args.fast else conference_call_heuristic
-        )
+        planner = get_solver("heuristic-fast" if args.fast else "heuristic")
         result = planner(instance, max_group_size=args.bandwidth)
-        strategy = result.strategy
-        value = result.expected_paging
         label = "e/(e-1) heuristic"
+    strategy = result.strategy
     for round_index, group in enumerate(strategy.groups, start=1):
         print(f"  round {round_index}: page cells {sorted(group)}")
-    print(f"{label} expected paging: {float(value):.4f} of {instance.num_cells} cells")
+    print(
+        f"{label} expected paging: {result.expected_paging_float:.4f} "
+        f"of {instance.num_cells} cells"
+    )
     if args.output:
         save(strategy, args.output)
         print(f"strategy written to {args.output}")
+    return 0
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    from .core.serialization import save
+    from .solvers import UnknownSolverError, get_solver
+
+    try:
+        solver = get_solver(args.solver)
+    except UnknownSolverError as error:
+        raise SystemExit(str(error))
+    instance = _load_instance(args.input)
+    if args.rounds is not None:
+        instance = instance.with_max_rounds(args.rounds)
+    options: "dict[str, object]" = {}
+    if args.bandwidth is not None:
+        options["max_group_size"] = args.bandwidth
+    if args.quorum is not None:
+        options["quorum"] = args.quorum
+    if args.order is not None:
+        try:
+            options["order"] = tuple(int(part) for part in args.order.split(","))
+        except ValueError:
+            raise SystemExit(f"--order wants comma-separated integers, got {args.order!r}")
+    if args.costs is not None:
+        try:
+            options["costs"] = tuple(float(part) for part in args.costs.split(","))
+        except ValueError:
+            raise SystemExit(f"--costs wants comma-separated numbers, got {args.costs!r}")
+    try:
+        result = solver(instance, **options)
+    except TypeError as error:
+        raise SystemExit(str(error))
+    spec = solver.spec
+    groups = None
+    if result.strategy is not None:
+        groups = [sorted(group) for group in result.strategy.groups]
+    if args.json:
+        exact = result.expected_paging_fraction
+        payload = {
+            "schema": "repro-solve/1",
+            "solver": spec.name,
+            "kind": spec.kind,
+            "capabilities": sorted(spec.capabilities),
+            "expected_paging": result.expected_paging_float,
+            "expected_paging_exact": None if exact is None else str(exact),
+            "wall_time_s": result.wall_time_s,
+            "groups": groups,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(
+            f"instance: m={instance.num_devices} devices, c={instance.num_cells} "
+            f"cells, d={instance.max_rounds} rounds"
+        )
+        print(f"solver: {spec.name} ({spec.kind}) — {spec.summary}")
+        if groups is not None:
+            for round_index, group in enumerate(groups, start=1):
+                print(f"  round {round_index}: page cells {group}")
+        objective = result.extras.get("objective", "expected paging")
+        print(
+            f"{objective}: {result.expected_paging_float:.4f}"
+            + ("" if result.expected_paging_fraction is None
+               else f" (= {result.expected_paging_fraction})")
+        )
+    if args.output:
+        if result.strategy is None:
+            raise SystemExit(
+                f"solver {spec.name!r} returns a value, not a strategy; "
+                "nothing to write"
+            )
+        save(result.strategy, args.output)
+        if not args.json:
+            print(f"strategy written to {args.output}")
+    return 0
+
+
+def _command_solvers(args: argparse.Namespace) -> int:
+    from .solvers import list_solvers
+
+    specs = list_solvers(kind=args.kind, capability=args.capability)
+    if args.json:
+        payload = {
+            "schema": "repro-solvers/1",
+            "count": len(specs),
+            "solvers": [spec.to_json() for spec in specs],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not specs:
+        print("no registered solvers match the filters")
+        return 1
+    rows = []
+    for spec in specs:
+        requires = ",".join(spec.required) or "-"
+        caps = ",".join(sorted(spec.capabilities)) or "-"
+        factor = f"{spec.factor:.4f}" if spec.factor is not None else "-"
+        rows.append((spec.name, spec.kind, caps, factor, requires, spec.anchor))
+    header = ("name", "kind", "capabilities", "factor", "requires", "anchor")
+    widths = [
+        max(len(header[i]), max(len(row[i]) for row in rows))
+        for i in range(len(header) - 1)
+    ]
+    def fmt(row):
+        lead = "  ".join(row[i].ljust(widths[i]) for i in range(len(widths)))
+        return f"{lead}  {row[-1]}"
+    print(fmt(header))
+    for row in rows:
+        print(fmt(row))
+    print(f"\n{len(specs)} solvers (details: `repro solvers --json`)")
     return 0
 
 
@@ -364,11 +537,11 @@ def _command_experiments(args: argparse.Namespace) -> int:
 
 
 def _command_gadget(args: argparse.Namespace) -> int:
-    from .core import optimal_strategy
     from .hardness import (
         reduce_quasipartition1_to_conference_call,
         solve_quasipartition1,
     )
+    from .solvers import get_solver
 
     try:
         sizes = [Fraction(part.strip()) for part in args.sizes.split(",")]
@@ -376,7 +549,7 @@ def _command_gadget(args: argparse.Namespace) -> int:
         raise SystemExit(f"could not parse sizes: {error}")
     witness = solve_quasipartition1(sizes)
     reduction = reduce_quasipartition1_to_conference_call(sizes)
-    optimum = optimal_strategy(reduction.instance)
+    optimum = get_solver("exact")(reduction.instance)
     hits = optimum.expected_paging == reduction.lower_bound
     print(f"sizes: {[str(size) for size in sizes]}")
     print(f"quasipartition witness: {witness}")
@@ -402,7 +575,7 @@ def _command_render(args: argparse.Namespace) -> int:
     print(f"network: {topology.num_cells} cells in a radius-{args.radius} hex disk")
     print(render_location_areas(topology, plan))
     if args.plan is not None:
-        from .core import conference_call_heuristic
+        from .solvers import get_solver
 
         instance = _load_instance(args.plan)
         if instance.num_cells != topology.num_cells:
@@ -410,7 +583,7 @@ def _command_render(args: argparse.Namespace) -> int:
                 f"instance has {instance.num_cells} cells; the rendered network "
                 f"has {topology.num_cells} (adjust --radius)"
             )
-        result = conference_call_heuristic(
+        result = get_solver("heuristic")(
             instance.with_max_rounds(min(args.rounds, instance.num_cells))
         )
         print()
@@ -444,6 +617,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
         "plan": _command_plan,
+        "solve": _command_solve,
+        "solvers": _command_solvers,
         "simulate": _command_simulate,
         "experiments": _command_experiments,
         "gadget": _command_gadget,

@@ -106,6 +106,8 @@ def adaptive_expected_paging(
     Recurses over the found-device subsets after each round.  The branching is
     ``2^(remaining devices)`` per round, so this is intended for the small
     ``m`` regimes the paper targets (conference calls between a few parties).
+
+    replint: solver
     """
     exact = instance.is_exact
     one: Number = Fraction(1) if exact else 1.0

@@ -46,7 +46,10 @@ class AdaptiveOptimalResult:
 def optimal_adaptive_expected_paging(
     instance: PagingInstance, *, max_rounds: Optional[int] = None
 ) -> AdaptiveOptimalResult:
-    """Exact minimum expected paging over all adaptive policies."""
+    """Exact minimum expected paging over all adaptive policies.
+
+    replint: solver
+    """
     c = instance.num_cells
     if c > MAX_ADAPTIVE_CELLS:
         raise SolverLimitError(

@@ -120,7 +120,10 @@ def adaptive_quorum_expected_paging(
     *,
     planner: QuorumPlanner = signature_heuristic,
 ) -> Number:
-    """Exact expected paging of the adaptive quorum policy."""
+    """Exact expected paging of the adaptive quorum policy.
+
+    replint: solver
+    """
     m = instance.num_devices
     if not 1 <= quorum <= m:
         raise InvalidInstanceError(
@@ -222,6 +225,8 @@ def optimal_adaptive_quorum_expected_paging(
     quorum, rounds left)`` — the quorum analogue of
     :func:`repro.core.adaptive_optimal.optimal_adaptive_expected_paging`.
     Small instances only.
+
+    replint: solver
     """
     from functools import lru_cache
 

@@ -41,7 +41,10 @@ def bandwidth_limited_heuristic(
     *,
     max_rounds: Optional[int] = None,
 ) -> OrderedDPResult:
-    """The Fig. 1 heuristic under a per-round paging cap."""
+    """The Fig. 1 heuristic under a per-round paging cap.
+
+    replint: solver
+    """
     d = instance.max_rounds if max_rounds is None else int(max_rounds)
     if not is_feasible(instance.num_cells, d, max_group_size):
         raise InfeasibleError(
@@ -60,7 +63,10 @@ def bandwidth_limited_optimal(
     *,
     max_rounds: Optional[int] = None,
 ) -> ExactResult:
-    """Exact optimum under the cap (small instances only)."""
+    """Exact optimum under the cap (small instances only).
+
+    replint: solver
+    """
     d = instance.max_rounds if max_rounds is None else int(max_rounds)
     if not is_feasible(instance.num_cells, d, max_group_size):
         raise InfeasibleError(

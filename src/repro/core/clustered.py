@@ -151,6 +151,8 @@ def clustered_exhaustive(
     Exact on instances whose clusters are true equivalence classes (identical
     columns): some optimal strategy is then cluster-symmetric, because
     swapping two interchangeable cells never changes the expected paging.
+
+    replint: solver
     """
     clusters = cluster_cells(instance, resolution=resolution)
     d = instance.max_rounds if max_rounds is None else int(max_rounds)

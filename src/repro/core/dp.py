@@ -74,6 +74,8 @@ def optimize_over_order(
         ``F[k]`` for ``k = 0..c`` — probability the search stops within the
         first ``k`` cells of ``order``.  Defaults to the Conference Call rule
         (all devices inside the prefix).  ``F[c]`` must equal 1.
+
+    replint: solver
     """
     c = instance.num_cells
     order = validate_order(order, c)

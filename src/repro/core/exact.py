@@ -109,6 +109,8 @@ def optimal_strategy(
     of prefixes.  Supports the bandwidth-limited model via
     ``max_group_size``.  Raises :class:`SolverLimitError` above
     :data:`MAX_EXACT_CELLS` cells.
+
+    replint: solver
     """
     c = instance.num_cells
     if c > MAX_EXACT_CELLS:
@@ -190,7 +192,10 @@ def optimal_strategy_bruteforce(
     max_rounds: Optional[int] = None,
     enumeration_limit: int = 2_000_000,
 ) -> ExactResult:
-    """Literal enumeration of all strategies (ground truth for tiny instances)."""
+    """Literal enumeration of all strategies (ground truth for tiny instances).
+
+    replint: solver
+    """
     c = instance.num_cells
     d = instance.max_rounds if max_rounds is None else int(max_rounds)
     d = min(d, c)

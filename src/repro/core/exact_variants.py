@@ -112,7 +112,10 @@ def _optimal_by_mask_stops(
 def optimal_yellow_pages(
     instance: PagingInstance, *, max_rounds: Optional[int] = None
 ) -> VariantExactResult:
-    """The exact optimal strategy for the find-ANY stopping rule."""
+    """The exact optimal strategy for the find-ANY stopping rule.
+
+    replint: solver
+    """
     c = instance.num_cells
     if c > MAX_EXACT_CELLS:
         raise SolverLimitError(f"exact solver limited to {MAX_EXACT_CELLS} cells")
@@ -138,7 +141,10 @@ def optimal_signature(
     *,
     max_rounds: Optional[int] = None,
 ) -> VariantExactResult:
-    """The exact optimal strategy for the find-at-least-k stopping rule."""
+    """The exact optimal strategy for the find-at-least-k stopping rule.
+
+    replint: solver
+    """
     c = instance.num_cells
     if c > MAX_EXACT_CELLS:
         raise SolverLimitError(f"exact solver limited to {MAX_EXACT_CELLS} cells")

@@ -104,6 +104,8 @@ def conference_call_heuristic_fast(
     Identical strategy and value as
     :func:`repro.core.heuristic.conference_call_heuristic` up to float
     round-off; use the reference for exact (Fraction) instances.
+
+    replint: solver
     """
     matrix = instance.as_array()
     weights = matrix.sum(axis=0)

@@ -35,6 +35,8 @@ def conference_call_heuristic(
     Runs in ``O(c(m + dc))`` time and ``O(m + dc)`` space (Theorem 4.8).  With
     ``max_group_size`` set it solves the bandwidth-limited extension of
     Section 5, for which the same approximation argument applies.
+
+    replint: solver
     """
     with span(
         "core.heuristic",
@@ -65,6 +67,8 @@ def profile_heuristic(instance: PagingInstance) -> OrderedDPResult:
     ``O(c log c)`` total: an ablation of the DP component (benchmark A3).
     Falls back to balanced groups when ``m = 1`` or ``d = 1`` is degenerate
     for the recursion.
+
+    replint: solver
     """
     from .bounds import b_sequence
     from .expected_paging import expected_paging

@@ -102,7 +102,10 @@ def optimize_signature_over_order(
     max_rounds: Optional[int] = None,
     max_group_size: Optional[int] = None,
 ) -> SignatureResult:
-    """Optimal cuts of ``order`` for the quorum-``k`` stopping rule."""
+    """Optimal cuts of ``order`` for the quorum-``k`` stopping rule.
+
+    replint: solver
+    """
     order = validate_order(order, instance.num_cells)
     d = instance.max_rounds if max_rounds is None else int(max_rounds)
     finds = prefix_stop_probabilities(instance, order, quorum)
@@ -125,6 +128,8 @@ def signature_heuristic(
     ``quorum = m`` this coincides with the paper's e/(e-1) heuristic; for
     smaller quorums it is a natural but unanalyzed heuristic whose behavior
     benchmark E11 sweeps.
+
+    replint: solver
     """
     return optimize_signature_over_order(
         instance, by_expected_devices(instance), quorum, max_rounds=max_rounds

@@ -28,7 +28,10 @@ def optimal_single_user(
     max_rounds: Optional[int] = None,
     max_group_size: Optional[int] = None,
 ) -> OrderedDPResult:
-    """The optimal strategy for ``m = 1`` (probability-sorted DP)."""
+    """The optimal strategy for ``m = 1`` (probability-sorted DP).
+
+    replint: solver
+    """
     if instance.num_devices != 1:
         raise InvalidInstanceError(
             f"optimal_single_user requires m = 1, got m = {instance.num_devices}"

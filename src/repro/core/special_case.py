@@ -39,6 +39,8 @@ def two_device_two_round_heuristic(instance: PagingInstance) -> TwoRoundSplit:
     split size ``s = 1..c-1`` with running prefix sums, and returns the argmin
     (ties to the smaller ``s``).  Guaranteed within 4/3 of optimal
     (Lemma 4.3); the bound is tight up to the paper's 320/317 example.
+
+    replint: solver
     """
     if instance.num_devices != 2:
         raise InvalidInstanceError(

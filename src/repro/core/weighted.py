@@ -138,9 +138,42 @@ def weighted_heuristic(
     *,
     max_rounds: Optional[int] = None,
 ) -> WeightedResult:
-    """Density ordering + weighted cut DP (the Fig. 1 analogue)."""
+    """Density ordering + weighted cut DP (the Fig. 1 analogue).
+
+    replint: solver
+    """
     costs = _validate_costs(costs, instance.num_cells)
     order = by_density(instance, costs)
+    return _cut_order_weighted(instance, order, costs, max_rounds)
+
+
+def weighted_weight_order(
+    instance: PagingInstance,
+    costs: Sequence[Number],
+    *,
+    max_rounds: Optional[int] = None,
+) -> WeightedResult:
+    """The paper's pure weight ordering under heterogeneous costs.
+
+    Orders cells by expected devices (ignoring the costs) and then cuts
+    with the weighted DP — the ablation benchmark E25 compares against the
+    density ordering to show why mass-per-cost matters.
+
+    replint: solver
+    """
+    from .ordering import by_expected_devices
+
+    costs = _validate_costs(costs, instance.num_cells)
+    order = by_expected_devices(instance)
+    return _cut_order_weighted(instance, order, costs, max_rounds)
+
+
+def _cut_order_weighted(
+    instance: PagingInstance,
+    order: Sequence[int],
+    costs: Tuple[Number, ...],
+    max_rounds: Optional[int],
+) -> WeightedResult:
     d = instance.max_rounds if max_rounds is None else int(max_rounds)
     finds = instance.prefix_find_probabilities(order)
     prefix_costs: List[Number] = [0 * costs[0]]
@@ -157,7 +190,10 @@ def optimal_weighted_strategy(
     *,
     max_rounds: Optional[int] = None,
 ) -> WeightedResult:
-    """Exact minimum expected cost by the weighted subset DP (small c)."""
+    """Exact minimum expected cost by the weighted subset DP (small c).
+
+    replint: solver
+    """
     c = instance.num_cells
     if c > MAX_EXACT_CELLS:
         raise SolverLimitError(f"exact solver limited to {MAX_EXACT_CELLS} cells")

@@ -79,7 +79,10 @@ def optimize_yellow_over_order(
     max_rounds: Optional[int] = None,
     max_group_size: Optional[int] = None,
 ) -> YellowPagesResult:
-    """Optimal cut points of ``order`` for the Yellow Pages stopping rule."""
+    """Optimal cut points of ``order`` for the Yellow Pages stopping rule.
+
+    replint: solver
+    """
     order = validate_order(order, instance.num_cells)
     d = instance.max_rounds if max_rounds is None else int(max_rounds)
     finds = prefix_stop_probabilities(instance, order)
@@ -93,7 +96,10 @@ def yellow_pages_greedy(
     *,
     max_rounds: Optional[int] = None,
 ) -> YellowPagesResult:
-    """Cut the hit-probability ordering: page likely-occupied cells first."""
+    """Cut the hit-probability ordering: page likely-occupied cells first.
+
+    replint: solver
+    """
     return optimize_yellow_over_order(
         instance, by_miss_probability(instance), max_rounds=max_rounds
     )
@@ -112,6 +118,8 @@ def yellow_pages_m_approximation(
     other ``m - 1`` devices can also answer, which caps the cost at the
     cheapest single-device optimum — at most ``m`` times the Yellow Pages
     optimum.
+
+    replint: solver
     """
     if instance.num_devices < 1:
         raise InvalidInstanceError("need at least one device")
@@ -134,6 +142,8 @@ def yellow_pages_weight_order(
 
     The paper notes this is NOT a constant-factor approximation for the
     Yellow Pages objective; benchmark E11 measures how it degrades.
+
+    replint: solver
     """
     from .ordering import by_expected_devices
 

@@ -15,20 +15,27 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core.adaptive import adaptive_expected_paging
-from ..core.adaptive_optimal import optimal_adaptive_expected_paging
-from ..core.exact import optimal_strategy
-from ..core.heuristic import conference_call_heuristic
 from ..core.imperfect import (
     CollisionDetection,
     ConstantDetection,
     expected_paging_imperfect_monte_carlo,
     expected_paging_imperfect_single,
 )
-from ..core.single_user import optimal_single_user
 from ..core.strategy import Strategy
 from ..distributions.generators import instance_family
+from ..solvers import get_solver
 from .tables import ExperimentTable
+
+# Registry dispatch: experiments name solvers, they never import the
+# concrete functions (tests/experiments/test_solver_imports.py enforces it).
+_exact = get_solver("exact")
+_heuristic = get_solver("heuristic")
+_single_user = get_solver("single-user")
+_adaptive = get_solver("adaptive")
+_adaptive_optimal = get_solver("adaptive-optimal")
+_weighted_heuristic = get_solver("weighted-heuristic")
+_weighted_weight_order = get_solver("weighted-weight-order")
+_weighted_exact = get_solver("weighted-exact")
 
 
 def run_e21_movement_sensitivity(
@@ -49,8 +56,8 @@ def run_e21_movement_sensitivity(
     if rng is None:
         rng = np.random.default_rng(21)
     base = instance_family("zipf", num_devices, num_cells, num_cells, rng=rng)
-    short_plan = conference_call_heuristic(base.with_max_rounds(2))
-    long_plan = conference_call_heuristic(base.with_max_rounds(5))
+    short_plan = _heuristic(base.with_max_rounds(2))
+    long_plan = _heuristic(base.with_max_rounds(5))
     table = ExperimentTable(
         "E21",
         "Movement during the search: cost inflation and miss rate",
@@ -198,7 +205,7 @@ def run_e24_correlation_sensitivity(
                 num_devices, num_cells, cohesion, rng=rng
             )
             instance = population.marginal_instance(max_rounds)
-            plan = conference_call_heuristic(instance)
+            plan = _heuristic(instance)
             believed, true = model_error(population, plan.strategy, max_rounds)
             believed_values.append(believed)
             true_values.append(true)
@@ -232,13 +239,6 @@ def run_e25_weighted_costs(
     (mass per cost) against the paper's pure weight ordering, both with
     optimal weighted cuts, against the exact weighted optimum.
     """
-    from ..core.ordering import by_expected_devices
-    from ..core.weighted import (
-        optimal_weighted_strategy,
-        optimize_cuts_weighted,
-        weighted_heuristic,
-    )
-
     if rng is None:
         rng = np.random.default_rng(25)
     table = ExperimentTable(
@@ -254,19 +254,15 @@ def run_e25_weighted_costs(
             )
             costs = [float(v) for v in rng.uniform(1.0, skew, size=num_cells)]
             density_values.append(
-                float(weighted_heuristic(instance, costs).expected_cost)
+                float(_weighted_heuristic(instance, costs=costs).expected_paging)
             )
-            order = by_expected_devices(instance)
-            finds = instance.prefix_find_probabilities(order)
-            prefix_costs = [0.0]
-            for cell in order:
-                prefix_costs.append(prefix_costs[-1] + costs[cell])
-            _sizes, weight_value = optimize_cuts_weighted(
-                finds, prefix_costs, max_rounds
+            weight_values.append(
+                float(
+                    _weighted_weight_order(instance, costs=costs).expected_paging
+                )
             )
-            weight_values.append(float(weight_value))
             optimal_values.append(
-                float(optimal_weighted_strategy(instance, costs).expected_cost)
+                float(_weighted_exact(instance, costs=costs).expected_paging)
             )
         table.add_row(
             skew,
@@ -401,11 +397,9 @@ def run_e19_adaptivity_gap(
             instance = instance_family(
                 family, num_devices, num_cells, max_rounds, rng=rng
             )
-            oblivious = float(optimal_strategy(instance).expected_paging)
-            adaptive = float(
-                optimal_adaptive_expected_paging(instance).expected_paging
-            )
-            replanner = float(adaptive_expected_paging(instance))
+            oblivious = float(_exact(instance).expected_paging)
+            adaptive = float(_adaptive_optimal(instance).expected_paging)
+            replanner = float(_adaptive(instance).expected_paging)
             oblivious_values.append(oblivious)
             adaptive_values.append(adaptive)
             gaps.append(oblivious / adaptive if adaptive > 0 else 1.0)
@@ -437,9 +431,9 @@ def run_e20_imperfect_detection(
     if rng is None:
         rng = np.random.default_rng(20)
     single = instance_family("zipf", 1, num_cells, max_rounds, rng=rng)
-    single_plan = optimal_single_user(single)
+    single_plan = _single_user(single)
     multi = instance_family("hotspot", 3, num_cells, max_rounds, rng=rng)
-    multi_plan = conference_call_heuristic(multi)
+    multi_plan = _heuristic(multi)
     multi_blanket = Strategy.single_round(num_cells)
 
     table = ExperimentTable(

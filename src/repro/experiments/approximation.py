@@ -14,12 +14,16 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..analysis.ratio import RatioSummary, sweep_ratios
-from ..core.adaptive import adaptive_expected_paging
-from ..core.exact import optimal_strategy
-from ..core.heuristic import APPROXIMATION_FACTOR, conference_call_heuristic
-from ..core.single_user import optimal_single_user
 from ..distributions.generators import instance_family
+from ..solvers import APPROXIMATION_FACTOR, get_solver
 from .tables import ExperimentTable
+
+# Registry dispatch: experiments name solvers, they never import the
+# concrete functions (tests/experiments/test_solver_imports.py enforces it).
+_exact = get_solver("exact")
+_heuristic = get_solver("heuristic")
+_single_user = get_solver("single-user")
+_adaptive = get_solver("adaptive")
 
 
 def run_e03_ratio_sweep(
@@ -96,8 +100,8 @@ def run_e08_single_user_optimal(
         worst = 0.0
         for _ in range(trials):
             instance = instance_family(family, 1, num_cells, max_rounds, rng=rng)
-            sorted_dp = optimal_single_user(instance)
-            exact = optimal_strategy(instance)
+            sorted_dp = _single_user(instance)
+            exact = _exact(instance)
             worst = max(
                 worst,
                 abs(float(sorted_dp.expected_paging) - float(exact.expected_paging)),
@@ -125,8 +129,8 @@ def run_e09_delay_tradeoff(
     )
     for d in range(1, num_cells + 1):
         instance = base.with_max_rounds(d)
-        optimal = optimal_strategy(instance)
-        heuristic = conference_call_heuristic(instance)
+        optimal = _exact(instance)
+        heuristic = _heuristic(instance)
         table.add_row(
             d,
             float(optimal.expected_paging),
@@ -168,10 +172,10 @@ def run_e10_adaptive(
                 family, num_devices, num_cells, max_rounds, rng=rng
             )
             heuristic_value = float(
-                conference_call_heuristic(instance).expected_paging
+                _heuristic(instance).expected_paging
             )
-            adaptive_value = float(adaptive_expected_paging(instance))
-            optimal_value = float(optimal_strategy(instance).expected_paging)
+            adaptive_value = float(_adaptive(instance).expected_paging)
+            optimal_value = float(_exact(instance).expected_paging)
             oblivious.append(heuristic_value)
             adaptive.append(adaptive_value)
             optimal_values.append(optimal_value)

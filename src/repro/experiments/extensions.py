@@ -14,20 +14,26 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.bandwidth import bandwidth_limited_heuristic, bandwidth_limited_optimal
-from ..core.clustered import clustered_exhaustive
-from ..core.exact import optimal_strategy
-from ..core.heuristic import conference_call_heuristic
 from ..core.ordering import by_device_probability, random_order
-from ..core.signature import optimize_signature_over_order, signature_heuristic
-from ..core.yellow_pages import (
-    optimize_yellow_over_order,
-    yellow_pages_greedy,
-    yellow_pages_m_approximation,
-    yellow_pages_weight_order,
-)
 from ..distributions.generators import clustered_instance, instance_family
+from ..solvers import get_solver
 from .tables import ExperimentTable
+
+# Registry dispatch: experiments name solvers, they never import the
+# concrete functions (tests/experiments/test_solver_imports.py enforces it).
+_exact = get_solver("exact")
+_heuristic = get_solver("heuristic")
+_bandwidth_heuristic = get_solver("bandwidth-heuristic")
+_bandwidth_exact = get_solver("bandwidth-exact")
+_clustered = get_solver("clustered")
+_signature = get_solver("signature")
+_signature_cuts = get_solver("signature-cuts")
+_adaptive_quorum = get_solver("adaptive-quorum")
+_yp_exact = get_solver("yellow-pages-exact")
+_yp_greedy = get_solver("yellow-pages-greedy")
+_yp_m_approx = get_solver("yellow-pages-m-approx")
+_yp_weight_order = get_solver("yellow-pages-weight-order")
+_yp_cuts = get_solver("yellow-pages-cuts")
 
 
 def run_e11_yellow_pages(
@@ -41,8 +47,6 @@ def run_e11_yellow_pages(
     """Yellow Pages ordering comparison (mean EP, lower is better)."""
     if rng is None:
         rng = np.random.default_rng(11)
-    from ..core.exact_variants import optimal_yellow_pages
-
     table = ExperimentTable(
         "E11a",
         "Yellow Pages (find 1 of m): ordering heuristics vs the exact optimum",
@@ -62,19 +66,19 @@ def run_e11_yellow_pages(
                 family, num_devices, num_cells, max_rounds, rng=rng
             )
             optimal_values.append(
-                float(optimal_yellow_pages(instance).expected_paging)
+                float(_yp_exact(instance).expected_paging)
             )
-            greedy.append(float(yellow_pages_greedy(instance).expected_paging))
+            greedy.append(float(_yp_greedy(instance).expected_paging))
             single.append(
-                float(yellow_pages_m_approximation(instance).expected_paging)
+                float(_yp_m_approx(instance).expected_paging)
             )
             weight.append(
-                float(yellow_pages_weight_order(instance).expected_paging)
+                float(_yp_weight_order(instance).expected_paging)
             )
             random_values.append(
                 float(
-                    optimize_yellow_over_order(
-                        instance, random_order(instance, rng)
+                    _yp_cuts(
+                        instance, order=random_order(instance, rng)
                     ).expected_paging
                 )
             )
@@ -104,8 +108,6 @@ def run_e11_signature_sweep(
     instance = instance_family(
         "hotspot", num_devices, num_cells, max_rounds, rng=rng
     )
-    from ..core.adaptive_variants import adaptive_quorum_expected_paging
-
     table = ExperimentTable(
         "E11b",
         "Signature problem: quorum sweep k = 1..m",
@@ -113,17 +115,19 @@ def run_e11_signature_sweep(
     )
     for quorum in range(1, num_devices + 1):
         weight_value = float(
-            signature_heuristic(instance, quorum).expected_paging
+            _signature(instance, quorum=quorum).expected_paging
         )
         best_single = min(
             float(
-                optimize_signature_over_order(
-                    instance, by_device_probability(instance, device), quorum
+                _signature_cuts(
+                    instance,
+                    order=by_device_probability(instance, device),
+                    quorum=quorum,
                 ).expected_paging
             )
             for device in range(num_devices)
         )
-        adaptive_value = float(adaptive_quorum_expected_paging(instance, quorum))
+        adaptive_value = float(_adaptive_quorum(instance, quorum=quorum).expected_paging)
         table.add_row(quorum, weight_value, best_single, adaptive_value)
     table.add_note("k = m reduces to Conference Call; k = 1 to Yellow Pages")
     table.add_note("adaptive_ep replans the quorum search after every round")
@@ -149,12 +153,12 @@ def run_e12_bandwidth(
     )
     for d in (3, 4, 6):
         base = instance.with_max_rounds(d)
-        uncapped = float(conference_call_heuristic(base).expected_paging)
+        uncapped = float(_heuristic(base).expected_paging)
         for b in sorted({num_cells, num_cells // 2, (num_cells + d - 1) // d}):
             if d * b < num_cells:
                 continue
-            capped = bandwidth_limited_heuristic(base, b)
-            exact = bandwidth_limited_optimal(base, b)
+            capped = _bandwidth_heuristic(base, max_group_size=b)
+            exact = _bandwidth_exact(base, max_group_size=b)
             table.add_row(
                 d,
                 b,
@@ -186,12 +190,12 @@ def run_e15_clustered(
         instance = clustered_instance(
             num_devices, num_cells, max_rounds, rng=rng, num_levels=2
         )
-        scheme = clustered_exhaustive(instance)
-        heuristic = conference_call_heuristic(instance)
-        optimal = optimal_strategy(instance)
+        scheme = _clustered(instance)
+        heuristic = _heuristic(instance)
+        optimal = _exact(instance)
         table.add_row(
             trial,
-            len(scheme.clusters),
+            len(scheme.extras["clusters"]),
             float(scheme.expected_paging),
             float(heuristic.expected_paging),
             float(optimal.expected_paging),

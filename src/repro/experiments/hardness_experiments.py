@@ -12,7 +12,6 @@ from typing import Optional
 
 import numpy as np
 
-from ..core.exact import optimal_strategy
 from ..core.expected_paging import expected_paging
 from ..hardness.partition import has_partition, random_instance
 from ..hardness.qap import (
@@ -33,7 +32,12 @@ from ..hardness.reductions import (
     unlift_strategy,
 )
 from ..distributions.generators import instance_family
+from ..solvers import get_solver
 from .tables import ExperimentTable
+
+# Registry dispatch: experiments name solvers, they never import the
+# concrete functions (tests/experiments/test_solver_imports.py enforces it).
+_exact = get_solver("exact")
 
 
 def _random_quasi_sizes(
@@ -61,7 +65,7 @@ def run_e06_reduction_m2d2(
         sizes = _random_quasi_sizes(num_sizes, rng)
         has_witness = has_quasipartition1(sizes)
         reduction = reduce_quasipartition1_to_conference_call(sizes)
-        optimum = optimal_strategy(reduction.instance)
+        optimum = _exact(reduction.instance)
         hits_bound = optimum.expected_paging == reduction.lower_bound
         if has_witness:
             yes_count += 1
@@ -97,7 +101,7 @@ def run_e06_reduction_general(
             sizes = _random_quasi_sizes(c, rng)
             witness = solve_multipartition(sizes, parameters)
             reduction = reduce_multipartition_to_conference_call(sizes, m, d)
-            optimum = optimal_strategy(reduction.instance)
+            optimum = _exact(reduction.instance)
             hits_bound = optimum.expected_paging == reduction.lower_bound
             if (witness is not None) == hits_bound:
                 agreements += 1
@@ -162,9 +166,9 @@ def run_e17_lifting(
         ]
         base = type(base)(exact_rows, base.max_rounds, allow_zero=True)
         lifted = lift_two_device_instance(base, lifted_devices)
-        lifted_optimum = optimal_strategy(lifted)
+        lifted_optimum = _exact(lifted)
         first_is_extra = lifted_optimum.strategy.group(0) == frozenset({num_cells})
-        base_optimum = optimal_strategy(base)
+        base_optimum = _exact(base)
         optimal_ep = float(base_optimum.expected_paging)
         if first_is_extra:
             induced = unlift_strategy(lifted_optimum.strategy, num_cells)
@@ -203,7 +207,7 @@ def run_e18_qap(
         qap_ep = float(expected_paging_from_qap(formulation, objective))
         strategy = strategy_from_permutation(permutation)
         direct_ep = float(expected_paging(instance, strategy))
-        exact_ep = float(optimal_strategy(instance).expected_paging)
+        exact_ep = float(_exact(instance).expected_paging)
         agree = abs(qap_ep - exact_ep) < 1e-9 and abs(direct_ep - qap_ep) < 1e-9
         table.add_row(trial, qap_ep, exact_ep, str(agree))
     table.add_note("every row must agree: the QAP objective is c - EP")

@@ -23,8 +23,6 @@ from ..analysis.convexity import (
 )
 from ..analysis.ratio import measure_special_case_ratio
 from ..core.bounds import lemma31_maximum
-from ..core.exact import optimal_strategy
-from ..core.heuristic import conference_call_heuristic
 from ..core.instance import PagingInstance
 from ..core.lower_bound import (
     HEURISTIC_VALUE,
@@ -32,10 +30,17 @@ from ..core.lower_bound import (
     lower_bound_instance,
     perturbed_instance,
 )
-from ..core.single_user import optimal_single_user, uniform_expected_paging
-from ..core.special_case import two_device_two_round_heuristic
+from ..core.single_user import uniform_expected_paging
 from ..distributions.generators import instance_family
+from ..solvers import get_solver
 from .tables import ExperimentTable
+
+# Registry dispatch: experiments name solvers, they never import the
+# concrete functions (tests/experiments/test_solver_imports.py enforces it).
+_exact = get_solver("exact")
+_heuristic = get_solver("heuristic")
+_single_user = get_solver("single-user")
+_two_round_split = get_solver("two-round-split")
 
 
 def run_e01_uniform_single_user(
@@ -53,7 +58,7 @@ def run_e01_uniform_single_user(
             if d > c or c % d != 0:
                 continue
             instance = PagingInstance.uniform(1, c, d, exact=True)
-            result = optimal_single_user(instance)
+            result = _single_user(instance)
             closed = uniform_expected_paging(c, d)
             table.add_row(
                 c,
@@ -75,8 +80,8 @@ def run_e02_lower_bound() -> ExperimentTable:
         ["variant", "optimal_ep", "heuristic_ep", "ratio"],
     )
     instance = lower_bound_instance()
-    optimal = optimal_strategy(instance)
-    heuristic = conference_call_heuristic(instance)
+    optimal = _exact(instance)
+    heuristic = _heuristic(instance)
     table.add_row(
         "exact (tie-break)",
         float(optimal.expected_paging),
@@ -84,8 +89,8 @@ def run_e02_lower_bound() -> ExperimentTable:
         float(Fraction(heuristic.expected_paging) / Fraction(optimal.expected_paging)),
     )
     perturbed = perturbed_instance(Fraction(1, 10_000))
-    optimal_p = optimal_strategy(perturbed)
-    heuristic_p = conference_call_heuristic(perturbed)
+    optimal_p = _exact(perturbed)
+    heuristic_p = _heuristic(perturbed)
     table.add_row(
         "epsilon-perturbed",
         float(optimal_p.expected_paging),
@@ -176,8 +181,8 @@ def run_e16_four_thirds(
         )
     # The scan matches the general heuristic on the canonical gadget too.
     gadget = lower_bound_instance()
-    split = two_device_two_round_heuristic(gadget)
-    optimal = optimal_strategy(gadget)
+    split = _two_round_split(gadget)
+    optimal = _exact(gadget)
     table.add_row(
         "section-4.3 gadget",
         1,

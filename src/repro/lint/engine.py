@@ -178,6 +178,10 @@ def load_config(root: Optional[Path]) -> LintConfig:
         config.api_init = str(get("api_init"))
     if get("api_doc") is not None:
         config.api_doc = str(get("api_doc"))
+    if get("solver_adapters") is not None:
+        config.solver_adapters = str(get("solver_adapters"))
+    if get("solver_mark_paths") is not None:
+        config.solver_mark_paths = _tuple_of_str(get("solver_mark_paths"))
     return config
 
 

@@ -20,9 +20,14 @@ Each rule guards an invariant the test suite can only sample:
 * **RPL006** — Python hygiene that has bitten reproducibility before:
   mutable default arguments, and missing
   ``from __future__ import annotations`` in ``src/repro``.
+* **RPL007** — solver registration: every entry point whose docstring
+  carries ``replint: solver`` must be imported (hence wrapped and
+  registered) by ``src/repro/solvers/adapters.py``, and any module
+  defining such an entry point must cite a paper anchor.
 
-Rules are deliberately single-file AST passes (plus one project-level
-pass for RPL004) so the linter stays dependency-free and fast.
+Rules are deliberately single-file AST passes (plus project-level
+passes for RPL004 and RPL007) so the linter stays dependency-free and
+fast.
 """
 
 from __future__ import annotations
@@ -86,6 +91,8 @@ class LintConfig:
     future_import_paths: Tuple[str, ...] = ("src/repro",)
     api_init: str = "src/repro/__init__.py"
     api_doc: str = "docs/api.md"
+    solver_adapters: str = "src/repro/solvers/adapters.py"
+    solver_mark_paths: Tuple[str, ...] = ("src/repro/core",)
 
     def rule_enabled(self, code: str) -> bool:
         if self.select is not None and code not in self.select:
@@ -623,6 +630,83 @@ class HygieneRule(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# RPL007 — solver registration
+# ---------------------------------------------------------------------------
+
+_SOLVER_DOC_MARK = re.compile(r"replint:\s*solver\b", re.IGNORECASE)
+
+
+class SolverRegistrationRule(ProjectRule):
+    code = "RPL007"
+    name = "solver-registration"
+    rationale = (
+        "every 'replint: solver'-marked entry point must be wrapped by the "
+        "repro.solvers adapters module, and its module must cite a paper "
+        "anchor (the registry dispatch contract)"
+    )
+
+    @staticmethod
+    def _imported_names(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module != "__future__":
+                for alias in node.names:
+                    names.add(alias.name)
+        return names
+
+    @staticmethod
+    def _marked_functions(
+        tree: ast.Module,
+    ) -> List["ast.FunctionDef | ast.AsyncFunctionDef"]:
+        return [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and _SOLVER_DOC_MARK.search(ast.get_docstring(node) or "")
+        ]
+
+    def check_project(self, root: Path, config: LintConfig) -> Iterator[Violation]:
+        adapters_path = root / config.solver_adapters
+        if not adapters_path.is_file():
+            return
+        try:
+            imported = self._imported_names(ast.parse(adapters_path.read_text()))
+        except SyntaxError:
+            return
+        for prefix in config.solver_mark_paths:
+            base = root / prefix
+            candidates = [base] if base.is_file() else sorted(base.rglob("*.py"))
+            for path in candidates:
+                if not path.is_file():
+                    continue
+                relpath = path.relative_to(root).as_posix()
+                try:
+                    tree = ast.parse(path.read_text())
+                except (OSError, SyntaxError):
+                    continue
+                marked = self._marked_functions(tree)
+                if not marked:
+                    continue
+                for node in marked:
+                    if node.name not in imported:
+                        yield Violation(
+                            relpath, node.lineno, node.col_offset + 1, self.code,
+                            f"solver entry point {node.name!r} carries the "
+                            "'replint: solver' marker but is never imported by "
+                            f"{config.solver_adapters}; register it in "
+                            "repro.solvers",
+                        )
+                doc = ast.get_docstring(tree)
+                if doc is None or not _ANCHOR.search(doc):
+                    yield Violation(
+                        relpath, 1, 1, self.code,
+                        "module defines registered solver entry points but its "
+                        "docstring cites no paper anchor "
+                        "(Lemma/Theorem/Section/Figure N)",
+                    )
+
+
 #: Registry, in code order.  The engine consults this.
 RULES: Tuple[Rule, ...] = (
     FloatEqualityRule(),
@@ -631,6 +715,7 @@ RULES: Tuple[Rule, ...] = (
     ApiDriftRule(),
     PaperTraceabilityRule(),
     HygieneRule(),
+    SolverRegistrationRule(),
 )
 
 ALL_CODES: Tuple[str, ...] = tuple(rule.code for rule in RULES)

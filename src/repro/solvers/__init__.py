@@ -1,0 +1,43 @@
+"""``repro.solvers`` — the unified solver protocol and registry.
+
+One import gives the whole seam: the :class:`SolverResult` normal form, the
+:class:`Solver` protocol, the registry API (:func:`register_solver`,
+:func:`get_solver`, :func:`list_solvers`), and — by importing
+``repro.solvers.adapters`` for its side effects — a populated registry
+covering every solver family of the paper (Fig. 1 heuristic, Lemma 4.7 DP,
+§2 exact subset DP, and the §5 extensions).
+
+``APPROXIMATION_FACTOR`` is re-exported so dispatch sites that quote the
+e/(e-1) guarantee of Theorem 4.8 need no direct ``repro.core.heuristic``
+import.
+"""
+
+from __future__ import annotations
+
+import types as _types
+
+from ..core.heuristic import APPROXIMATION_FACTOR
+from . import adapters as _adapters  # noqa: F401  (populates the registry)
+from .registry import (
+    KINDS,
+    RegisteredSolver,
+    Solver,
+    SolverSpec,
+    UnknownSolverError,
+    get_solver,
+    list_solvers,
+    register_solver,
+    solve_instance,
+    solver_names,
+)
+from .result import SolverResult
+
+#: Generated export list: every public, non-module name bound above, sorted.
+#: tests/test_public_api.py asserts this matches the static imports exactly.
+__all__ = sorted(
+    name
+    for name, value in globals().items()
+    if not name.startswith("_")
+    and name != "annotations"
+    and not isinstance(value, _types.ModuleType)
+)

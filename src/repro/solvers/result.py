@@ -1,0 +1,70 @@
+"""The ``SolverResult`` normal form every registered solver returns.
+
+The paper's algorithm zoo (§2–§5) produces heterogeneous result records:
+``ExactResult``, ``OrderedDPResult``, ``WeightedResult`` (whose objective is
+expected *cost*), bare ``Number`` values for the adaptive policies, and so
+on.  The registry adapters map each of them onto this one shape without
+touching the numerics: ``expected_paging`` carries the wrapped solver's
+objective value verbatim (an exact ``Fraction`` whenever the wrapped solver
+produced one — see Lemma 2.1), ``strategy`` the chosen ordered partition
+when the policy is oblivious, and everything family-specific (order, quorum,
+clusters, first adaptive group, ...) rides in ``extras``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import FrozenSet, Mapping, Optional
+
+from ..core.instance import Number
+from ..core.strategy import Strategy
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Normalized output of one registry solver run.
+
+    The value in ``expected_paging`` is bit-identical to what the wrapped
+    legacy function returned (pinned by ``tests/solvers`` regression tests);
+    no rounding or re-evaluation happens in the adapter layer.
+    """
+
+    #: registry name of the solver that produced this result
+    solver: str
+    #: registry kind: ``exact`` | ``heuristic`` | ``dp`` | ``variant``
+    kind: str
+    #: the chosen strategy; ``None`` for value-only (adaptive) policies
+    strategy: Optional[Strategy]
+    #: the solver's objective value — exact ``Fraction`` on exact instances
+    expected_paging: Number
+    #: capability flags copied from the solver's spec
+    capabilities: FrozenSet[str] = frozenset()
+    #: wall-clock seconds spent inside the wrapped solver call
+    wall_time_s: float = 0.0
+    #: family-specific fields (order, quorum, clusters, first_group, ...)
+    extras: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def expected_paging_float(self) -> float:
+        """The objective value as a float (lossy for exact results)."""
+        return float(self.expected_paging)
+
+    @property
+    def expected_paging_fraction(self) -> Optional[Fraction]:
+        """The objective as an exact ``Fraction``, or ``None`` if inexact."""
+        if isinstance(self.expected_paging, (int, Fraction)):
+            return Fraction(self.expected_paging)
+        return None
+
+    @property
+    def is_exact(self) -> bool:
+        """True when the wrapped solver kept exact arithmetic throughout."""
+        return isinstance(self.expected_paging, (int, Fraction))
+
+    @property
+    def group_sizes(self) -> Optional[tuple]:
+        """Group sizes of the chosen strategy, if one exists."""
+        if self.strategy is None:
+            return None
+        return self.strategy.group_sizes

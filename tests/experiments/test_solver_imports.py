@@ -1,0 +1,77 @@
+"""Experiments must dispatch solvers by registry name, never by import.
+
+The whole point of ``repro.solvers`` is that the experiments layer names
+solvers (``get_solver("exact")``) instead of binding the concrete
+functions.  This test walks the AST of every module under
+``src/repro/experiments/`` and fails if one
+
+* imports from ``repro.core.exact`` or ``repro.core.heuristic`` at all, or
+* imports, from anywhere under ``repro.core``, a function that the
+  registry wraps (the set is derived live from ``spec.wraps``, so a newly
+  registered solver is protected automatically).
+
+Evaluators, orderings, instance constructors, and closed forms stay fair
+game — the ban covers exactly the solver entry points.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.experiments
+from repro.solvers import list_solvers
+
+EXPERIMENTS_DIR = Path(repro.experiments.__file__).resolve().parent
+MODULES = sorted(
+    path for path in EXPERIMENTS_DIR.glob("*.py") if path.name != "__init__.py"
+)
+
+#: Modules no experiment may import from, wholesale.
+BANNED_MODULES = ("core.exact", "core.heuristic")
+
+#: Every function name the registry wraps (solver entry points).
+WRAPPED_NAMES = frozenset(
+    dotted.rsplit(".", 1)[1] for spec in list_solvers() for dotted in spec.wraps
+)
+
+
+def _core_imports(tree):
+    """Yield ``(module_suffix, name)`` for every from-import out of repro.core."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level > 0:  # relative: ..core.x inside experiments/
+                qualified = module
+            elif module.startswith("repro."):
+                qualified = module[len("repro."):]
+            else:
+                continue
+            if qualified == "core" or qualified.startswith("core."):
+                for alias in node.names:
+                    yield qualified, alias.name
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro.core"):
+                    yield alias.name[len("repro."):], "*"
+
+
+def test_registry_wraps_a_nontrivial_solver_set():
+    assert len(WRAPPED_NAMES) >= 10, sorted(WRAPPED_NAMES)
+    assert "optimal_strategy" in WRAPPED_NAMES
+    assert "conference_call_heuristic" in WRAPPED_NAMES
+
+
+@pytest.mark.parametrize("path", MODULES, ids=lambda p: p.stem)
+def test_experiments_never_import_concrete_solvers(path):
+    tree = ast.parse(path.read_text(), filename=str(path))
+    violations = []
+    for module, name in _core_imports(tree):
+        if module.endswith(BANNED_MODULES):
+            violations.append(f"{module} (module is off-limits, import {name})")
+        elif name in WRAPPED_NAMES:
+            violations.append(f"{module}.{name} (registry-wrapped solver)")
+    assert not violations, (
+        f"{path.name} bypasses the solver registry: {violations}; "
+        "use repro.solvers.get_solver(name) instead"
+    )

@@ -1,0 +1,5 @@
+"""Adapters fixture that forgets one marked entry point."""
+
+from .bad_core.solverlib import registered_solver
+
+WRAPPED = (registered_solver,)

@@ -1,0 +1,22 @@
+"""Solver entry points whose module docstring cites no paper anchor."""
+
+
+def forgotten_solver(instance):
+    """Plan a call without ever being registered.
+
+    replint: solver
+    """
+    return instance
+
+
+def registered_solver(instance):
+    """Plan a call; the adapters fixture does import this one.
+
+    replint: solver
+    """
+    return instance
+
+
+def plain_helper(instance):
+    """No marker — RPL007 must ignore this function entirely."""
+    return instance

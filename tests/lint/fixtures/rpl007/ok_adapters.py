@@ -1,0 +1,5 @@
+"""Adapters fixture wrapping every marked entry point."""
+
+from .ok_core.solverlib import forgotten_solver, registered_solver
+
+WRAPPED = (forgotten_solver, registered_solver)

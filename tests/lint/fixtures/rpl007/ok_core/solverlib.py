@@ -1,0 +1,17 @@
+"""Solver entry points for the compliant fixture (Theorem 4.8)."""
+
+
+def forgotten_solver(instance):
+    """Plan a call; the compliant adapters fixture imports it.
+
+    replint: solver
+    """
+    return instance
+
+
+def registered_solver(instance):
+    """Plan a call another way.
+
+    replint: solver
+    """
+    return instance

@@ -177,7 +177,9 @@ class TestCliAndOutput:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for code in ("RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006"):
+        for code in (
+            "RPL001", "RPL002", "RPL003", "RPL004", "RPL005", "RPL006", "RPL007",
+        ):
             assert code in out
 
     def test_repro_cli_subcommand(self, capsys):

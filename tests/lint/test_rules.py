@@ -116,6 +116,56 @@ class TestRPL005PaperTraceability:
         assert result.clean
 
 
+class TestRPL007SolverRegistration:
+    def _run(self, flavour):
+        config = LintConfig(
+            select=("RPL007",),
+            solver_adapters=f"tests/lint/fixtures/rpl007/{flavour}_adapters.py",
+            solver_mark_paths=(f"tests/lint/fixtures/rpl007/{flavour}_core",),
+        )
+        return run_lint(
+            [str(FIXTURES / "rpl007" / f"{flavour}_core")],
+            config=config,
+            root=REPO_ROOT,
+        )
+
+    def test_bad_fixture_reports_unregistered_solver_and_missing_anchor(self):
+        result = self._run("bad")
+        assert fired_lines(result, path_suffix="solverlib.py") == [1, 4]
+        messages = [violation.message for violation in result.violations]
+        assert any("'forgotten_solver'" in m and "never imported" in m for m in messages)
+        assert any("no paper anchor" in m for m in messages)
+        assert all(v.code == "RPL007" for v in result.violations)
+
+    def test_unmarked_functions_are_ignored(self):
+        result = self._run("bad")
+        assert not any("plain_helper" in v.message for v in result.violations)
+
+    def test_ok_fixture_is_clean(self):
+        result = self._run("ok")
+        assert result.clean, result.violations
+
+    def test_rule_is_noop_without_an_adapters_module(self):
+        config = LintConfig(
+            select=("RPL007",),
+            solver_adapters="tests/lint/fixtures/rpl007/missing_adapters.py",
+            solver_mark_paths=("tests/lint/fixtures/rpl007/bad_core",),
+        )
+        result = run_lint(
+            [str(FIXTURES / "rpl007" / "bad_core")], config=config, root=REPO_ROOT
+        )
+        assert result.clean, result.violations
+
+    def test_real_tree_satisfies_the_default_contract(self):
+        """Every marked solver in src/repro/core is wrapped by the adapters."""
+        result = run_lint(
+            [str(REPO_ROOT / "src")],
+            config=LintConfig(select=("RPL007",)),
+            root=REPO_ROOT,
+        )
+        assert result.clean, result.violations
+
+
 class TestRPL006Hygiene:
     def test_mutable_defaults_fire(self):
         result = lint_fixture("rpl006_bad.py", "RPL006")

@@ -1,0 +1,1 @@
+"""Tests for the ``repro.solvers`` registry, adapters, and consistency."""

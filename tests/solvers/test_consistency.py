@@ -1,0 +1,118 @@
+"""Cross-solver consistency properties, driven by the registry itself.
+
+On random small exact instances (integer-numerator ``Fraction`` rows, so
+every comparison is exact):
+
+* every ``kind="exact"`` solver with no required options that supports the
+  instance returns the same optimal expected paging, and a strategy that
+  evaluates to that optimum;
+* every heuristic with a proven ``factor`` stays within it of the optimum
+  (and never beats the optimum — it is an upper bound);
+* the weighted exact solver at unit integer costs reproduces the
+  unweighted optimum.
+
+Seeding follows the runner convention: one root ``SeedSequence`` spawns a
+child per trial, so trials are independent but fully reproducible.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core import PagingInstance, expected_paging
+from repro.experiments import spawn_task_seed
+from repro.solvers import get_solver, list_solvers
+
+ROOT_SEED = 20020721
+
+#: (devices, cells, rounds) shapes; quorum solvers need m >= 2, the 4/3
+#: special case wants (2, c, 2), and everything must fit the exact DP.
+SHAPES = [(1, 5, 2), (2, 4, 2), (2, 6, 2), (2, 5, 3), (3, 5, 3), (3, 6, 2)]
+TRIALS_PER_SHAPE = 3
+
+EXACT_SPECS = [
+    spec for spec in list_solvers(kind="exact") if not spec.required
+]
+HEURISTIC_SPECS = [
+    spec for spec in list_solvers(kind="heuristic") if not spec.required
+]
+
+
+def _random_exact_instance(shape_index, trial):
+    devices, cells, rounds = SHAPES[shape_index]
+    seed = spawn_task_seed(ROOT_SEED, shape_index * TRIALS_PER_SHAPE + trial)
+    rng = np.random.default_rng(seed)
+    rows = []
+    for _ in range(devices):
+        weights = rng.integers(1, 30, size=cells)
+        total = int(weights.sum())
+        rows.append([Fraction(int(w), total) for w in weights])
+    return PagingInstance(rows, max_rounds=rounds)
+
+
+INSTANCES = [
+    pytest.param(
+        _random_exact_instance(shape_index, trial),
+        id=f"m{SHAPES[shape_index][0]}c{SHAPES[shape_index][1]}"
+        f"d{SHAPES[shape_index][2]}t{trial}",
+    )
+    for shape_index in range(len(SHAPES))
+    for trial in range(TRIALS_PER_SHAPE)
+]
+
+
+def _optimum(instance):
+    return get_solver("exact")(instance).expected_paging
+
+
+def test_the_property_suite_is_not_vacuous():
+    assert len(EXACT_SPECS) >= 3, [spec.name for spec in EXACT_SPECS]
+    assert len(HEURISTIC_SPECS) >= 3, [spec.name for spec in HEURISTIC_SPECS]
+
+
+@pytest.mark.parametrize("instance", INSTANCES)
+def test_all_exact_solvers_agree(instance):
+    reference = _optimum(instance)
+    assert isinstance(reference, Fraction)
+    for spec in EXACT_SPECS:
+        solver = get_solver(spec.name)
+        if not solver.supports(instance):
+            continue
+        result = solver(instance)
+        assert result.expected_paging == reference, (
+            f"{spec.name} disagrees with the exact optimum"
+        )
+        # The strategy must actually *achieve* the claimed optimum.
+        assert expected_paging(instance, result.strategy) == reference
+
+
+@pytest.mark.parametrize("instance", INSTANCES)
+def test_heuristics_respect_their_proven_factor(instance):
+    reference = _optimum(instance)
+    for spec in HEURISTIC_SPECS:
+        solver = get_solver(spec.name)
+        if not solver.supports(instance):
+            continue
+        result = solver(instance)
+        value = Fraction(result.expected_paging)
+        # An oblivious strategy can never beat the oblivious optimum; the
+        # float pipeline gets a hair of rounding slack.
+        slack = Fraction(1, 10**9)
+        assert value >= reference * (1 - slack), spec.name
+        assert expected_paging(instance, result.strategy) >= reference
+        if spec.factor is not None:
+            bound = Fraction(spec.factor).limit_denominator(10**12)
+            assert value <= reference * bound * (1 + slack), (
+                f"{spec.name} exceeded its proven factor {spec.factor}"
+            )
+        else:
+            # No proven ratio: still sane — never worse than paging all cells.
+            assert value <= Fraction(instance.num_cells)
+
+
+@pytest.mark.parametrize("instance", INSTANCES)
+def test_weighted_exact_at_unit_costs_matches_unweighted_optimum(instance):
+    unit_costs = (1,) * instance.num_cells
+    weighted = get_solver("weighted-exact")(instance, costs=unit_costs)
+    assert weighted.expected_paging == _optimum(instance)

@@ -55,6 +55,14 @@ class TestCoverageFloors:
         for index, block in enumerate(python_blocks(DOCS_DIR / "api.md")):
             compile(block, f"api.md[{index}]", "exec")
 
+    def test_architecture_page_demonstrates_the_registry(self):
+        blocks = python_blocks(DOCS_DIR / "architecture.md")
+        assert len(blocks) >= 4
+        joined = "\n".join(blocks)
+        assert "get_solver" in joined
+        assert "list_solvers" in joined
+        assert "solver.run" in joined
+
     def test_observability_page_demonstrates_tracing(self):
         blocks = python_blocks(DOCS_DIR / "observability.md")
         assert len(blocks) >= 3

@@ -2,9 +2,17 @@
 
 Keeps ``__all__`` honest in every package: each listed name must exist, and
 the documented entry points must be importable from where the docs say.
+
+``repro.core`` and ``repro.solvers`` generate their ``__all__`` from the
+module namespace instead of maintaining a literal list; the drift tests
+here re-derive the expected list from the static ``from .module import``
+statements, so a name imported but dropped from ``__all__`` (or vice
+versa) fails loudly.
 """
 
+import ast
 import importlib
+import inspect
 
 import pytest
 
@@ -17,7 +25,24 @@ PACKAGES = [
     "repro.cellnet",
     "repro.experiments",
     "repro.obs",
+    "repro.solvers",
 ]
+
+#: Packages whose ``__all__`` is generated (sorted, import-derived).
+GENERATED = ["repro.core", "repro.solvers"]
+
+
+def _statically_imported_names(package):
+    """Public names bound by ``from X import ...`` in the package source."""
+    tree = ast.parse(inspect.getsource(package))
+    names = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module != "__future__":
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                if not bound.startswith("_"):
+                    names.add(bound)
+    return names
 
 
 @pytest.mark.parametrize("package_name", PACKAGES)
@@ -33,6 +58,25 @@ def test_all_entries_sorted_and_unique(package_name):
     package = importlib.import_module(package_name)
     names = list(package.__all__)
     assert len(names) == len(set(names)), f"{package_name}.__all__ has duplicates"
+
+
+@pytest.mark.parametrize("package_name", GENERATED)
+def test_generated_all_is_sorted(package_name):
+    package = importlib.import_module(package_name)
+    names = list(package.__all__)
+    assert names == sorted(names), f"{package_name}.__all__ is not sorted"
+
+
+@pytest.mark.parametrize("package_name", GENERATED)
+def test_generated_all_matches_static_imports(package_name):
+    """The generated list must equal the ``from .module import`` statements."""
+    package = importlib.import_module(package_name)
+    expected = _statically_imported_names(package)
+    actual = set(package.__all__)
+    assert actual == expected, (
+        f"{package_name}.__all__ drifted from its imports: "
+        f"extra={sorted(actual - expected)}, missing={sorted(expected - actual)}"
+    )
 
 
 def test_top_level_reexports_cover_the_readme():
