@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test docs-test lint bench bench-json faults-smoke solvers-smoke report save-report examples all clean
+.PHONY: install test docs-test lint lint-deep bench bench-json bench-diff faults-smoke solvers-smoke report save-report examples all clean
 
 install:
 	$(PYTHON) -m pip install -e .
@@ -19,11 +19,21 @@ docs-test:
 lint:
 	$(PYTHON) -m repro.lint src tests benchmarks scripts
 
+# Adds the whole-program dataflow pass (RPL008 exactness taint, RPL009
+# seed flow, RPL010 shared-state safety) on top of the per-file rules.
+lint-deep:
+	$(PYTHON) -m repro.lint --deep src tests benchmarks scripts
+
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 bench-json:
 	$(PYTHON) -m repro.bench --profile full
+
+# Compare the two newest BENCH_<n>.json snapshots; exits non-zero on a
+# >20% regression, so CI runs it as a non-fatal report step.
+bench-diff:
+	$(PYTHON) scripts/bench_diff.py $$(ls BENCH_*.json | sort -V | tail -2 | head -1)
 
 # Tiny fault-matrix scenario: zero-fault bypass, reproducibility under
 # faults, and the delay-budget cap (docs/robustness.md); CI runs this.

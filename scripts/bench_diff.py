@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Compare two BENCH_<n>.json trajectory snapshots for regressions.
+
+Usage::
+
+    python scripts/bench_diff.py PREV.json [CURR.json]
+
+Without CURR the newest ``BENCH_<n>.json`` at the repo root is used.
+Exits 1 when any per-metric regression exceeds the 20% threshold (a
+benchmark's ``min_s`` growing, or a derived speedup shrinking), 0
+otherwise, 2 on unreadable input — so CI can surface drift like the
+committed BENCH_0 -> BENCH_1 ``planner_reference`` slowdown as a
+non-fatal report step.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import (  # noqa: E402  (path bootstrap above)
+    diff_payloads,
+    latest_bench_path,
+    render_diff,
+)
+
+
+def main(argv: "list[str]") -> int:
+    if not argv or len(argv) > 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    import json
+
+    prev_path = Path(argv[0])
+    curr_path = Path(argv[1]) if len(argv) == 2 else latest_bench_path(REPO_ROOT)
+    if curr_path is None:
+        print(f"no BENCH_<n>.json found under {REPO_ROOT}", file=sys.stderr)
+        return 2
+    try:
+        previous = json.loads(prev_path.read_text())
+        current = json.loads(curr_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read trajectory: {error}", file=sys.stderr)
+        return 2
+    diff = diff_payloads(previous, current)
+    print(render_diff(diff))
+    return 1 if diff["regressions"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

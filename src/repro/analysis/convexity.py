@@ -59,7 +59,7 @@ def grid_check_lemma31(num_cells: int, *, grid: int = 200) -> ExtremumCheck:
             best_point = (float(x), float(ys[index]))
     return ExtremumCheck(
         claimed_point=(0.5, 2.0 * c / 3.0),
-        claimed_value=float(lemma31_maximum(c)),
+        claimed_value=float(lemma31_maximum(num_cells)),
         best_found_point=best_point,
         best_found_value=best_value,
     )
@@ -94,7 +94,7 @@ def refine_lemma31_with_scipy(num_cells: int) -> Optional[ExtremumCheck]:
             best_point = (float(result.x[0]), float(result.x[1]))
     return ExtremumCheck(
         claimed_point=(0.5, 2.0 * c / 3.0),
-        claimed_value=float(lemma31_maximum(c)),
+        claimed_value=float(lemma31_maximum(num_cells)),
         best_found_point=best_point,
         best_found_value=best_value,
     )

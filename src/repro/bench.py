@@ -411,6 +411,120 @@ def validate_payload(payload: object) -> List[str]:
 
 
 # ---------------------------------------------------------------------------
+# Trajectory diffing
+# ---------------------------------------------------------------------------
+
+#: A benchmark (or derived speedup) counts as regressed past this ratio.
+REGRESSION_THRESHOLD = 0.20
+
+
+def _benchmark_mins(payload: Dict[str, object]) -> Dict[str, float]:
+    mins: Dict[str, float] = {}
+    for entry in payload.get("benchmarks", ()):  # type: ignore[union-attr]
+        if isinstance(entry, dict) and isinstance(entry.get("min_s"), (int, float)):
+            mins[str(entry["name"])] = float(entry["min_s"])
+    return mins
+
+
+def diff_payloads(
+    previous: Dict[str, object],
+    current: Dict[str, object],
+    *,
+    threshold: float = REGRESSION_THRESHOLD,
+) -> Dict[str, object]:
+    """Compare two trajectory snapshots metric by metric.
+
+    Benchmarks regress when ``min_s`` grows by more than ``threshold``
+    (20% by default); derived speedups regress when they *shrink* by more
+    than the threshold.  Metrics present in only one snapshot are listed
+    but never counted as regressions — a new solver is not a slowdown.
+    """
+    rows: List[Dict[str, object]] = []
+    prev_mins, curr_mins = _benchmark_mins(previous), _benchmark_mins(current)
+    for name in sorted(set(prev_mins) | set(curr_mins)):
+        prev, curr = prev_mins.get(name), curr_mins.get(name)
+        if prev is None or curr is None:
+            rows.append(
+                {"name": name, "prev_min_s": prev, "curr_min_s": curr,
+                 "ratio": None, "regression": False,
+                 "note": "only in one snapshot"}
+            )
+            continue
+        ratio = curr / max(prev, 1e-12)
+        rows.append(
+            {"name": name, "prev_min_s": prev, "curr_min_s": curr,
+             "ratio": ratio, "regression": ratio > 1.0 + threshold}
+        )
+    derived_rows: List[Dict[str, object]] = []
+    prev_derived = previous.get("derived") or {}
+    curr_derived = current.get("derived") or {}
+    for name in sorted(set(prev_derived) & set(curr_derived)):  # type: ignore[arg-type]
+        prev, curr = prev_derived[name], curr_derived[name]  # type: ignore[index]
+        if not isinstance(prev, (int, float)) or not isinstance(curr, (int, float)):
+            continue
+        ratio = float(curr) / max(float(prev), 1e-12)
+        derived_rows.append(
+            {"name": name, "prev": float(prev), "curr": float(curr),
+             "ratio": ratio, "regression": ratio < 1.0 - threshold}
+        )
+    regressions = [
+        str(row["name"])
+        for row in rows + derived_rows
+        if row["regression"]
+    ]
+    return {
+        "schema": "repro-bench-diff/1",
+        "threshold": threshold,
+        "prev_index": previous.get("index"),
+        "curr_index": current.get("index"),
+        "benchmarks": rows,
+        "derived": derived_rows,
+        "regressions": regressions,
+    }
+
+
+def render_diff(diff: Dict[str, object]) -> str:
+    """Human-readable report for one :func:`diff_payloads` result."""
+    lines = [
+        f"bench diff (threshold {float(diff['threshold']) * 100:.0f}%): "  # type: ignore[arg-type]
+        f"BENCH_{diff.get('prev_index')} -> BENCH_{diff.get('curr_index')}"
+    ]
+    for row in diff["benchmarks"]:  # type: ignore[union-attr]
+        if row["ratio"] is None:
+            lines.append(f"  {row['name']}: {row['note']}")
+            continue
+        flag = "  REGRESSION" if row["regression"] else ""
+        lines.append(
+            f"  {row['name']}: {row['prev_min_s'] * 1e3:.3f}ms -> "
+            f"{row['curr_min_s'] * 1e3:.3f}ms ({row['ratio']:.2f}x){flag}"
+        )
+    for row in diff["derived"]:  # type: ignore[union-attr]
+        flag = "  REGRESSION" if row["regression"] else ""
+        lines.append(
+            f"  {row['name']}: {row['prev']:.2f} -> {row['curr']:.2f} "
+            f"({row['ratio']:.2f}x){flag}"
+        )
+    regressions = diff["regressions"]
+    lines.append(
+        f"{len(regressions)} regression(s)"  # type: ignore[arg-type]
+        + (f": {', '.join(regressions)}" if regressions else "")  # type: ignore[arg-type]
+    )
+    return "\n".join(lines)
+
+
+def latest_bench_path(root: Path) -> Optional[Path]:
+    """The highest-numbered ``BENCH_<n>.json`` under ``root``, if any."""
+    best: Optional[Path] = None
+    best_index = -1
+    for entry in root.iterdir() if root.is_dir() else ():
+        match = _BENCH_FILE.match(entry.name)
+        if match and int(match.group(1)) > best_index:
+            best_index = int(match.group(1))
+            best = entry
+    return best
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 
@@ -439,10 +553,44 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="validate an existing trajectory JSON and exit",
     )
+    parser.add_argument(
+        "--diff",
+        default=None,
+        metavar="PREV",
+        help="compare PREV against the newest BENCH_<n>.json (or --against) "
+        "and flag >20%% per-metric regressions; exits 1 when any regress",
+    )
+    parser.add_argument(
+        "--against",
+        default=None,
+        metavar="CURR",
+        help="the 'current' snapshot for --diff (default: newest BENCH_<n>)",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
     """Execute a bench run described by parsed CLI arguments."""
+    if args.diff is not None:
+        root = Path(args.root).resolve() if args.root else None
+        if root is None:
+            from .lint import find_project_root
+
+            root = find_project_root(Path.cwd()) or Path.cwd()
+        current_path = (
+            Path(args.against) if args.against else latest_bench_path(root)
+        )
+        if current_path is None:
+            print(f"no BENCH_<n>.json found under {root}", file=sys.stderr)
+            return 2
+        try:
+            previous = json.loads(Path(args.diff).read_text())
+            current = json.loads(Path(current_path).read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read trajectory: {error}", file=sys.stderr)
+            return 2
+        diff = diff_payloads(previous, current)
+        print(render_diff(diff))
+        return 1 if diff["regressions"] else 0
     if args.validate is not None:
         try:
             payload = json.loads(Path(args.validate).read_text())

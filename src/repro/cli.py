@@ -51,8 +51,8 @@ COMMAND_SUMMARY: "dict[str, str]" = {
     "experiments": "regenerate experiment tables (--jobs N, --checkpoint/--resume)",
     "gadget": "run the Lemma 3.2 NP-hardness reduction",
     "render": "ASCII map of a network's areas or a plan",
-    "lint": "domain-aware static analysis (RPL001-RPL007)",
-    "bench": "record a BENCH_<n>.json performance snapshot",
+    "lint": "domain-aware static analysis (RPL001-RPL010, --deep dataflow)",
+    "bench": "record or diff BENCH_<n>.json performance snapshots",
     "trace": "summarize a trace.jsonl written by --trace",
 }
 

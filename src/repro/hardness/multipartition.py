@@ -71,8 +71,11 @@ def multipartition_parameters(
     x = [value / 2 for value in r[:-1]]
     x.append(1 - sum(x))
     return MultipartitionParameters(
-        cardinality_fractions=tuple(Fraction(v) for v in r),
-        mass_fractions=tuple(Fraction(v) for v in x),
+        # b_sequence(..., exact=True) yields Fractions; the casts are
+        # identities.  The deep analysis unions the float mode of the
+        # dual-mode helper into the result, hence the suppressions.
+        cardinality_fractions=tuple(Fraction(v) for v in r),  # replint: disable=RPL008 exact=True path yields Fractions
+        mass_fractions=tuple(Fraction(v) for v in x),  # replint: disable=RPL008 exact=True path yields Fractions
     )
 
 

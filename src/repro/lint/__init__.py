@@ -16,6 +16,7 @@ Programmatic use::
 
 from __future__ import annotations
 
+from .callgraph import DefUse, ProjectGraph, def_use_chains
 from .engine import (
     EXIT_CLEAN,
     EXIT_USAGE,
@@ -26,20 +27,28 @@ from .engine import (
     main,
     run_lint,
 )
+from .flow import DEEP_CODES, FLOW_RULES, run_deep, write_baseline
 from .rules import ALL_CODES, LintConfig, RULES, Rule, Violation
 
 __all__ = [
     "ALL_CODES",
+    "DEEP_CODES",
+    "DefUse",
     "EXIT_CLEAN",
     "EXIT_USAGE",
     "EXIT_VIOLATIONS",
+    "FLOW_RULES",
     "LintConfig",
     "LintResult",
+    "ProjectGraph",
     "RULES",
     "Rule",
     "Violation",
+    "def_use_chains",
     "find_project_root",
     "load_config",
     "main",
+    "run_deep",
     "run_lint",
+    "write_baseline",
 ]

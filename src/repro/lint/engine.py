@@ -26,6 +26,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from .flow import (
+    DEEP_CODES,
+    FLOW_RULES,
+    apply_baseline,
+    load_baseline,
+    run_deep,
+    sarif_payload,
+    write_baseline,
+)
 from .rules import (
     ALL_CODES,
     LintConfig,
@@ -244,19 +253,34 @@ def _codes_from_match(match: "re.Match[str]") -> Tuple[str, ...]:
     )
 
 
+def _line_suppresses(line: str, code: str) -> bool:
+    match = _SUPPRESS.search(line)
+    if not match:
+        return False
+    codes = _codes_from_match(match)
+    return "ALL" in codes or code in codes
+
+
 def _suppressed(violation: Violation, lines: Sequence[str]) -> bool:
-    """Inline ``# replint: disable=`` on the flagged line, or file-level."""
+    """Inline ``# replint: disable=`` on the flagged line, on a decorator
+    line directly above it, or file-level ``disable-file=``."""
     for line in lines:
         match = _SUPPRESS_FILE.search(line)
         if match:
             codes = _codes_from_match(match)
             if "ALL" in codes or violation.code in codes:
                 return True
-    if 1 <= violation.line <= len(lines):
-        match = _SUPPRESS.search(lines[violation.line - 1])
-        if match:
-            codes = _codes_from_match(match)
-            return "ALL" in codes or violation.code in codes
+    if not (1 <= violation.line <= len(lines)):
+        return False
+    if _line_suppresses(lines[violation.line - 1], violation.code):
+        return True
+    # A suppression on a decorator also covers the decorated definition:
+    # findings anchor at the `def` line, one-plus lines below `@decorator`.
+    index = violation.line - 2
+    while index >= 0 and lines[index].lstrip().startswith("@"):
+        if _line_suppresses(lines[index], violation.code):
+            return True
+        index -= 1
     return False
 
 
@@ -271,6 +295,10 @@ class LintResult:
     violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
     targets: Tuple[str, ...] = ()
+    #: populated by ``--deep``: files/edges/taint-steps/cache stats
+    deep_stats: Optional[Dict[str, object]] = None
+    #: findings dropped by a ``--baseline`` file
+    baseline_suppressed: int = 0
 
     @property
     def clean(self) -> bool:
@@ -287,7 +315,7 @@ class LintResult:
         return dict(sorted(tally.items()))
 
     def to_json(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "tool": "replint",
             "targets": list(self.targets),
             "files_checked": self.files_checked,
@@ -295,18 +323,37 @@ class LintResult:
             "counts": self.counts(),
             "violations": [violation.to_json() for violation in self.violations],
         }
+        if self.deep_stats is not None:
+            payload["deep"] = self.deep_stats
+        if self.baseline_suppressed:
+            payload["baseline_suppressed"] = self.baseline_suppressed
+        return payload
+
+    def to_sarif(self) -> Dict[str, object]:
+        rules = [(r.code, r.name, r.rationale) for r in RULES]
+        rules += [(r.code, r.name, r.rationale) for r in FLOW_RULES]
+        rules.append(("RPL000", "syntax-error", "file does not parse"))
+        return sarif_payload(self.violations, rules)
 
 
 def run_lint(
     targets: Sequence[str],
     config: Optional[LintConfig] = None,
     root: Optional[Path] = None,
+    *,
+    deep: bool = False,
+    deep_cache: bool = True,
+    baseline: Optional[Path] = None,
 ) -> LintResult:
     """Lint ``targets`` (files or directories) and return the result.
 
     ``root`` anchors relative paths (config path prefixes, RPL004 file
     locations); it defaults to the nearest ancestor of the first target
     holding a pyproject.toml, falling back to the current directory.
+
+    ``deep=True`` additionally runs the whole-program RPL008-RPL010 pass
+    (:mod:`repro.lint.flow`); ``baseline`` drops findings recorded in a
+    ``replint-baseline/1`` file.
     """
     target_paths = [Path(target) for target in targets]
     for target in target_paths:
@@ -321,9 +368,11 @@ def run_lint(
 
     result = LintResult(targets=tuple(str(t) for t in targets))
     file_lines: Dict[str, Sequence[str]] = {}
+    parsed: List[Tuple[str, str, ast.Module, Path]] = []
     for path in iter_python_files(target_paths, root, config):
         relpath = _relpath(path, root)
-        source = path.read_text()
+        # utf-8-sig transparently strips a BOM, which ast.parse rejects
+        source = path.read_text(encoding="utf-8-sig")
         result.files_checked += 1
         try:
             tree = ast.parse(source, filename=str(path))
@@ -336,6 +385,7 @@ def run_lint(
             )
             continue
         file_lines[relpath] = source.splitlines()
+        parsed.append((relpath, source, tree, path))
         ctx = ModuleContext(
             path=path, relpath=relpath, source=source, tree=tree,
             config=config, root=root,
@@ -348,19 +398,30 @@ def run_lint(
         if isinstance(rule, ProjectRule) and config.rule_enabled(rule.code):
             result.violations.extend(rule.check_project(root, config))
 
+    if deep:
+        deep_violations, deep_stats = run_deep(
+            parsed, root, config, use_cache=deep_cache
+        )
+        result.violations.extend(deep_violations)
+        result.deep_stats = deep_stats
+
     kept: List[Violation] = []
     for violation in result.violations:
         lines = file_lines.get(violation.path)
         if lines is None:
             candidate = root / violation.path
             if candidate.is_file():
-                lines = candidate.read_text().splitlines()
+                lines = candidate.read_text(encoding="utf-8-sig").splitlines()
                 file_lines[violation.path] = lines
             else:
                 lines = ()
         if not _suppressed(violation, lines):
             kept.append(violation)
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    if baseline is not None:
+        kept, result.baseline_suppressed = apply_baseline(
+            kept, load_baseline(baseline)
+        )
     result.violations = kept
     return result
 
@@ -376,6 +437,26 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         help="files or directories to lint (default: src tests benchmarks scripts)",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default=None,
+        help="output format (--json is shorthand for --format json)",
+    )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the whole-program RPL008-RPL010 dataflow pass",
+    )
+    parser.add_argument(
+        "--no-deep-cache", action="store_true",
+        help="ignore and do not write the deep-pass findings cache",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="drop findings recorded in a replint-baseline/1 file",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="PATH",
+        help="write the run's findings to a baseline file and exit clean",
+    )
     parser.add_argument(
         "--select", default=None,
         help="comma-separated rule codes to run (default: all)",
@@ -400,6 +481,11 @@ def run_from_args(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in RULES:
             print(f"{rule.code}  {rule.name}: {rule.rationale}")
+        for flow_rule in FLOW_RULES:
+            print(
+                f"{flow_rule.code}  {flow_rule.name} (--deep): "
+                f"{flow_rule.rationale}"
+            )
         return EXIT_CLEAN
     root = Path(args.root).resolve() if args.root else None
     if args.no_config:
@@ -418,26 +504,57 @@ def run_from_args(args: argparse.Namespace) -> int:
     unknown = [
         code
         for code in (config.select or ()) + config.ignore
-        if code not in ALL_CODES + ("RPL000",)
+        if code not in ALL_CODES + DEEP_CODES + ("RPL000",)
     ]
     if unknown:
         print(f"unknown rule code(s): {', '.join(unknown)}", file=sys.stderr)
         return EXIT_USAGE
+    output = args.format or ("json" if args.json else "text")
+    baseline = Path(args.baseline) if args.baseline else None
     try:
-        result = run_lint(args.paths, config=config, root=root)
+        result = run_lint(
+            args.paths,
+            config=config,
+            root=root,
+            deep=args.deep,
+            deep_cache=not args.no_deep_cache,
+            baseline=baseline,
+        )
     except FileNotFoundError as error:
         print(str(error), file=sys.stderr)
         return EXIT_USAGE
-    if args.json:
+    except ValueError as error:  # malformed baseline file
+        print(str(error), file=sys.stderr)
+        return EXIT_USAGE
+    if args.write_baseline:
+        written = write_baseline(result.violations, Path(args.write_baseline))
+        print(
+            f"replint: wrote {written} baseline entr"
+            f"{'y' if written == 1 else 'ies'} to {args.write_baseline}"
+        )
+        return EXIT_CLEAN
+    if output == "json":
         print(json.dumps(result.to_json(), indent=2))
+    elif output == "sarif":
+        print(json.dumps(result.to_sarif(), indent=2))
     else:
         for violation in result.violations:
             print(violation.render())
         noun = "violation" if len(result.violations) == 1 else "violations"
-        print(
+        summary = (
             f"replint: {len(result.violations)} {noun} "
-            f"({result.files_checked} files checked)"
+            f"({result.files_checked} files checked"
         )
+        if result.deep_stats is not None:
+            stats = result.deep_stats
+            summary += (
+                f"; deep: {stats.get('call_graph_edges', 0)} call edges, "
+                f"{stats.get('taint_steps', 0)} taint steps, "
+                f"cache {'hit' if stats.get('cache_hit') else 'miss'}"
+            )
+        if result.baseline_suppressed:
+            summary += f"; {result.baseline_suppressed} baselined"
+        print(summary + ")")
     return result.exit_code
 
 

@@ -1,0 +1,823 @@
+"""Interprocedural taint analysis for the deep lint pass (Lemma 2.1 guard).
+
+A small summary-based dataflow engine over :class:`~repro.lint.callgraph.
+ProjectGraph`.  Taint values are frozensets over two kinds of tags:
+
+* ``"T"`` — concretely tainted here (a float literal, an unseeded RNG, ...);
+* ``("P", i)`` — tainted **iff** the enclosing function's ``i``-th
+  parameter is tainted by some caller.
+
+Each function gets a :class:`Summary` — the taint of its return value
+expressed over those tags, plus the set of parameters that reach a sink
+inside it (transitively, through further calls).  Summaries are computed
+by **fixpoint iteration over the call graph**: every pass re-runs the
+intraprocedural abstract evaluation against the current summary table
+until nothing changes (the lattice is finite and the transfer functions
+monotone, so this terminates).  A final reporting pass emits findings
+where a concrete ``"T"`` meets a sink — directly, or by feeding a
+sink-reaching parameter of a callee.
+
+Two policies instantiate the engine:
+
+* :class:`ExactnessPolicy` (RPL008) — float taint must not reach exact
+  arithmetic: ``Fraction(x)`` on a tainted ``x``, or a call into an
+  exact-marked / registry-declared exact solver function.
+* :class:`SeedFlowPolicy` (RPL009) — entropy that does not descend from
+  an explicit seed (no-arg ``default_rng()``, ``time.time()``-seeded
+  generators, ``os.urandom``...) must not reach the seeded domain
+  (``repro.cellnet``, ``repro.distributions``, ``repro.experiments``,
+  ``FaultInjector``, or any module marked ``replint: seed-domain``).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .callgraph import (
+    Callee,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectGraph,
+    stmt_expressions,
+)
+
+TAINTED = "T"
+Taint = FrozenSet[object]
+EMPTY: Taint = frozenset()
+HOT: Taint = frozenset({TAINTED})
+
+#: Iteration bounds — generous backstops, never hit on real code shapes.
+MAX_FIXPOINT_PASSES = 24
+MAX_BODY_PASSES = 3
+
+
+def param_tag(index: int) -> Tuple[str, int]:
+    return ("P", index)
+
+
+def substitute(taint: Taint, arg_taints: Sequence[Taint]) -> Taint:
+    """Rewrite a callee-relative taint into the caller's frame.
+
+    Parameter tags resolve to the caller's argument taints; every other
+    tag (``"T"``, policy-specific markers like exactness/entropy) passes
+    through unchanged.
+    """
+    out: Set[object] = set()
+    for tag in taint:
+        if isinstance(tag, tuple) and tag[0] == "P":
+            index = tag[1]
+            if 0 <= index < len(arg_taints):
+                out |= arg_taints[index]
+        else:
+            out.add(tag)
+    return frozenset(out)
+
+
+@dataclass
+class Summary:
+    """What a function does with taint, from the outside."""
+
+    ret: Taint = EMPTY
+    #: parameter index → description of the sink it (transitively) reaches
+    sink_params: Dict[int, str] = field(default_factory=dict)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Summary)
+            and self.ret == other.ret
+            and self.sink_params == other.sink_params
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    relpath: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+
+class TaintPolicy:
+    """Hook points a rule family implements over the generic engine."""
+
+    code = "RPL9XX"
+
+    def literal(self, node: ast.Constant) -> Taint:
+        return EMPTY
+
+    def binop(self, node: ast.BinOp, left: Taint, right: Taint) -> Optional[Taint]:
+        """Override the default union for an operator, or return None."""
+        return None
+
+    def attribute_source(self, dotted: str) -> Optional[Taint]:
+        """Taint for a bare attribute read like ``math.pi`` (dotted chain)."""
+        return None
+
+    def intercept_call(
+        self, node: ast.Call, callee: Callee, ev: "Evaluator"
+    ) -> Optional[Taint]:
+        """Fully handle a call (sources, sanitizers, direct sinks).
+
+        Return the result taint to short-circuit the default handling, or
+        ``None`` to fall through (project summaries / arg-union default).
+        ``ev`` exposes :meth:`Evaluator.eval`, :meth:`Evaluator.report`
+        and :meth:`Evaluator.mark_param_sink`.
+        """
+        return None
+
+    def project_sink(self, info: FunctionInfo, ev: "Evaluator") -> Optional[str]:
+        """If calling ``info`` with tainted args is a sink, describe it."""
+        return None
+
+    def sink_slots(self, info: FunctionInfo) -> Optional[Sequence[int]]:
+        """Which parameter slots :meth:`project_sink` guards (None = all)."""
+        return None
+
+
+class Evaluator:
+    """Abstract interpretation of one function body (or module body)."""
+
+    def __init__(
+        self,
+        engine: "TaintAnalysis",
+        module: ModuleInfo,
+        func: Optional[FunctionInfo],
+        report: bool,
+    ) -> None:
+        self.engine = engine
+        self.policy = engine.policy
+        self.graph = engine.graph
+        self.module = module
+        self.func = func
+        self.reporting = report
+        self.env: Dict[str, Taint] = {}
+        self.ret: Taint = EMPTY
+        self.sink_params: Dict[int, str] = {}
+        self._depth = 0
+        if func is not None:
+            for index, name in enumerate(func.params):
+                self.env[name] = frozenset({param_tag(index)})
+
+    # -- engine API exposed to policies --------------------------------
+    def report(self, node: ast.AST, message: str) -> None:
+        if self.reporting:
+            self.engine.findings.add(
+                Finding(
+                    self.module.relpath,
+                    getattr(node, "lineno", 1),
+                    getattr(node, "col_offset", 0) + 1,
+                    self.policy.code,
+                    message,
+                )
+            )
+
+    def mark_param_sink(self, index: int, description: str) -> None:
+        self.sink_params.setdefault(index, description)
+
+    def sink_check(self, node: ast.AST, taint: Taint, description: str) -> None:
+        """Concrete taint → finding; param taint → conditional sink."""
+        if TAINTED in taint:
+            self.report(node, description)
+        for tag in taint:
+            if isinstance(tag, tuple) and tag[0] == "P":
+                self.mark_param_sink(
+                    tag[1],
+                    f"parameter {self._param_name(tag[1])!r} flows into: "
+                    + description,
+                )
+
+    def _param_name(self, index: int) -> str:
+        if self.func is not None and 0 <= index < len(self.func.params):
+            return self.func.params[index]
+        return f"#{index}"
+
+    # -- statement walk -------------------------------------------------
+    def run(self) -> Summary:
+        body = self.func.node.body if self.func is not None else self.module.tree.body
+        self._block(body)
+        return Summary(ret=self.ret, sink_params=dict(self.sink_params))
+
+    def _block(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self._stmt(stmt)
+
+    def _loop(self, body: Sequence[ast.stmt]) -> None:
+        """Approximate loop-carried flow: run the body twice, weakly."""
+        self._depth += 1
+        for _ in range(MAX_BODY_PASSES - 1):
+            self._block(body)
+        self._depth -= 1
+
+    def _branch(self, *bodies: Sequence[ast.stmt]) -> None:
+        self._depth += 1
+        for body in bodies:
+            self._block(body)
+        self._depth -= 1
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        self.engine.steps += 1
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # separate scopes, analyzed on their own
+        if isinstance(stmt, ast.Assign):
+            taint = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, taint)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taint = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                previous = self.env.get(stmt.target.id, EMPTY)
+                self.env[stmt.target.id] = previous | taint
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.ret |= self.eval(stmt.value)
+        elif isinstance(stmt, (ast.If,)):
+            self.eval(stmt.test)
+            self._branch(stmt.body, stmt.orelse)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iter_taint = self.eval(stmt.iter)
+            self._bind(stmt.target, iter_taint, weak=True)
+            self._loop(stmt.body)
+            self._branch(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self._loop(stmt.body)
+            self._branch(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taint = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._branch(stmt.body, stmt.orelse, stmt.finalbody)
+            for handler in stmt.handlers:
+                self._branch(handler.body)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        else:
+            for expr in stmt_expressions(stmt):
+                self.eval(expr)
+
+    def _bind(self, target: ast.expr, taint: Taint, *, weak: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if weak or self._depth > 0:
+                self.env[target.id] = self.env.get(target.id, EMPTY) | taint
+            else:
+                self.env[target.id] = taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint, weak=weak)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint, weak=weak)
+        # attribute / subscript stores: taint escapes into the object;
+        # the coarse object model drops it (objects are opaque here).
+
+    # -- expression evaluation ------------------------------------------
+    def eval(self, node: ast.expr) -> Taint:
+        self.engine.steps += 1
+        if isinstance(node, ast.Constant):
+            return self.policy.literal(node)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, EMPTY)
+        if isinstance(node, ast.BinOp):
+            left, right = self.eval(node.left), self.eval(node.right)
+            override = self.policy.binop(node, left, right)
+            return override if override is not None else left | right
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.BoolOp):
+            out = EMPTY
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return self.eval(node.body) | self.eval(node.orelse)
+        if isinstance(node, ast.Compare):
+            self.eval(node.left)
+            for comparator in node.comparators:
+                self.eval(comparator)
+            return EMPTY  # comparisons yield bools
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Attribute):
+            chain = _attr_dotted(node, self.module)
+            if chain is not None:
+                source = self.policy.attribute_source(chain)
+                if source is not None:
+                    return source
+            return self.eval(node.value)
+        if isinstance(node, ast.Subscript):
+            self.eval(node.slice if isinstance(node.slice, ast.expr) else node.value)
+            return self.eval(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = EMPTY
+            for element in node.elts:
+                out |= self.eval(element)
+            return out
+        if isinstance(node, ast.Dict):
+            out = EMPTY
+            for key in node.keys:
+                if key is not None:
+                    out |= self.eval(key)
+            for value in node.values:
+                out |= self.eval(value)
+            return out
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._comprehension(node.generators, node.elt)
+        if isinstance(node, ast.DictComp):
+            taint = self._comprehension(node.generators, node.value)
+            return taint | self.eval(node.key)
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                self.eval(value)
+            return EMPTY  # strings are never taint carriers here
+        if isinstance(node, ast.FormattedValue):
+            self.eval(node.value)
+            return EMPTY
+        if isinstance(node, ast.Lambda):
+            return EMPTY
+        if isinstance(node, ast.NamedExpr):
+            taint = self.eval(node.value)
+            self._bind(node.target, taint)
+            return taint
+        # conservative default: union over child expressions
+        out = EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                out |= self.eval(child)
+        return out
+
+    def _comprehension(self, generators, elt: ast.expr) -> Taint:
+        self._depth += 1
+        for gen in generators:
+            self._bind(gen.target, self.eval(gen.iter), weak=True)
+            for condition in gen.ifs:
+                self.eval(condition)
+        taint = self.eval(elt)
+        self._depth -= 1
+        return taint
+
+    def _call(self, node: ast.Call) -> Taint:
+        callee = self.graph.resolve_call(
+            self.module, self.func, node, local_names=set(self.env)
+        )
+        override = self.policy.intercept_call(node, callee, self)
+        if override is not None:
+            return override
+        arg_taints = [self.eval(arg) for arg in node.args]
+        kw_taints = {
+            kw.arg: self.eval(kw.value) for kw in node.keywords
+        }
+        if callee.kind == "project" and callee.qualname is not None:
+            info = self.graph.functions[callee.qualname]
+            positional = self._frame(info, node, arg_taints, kw_taints)
+            summary = self.engine.summaries.get(callee.qualname, Summary())
+            sink = self.policy.project_sink(info, self)
+            if sink is not None:
+                slots = self.policy.sink_slots(info)
+                for index, taint in enumerate(positional):
+                    if slots is None or index in slots:
+                        self.sink_check(node, taint, sink)
+            for index, description in summary.sink_params.items():
+                if 0 <= index < len(positional):
+                    self.sink_check(
+                        node,
+                        positional[index],
+                        f"value reaches exact/seeded sink via "
+                        f"{info.local}(): {description}",
+                    )
+            return substitute(summary.ret, positional)
+        # unknown/external: result carries whatever the arguments carried
+        out = EMPTY
+        for taint in arg_taints:
+            out |= taint
+        for taint in kw_taints.values():
+            out |= taint
+        return out
+
+    def _frame(
+        self,
+        info: FunctionInfo,
+        node: ast.Call,
+        arg_taints: List[Taint],
+        kw_taints: Dict[Optional[str], Taint],
+    ) -> List[Taint]:
+        """Lay caller argument taints out against the callee's parameters."""
+        offset = 1 if info.class_name is not None and info.params[:1] == ("self",) else 0
+        frame: List[Taint] = [EMPTY] * len(info.params)
+        if offset and isinstance(node.func, ast.Attribute):
+            frame[0] = self.eval(node.func.value)
+        for position, taint in enumerate(arg_taints):
+            index = position + offset
+            if index < len(frame):
+                frame[index] = taint
+        for name, taint in kw_taints.items():
+            if name is None:
+                continue
+            if name in info.params:
+                frame[info.params.index(name)] = taint
+        return frame
+
+
+def _attr_dotted(node: ast.Attribute, module: ModuleInfo) -> Optional[str]:
+    """``np.pi`` → ``numpy.pi`` (through the import map), else None."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    head = module.imports.get(current.id, current.id)
+    return ".".join([head] + parts[::-1])
+
+
+# ---------------------------------------------------------------------------
+# The fixpoint engine
+# ---------------------------------------------------------------------------
+
+class TaintAnalysis:
+    """Run one policy to fixpoint over the project call graph."""
+
+    def __init__(self, graph: ProjectGraph, policy: TaintPolicy) -> None:
+        self.graph = graph
+        self.policy = policy
+        self.summaries: Dict[str, Summary] = {
+            qualname: Summary() for qualname in graph.functions
+        }
+        self.findings: Set[Finding] = set()
+        self.steps = 0
+        self.passes = 0
+
+    def run(self) -> List[Finding]:
+        changed = True
+        while changed and self.passes < MAX_FIXPOINT_PASSES:
+            changed = False
+            self.passes += 1
+            for qualname, info in self.graph.functions.items():
+                module = self.graph.modules[info.relpath]
+                summary = Evaluator(self, module, info, report=False).run()
+                if summary != self.summaries[qualname]:
+                    self.summaries[qualname] = summary
+                    changed = True
+        # reporting pass: functions, then module-level statements
+        for info in self.graph.functions.values():
+            module = self.graph.modules[info.relpath]
+            Evaluator(self, module, info, report=True).run()
+        for module in self.graph.modules.values():
+            Evaluator(self, module, None, report=True).run()
+        return sorted(
+            self.findings,
+            key=lambda f: (f.relpath, f.line, f.col, f.message),
+        )
+
+
+# ---------------------------------------------------------------------------
+# RPL008 — exactness taint
+# ---------------------------------------------------------------------------
+
+_FLOAT_CASTS = {"float", "float16", "float32", "float64", "float_"}
+_MATH_FLOAT_FUNCS = {
+    "sqrt", "exp", "expm1", "log", "log2", "log10", "log1p", "sin", "cos",
+    "tan", "atan", "atan2", "asin", "acos", "sinh", "cosh", "tanh", "hypot",
+    "pow", "fsum", "dist", "degrees", "radians", "copysign", "fmod", "ldexp",
+    "nextafter", "ulp",
+}
+#: math functions that return int in Python 3 — sanitizers, not sources
+_MATH_INT_FUNCS = {
+    "ceil", "floor", "trunc", "isqrt", "gcd", "lcm", "comb", "perm",
+    "factorial",
+}
+_NUMPY_FLOAT_FUNCS = {
+    "mean", "average", "std", "var", "exp", "log", "log2", "log10", "sqrt",
+    "dot", "trapz", "linspace", "interp", "median", "percentile", "quantile",
+    "divide", "true_divide",
+}
+_RNG_FLOAT_METHODS = {
+    "uniform", "normal", "random", "standard_normal", "dirichlet", "beta",
+    "gamma", "exponential", "chisquare", "lognormal", "triangular", "wald",
+}
+_FLOAT_ATTRS = {
+    "math.pi", "math.e", "math.tau", "math.inf", "math.nan",
+    "numpy.pi", "numpy.e", "numpy.inf", "numpy.nan",
+}
+#: methods whose result deliberately crosses the exact/float boundary —
+#: audited seams, so the result is NOT treated as contaminating taint:
+#: ``float_view``/``as_integer_ratio`` leave the exact domain on purpose,
+#: ``limit_denominator`` re-enters it by sanctioned quantization, and
+#: ``from_array`` constructs the (explicitly float-capable) instance
+#: payload whose exactness is tracked by ``PagingInstance.is_exact``.
+_EXACT_BOUNDARY_METHODS = {
+    "float_view", "as_integer_ratio", "limit_denominator", "from_array",
+}
+_UNTAINTED_CALLS = {
+    "str", "repr", "int", "bool", "len", "abs", "ord", "hash", "range",
+    "enumerate", "zip", "isinstance", "getattr", "hasattr", "print",
+}
+
+#: tag carried by values the analysis knows to be exact (Fraction-built);
+#: division between exact values stays exact, so it is not a float source.
+EXACT = "E"
+EXACT_T: Taint = frozenset({EXACT})
+
+
+class ExactnessPolicy(TaintPolicy):
+    """RPL008: no float-tainted value may reach exact arithmetic."""
+
+    code = "RPL008"
+    name = "exactness-taint"
+    rationale = (
+        "interprocedural Fraction/exact-path protection: float-tainted "
+        "values (float literals, true division, numpy/math results) must "
+        "not reach Fraction() or exact-marked/registry-exact functions"
+    )
+
+    def __init__(self, registry_sinks: Iterable[str] = ()) -> None:
+        #: dotted names of solver-registry functions with exact semantics
+        self.registry_sinks = frozenset(registry_sinks)
+
+    def literal(self, node: ast.Constant) -> Taint:
+        return HOT if isinstance(node.value, float) else EMPTY
+
+    def binop(self, node: ast.BinOp, left: Taint, right: Taint) -> Optional[Taint]:
+        if isinstance(node.op, ast.Div):
+            combined = left | right
+            if EXACT in combined:
+                # Fraction / Fraction (either side provably exact) stays
+                # exact under PEP 238 — not a float source.
+                return combined
+            if combined:
+                # Operands tied to parameters (or already tainted): the
+                # exactness of the quotient is decided at the call sites,
+                # where the parameter tags resolve to real taints.
+                return combined
+            return HOT
+        return None
+
+    def attribute_source(self, dotted: str) -> Optional[Taint]:
+        if dotted in _FLOAT_ATTRS:
+            return HOT
+        return None
+
+    def intercept_call(
+        self, node: ast.Call, callee: Callee, ev: Evaluator
+    ) -> Optional[Taint]:
+        attr = callee.attr
+        # -- sanitizers / audited boundaries ---------------------------
+        if attr in _EXACT_BOUNDARY_METHODS:
+            # evaluate the receiver for bookkeeping, but: Fraction(x) under
+            # .limit_denominator() is the sanctioned float→exact
+            # quantization, so suppress the inner Fraction sink.
+            if (
+                attr == "limit_denominator"
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Call)
+                and _is_fraction_call(node.func.value, ev)
+            ):
+                for arg in node.func.value.args:
+                    ev.eval(arg)
+            elif isinstance(node.func, ast.Attribute):
+                ev.eval(node.func.value)
+            for arg in node.args:
+                ev.eval(arg)
+            # limit_denominator() re-enters the exact domain; the other
+            # boundary methods deliberately leave it (plain float/ints).
+            return EXACT_T if attr == "limit_denominator" else EMPTY
+        if attr in _UNTAINTED_CALLS and callee.kind == "external":
+            for arg in node.args:
+                ev.eval(arg)
+            return EMPTY
+        if attr == "round" and callee.kind == "external":
+            taints = [ev.eval(arg) for arg in node.args]
+            return EMPTY if len(node.args) == 1 else (HOT if taints else EMPTY)
+        # -- Fraction(): sink for tainted args, sanitizer otherwise ----
+        if _is_fraction_callee(callee):
+            return self._fraction(node, ev)
+        # -- float sources ---------------------------------------------
+        if attr in _FLOAT_CASTS and callee.kind in ("external", "method"):
+            for arg in node.args:
+                ev.eval(arg)
+            return HOT
+        dotted = callee.dotted
+        if dotted.startswith("math.") and attr in _MATH_INT_FUNCS:
+            for arg in node.args:
+                ev.eval(arg)
+            return EMPTY
+        if dotted.startswith("math.") and attr in _MATH_FLOAT_FUNCS:
+            for arg in node.args:
+                ev.eval(arg)
+            return HOT
+        if dotted.startswith(("numpy.", "np.")) and attr in _NUMPY_FLOAT_FUNCS:
+            for arg in node.args:
+                ev.eval(arg)
+            return HOT
+        if callee.kind == "method" and attr in _RNG_FLOAT_METHODS | {
+            "mean", "std", "var"
+        }:
+            for arg in node.args:
+                ev.eval(arg)
+            return HOT
+        return None
+
+    def _fraction(self, node: ast.Call, ev: Evaluator) -> Taint:
+        args = node.args
+        if len(args) >= 2 or not args:
+            for arg in args:
+                ev.eval(arg)
+            return EXACT_T  # integer-ratio (or empty) construction is exact
+        first = args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, (str, int)):
+            return EXACT_T
+        if isinstance(first, ast.Call):
+            chain_attr = first.func
+            name = (
+                chain_attr.id if isinstance(chain_attr, ast.Name)
+                else chain_attr.attr if isinstance(chain_attr, ast.Attribute)
+                else ""
+            )
+            if name == "str":
+                for arg in first.args:
+                    ev.eval(arg)
+                return EXACT_T  # Fraction(str(x)): the sanctioned sanitizer
+        taint = ev.eval(first)
+        ev.sink_check(
+            node,
+            taint,
+            "float-tainted value flows into Fraction(); binary rounding "
+            "error becomes exact — sanitize with Fraction(str(x)) or "
+            "quantize with Fraction(x).limit_denominator(...)",
+        )
+        return EXACT_T
+
+    def project_sink(self, info: FunctionInfo, ev: Evaluator) -> Optional[str]:
+        if info.exact_marked or info.dotted in self.registry_sinks:
+            origin = (
+                "registry-exact solver" if info.dotted in self.registry_sinks
+                else "exact-marked function"
+            )
+            return (
+                f"float-tainted value passed to {origin} {info.local!r}; "
+                "keep exact paths in Fraction/int arithmetic"
+            )
+        return None
+
+    def sink_slots(self, info: FunctionInfo) -> Optional[Sequence[int]]:
+        # Only the payload argument (instance / probabilities) must stay
+        # exact; trailing tolerance/limit knobs are float by design.
+        return (1,) if info.params[:1] == ("self",) else (0,)
+
+
+def _is_fraction_callee(callee: Callee) -> bool:
+    return callee.attr == "Fraction" and (
+        callee.kind == "external" or callee.dotted.endswith("Fraction")
+    )
+
+
+def _is_fraction_call(node: ast.Call, ev: Evaluator) -> bool:
+    callee = ev.graph.resolve_call(ev.module, ev.func, node, local_names=set(ev.env))
+    return _is_fraction_callee(callee)
+
+
+# ---------------------------------------------------------------------------
+# RPL009 — seed flow
+# ---------------------------------------------------------------------------
+
+_ENTROPY_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "os.urandom", "os.getrandom",
+    "uuid.uuid1", "uuid.uuid4", "secrets.token_bytes", "secrets.token_hex",
+    "secrets.randbits", "secrets.randbelow", "datetime.datetime.now",
+    "datetime.datetime.utcnow", "datetime.date.today",
+}
+_RNG_CONSTRUCTORS = {"default_rng", "SeedSequence", "Random", "PCG64",
+                     "MT19937", "Philox", "SFC64", "Generator"}
+_GLOBAL_SAMPLERS = {
+    "random", "rand", "randint", "randn", "choice", "shuffle", "uniform",
+    "normal", "sample", "randrange", "gauss", "betavariate", "randbytes",
+    "random_sample", "permutation", "seed",
+}
+
+#: tag for nondeterministic entropy (wall clock, OS randomness).  Harmless
+#: on its own — a perf_counter() duration may flow anywhere — but an RNG
+#: *seeded* from it is as irreproducible as an unseeded one.
+ENTROPY = "N"
+ENTROPY_T: Taint = frozenset({ENTROPY})
+
+#: module prefixes whose functions form the seeded domain (ISSUE 6 scope)
+DEFAULT_SEED_DOMAIN = ("repro.cellnet", "repro.distributions", "repro.experiments")
+
+
+class SeedFlowPolicy(TaintPolicy):
+    """RPL009: every RNG reaching the seeded domain descends from a seed."""
+
+    code = "RPL009"
+    name = "seed-flow"
+    rationale = (
+        "RNGs reaching cellnet/distributions/experiments/FaultInjector "
+        "must descend from an explicit SeedSequence or seeded Generator; "
+        "no-arg default_rng() and wall-clock/OS-entropy seeds break the "
+        "EXPERIMENTS.md reproducibility contract"
+    )
+
+    def __init__(self, domain_prefixes: Sequence[str] = DEFAULT_SEED_DOMAIN) -> None:
+        self.domain_prefixes = tuple(domain_prefixes)
+
+    # -- helpers --------------------------------------------------------
+    def _in_domain(self, ev: Evaluator) -> bool:
+        if ev.module.seed_domain:
+            return True
+        module = ev.module.name
+        if any(
+            module == prefix or module.startswith(prefix + ".")
+            for prefix in self.domain_prefixes
+        ):
+            return True
+        func = ev.func
+        return func is not None and func.class_name == "FaultInjector"
+
+    def _domain_sink(self, info: FunctionInfo, graph_module: ModuleInfo) -> bool:
+        if graph_module.seed_domain:
+            return True
+        if any(
+            info.module == prefix or info.module.startswith(prefix + ".")
+            for prefix in self.domain_prefixes
+        ):
+            return True
+        return info.class_name == "FaultInjector"
+
+    # -- policy hooks ---------------------------------------------------
+    def intercept_call(
+        self, node: ast.Call, callee: Callee, ev: Evaluator
+    ) -> Optional[Taint]:
+        dotted = callee.dotted
+        if dotted in _ENTROPY_CALLS or (
+            dotted.startswith("secrets.") and callee.kind == "external"
+        ):
+            return ENTROPY_T
+        if callee.attr in _RNG_CONSTRUCTORS and callee.kind in (
+            "external", "method"
+        ):
+            return self._construct_rng(node, ev)
+        if (
+            callee.kind == "external"
+            and callee.attr in _GLOBAL_SAMPLERS
+            and (
+                dotted.startswith("random.")
+                or dotted.startswith("numpy.random.")
+                or dotted.startswith("np.random.")
+            )
+        ):
+            for arg in node.args:
+                ev.eval(arg)
+            if self._in_domain(ev):
+                ev.report(
+                    node,
+                    f"module-level RNG state ({dotted}) used inside the "
+                    "seeded domain; draw from a Generator that descends "
+                    "from an explicit SeedSequence instead",
+                )
+            return HOT
+        return None
+
+    def _construct_rng(self, node: ast.Call, ev: Evaluator) -> Taint:
+        seeds = [ev.eval(arg) for arg in node.args]
+        seeds += [ev.eval(kw.value) for kw in node.keywords if kw.arg != "spawn_key"]
+        explicit_none = any(
+            isinstance(arg, ast.Constant) and arg.value is None for arg in node.args
+        )
+        union: Taint = EMPTY
+        for seed in seeds:
+            union |= seed
+        if not seeds or explicit_none or TAINTED in union or ENTROPY in union:
+            # unseeded, or seeded from wall clock/OS entropy/another
+            # unseeded generator — the result is nondeterministic.
+            taint = HOT | (union - {ENTROPY})
+        else:
+            taint = union
+        if TAINTED in taint and self._in_domain(ev):
+            ev.report(
+                node,
+                "generator created without a reproducible seed inside the "
+                "seeded domain; derive it from a SeedSequence or a seeded "
+                "Generator parameter",
+            )
+        return taint
+
+    def project_sink(self, info: FunctionInfo, ev: Evaluator) -> Optional[str]:
+        module = ev.graph.modules.get(info.relpath)
+        if module is not None and self._domain_sink(info, module):
+            return (
+                f"unseeded/nondeterministic RNG state reaches seeded-domain "
+                f"function {info.local!r}; every generator must descend from "
+                "an explicit seed (EXPERIMENTS.md contract)"
+            )
+        return None

@@ -24,6 +24,8 @@ from .registry import (
     Solver,
     SolverSpec,
     UnknownSolverError,
+    analysis_sinks,
+    exact_sink_functions,
     get_solver,
     list_solvers,
     register_solver,

@@ -245,3 +245,46 @@ def solve_instance(
 ) -> SolverResult:
     """Convenience one-shot: ``get_solver(name)(instance, **options)``."""
     return get_solver(name)(instance, **options)
+
+
+# ---------------------------------------------------------------------------
+# Static-analysis metadata (consumed by repro.lint.flow)
+# ---------------------------------------------------------------------------
+
+def analysis_sinks() -> List[Dict[str, object]]:
+    """Machine-readable sink/option metadata for every registered solver.
+
+    The deep linter (RPL008) derives its exact-arithmetic sink set from
+    this surface instead of hard-coding function names, so registering a
+    new exact adapter automatically extends the taint analysis.
+    """
+    entries: List[Dict[str, object]] = []
+    for spec in list_solvers():
+        entries.append(
+            {
+                "solver": spec.name,
+                "kind": spec.kind,
+                "exact": spec.kind == "exact"
+                or "exact-variant" in spec.capabilities,
+                "functions": list(spec.wraps),
+                "options": list(spec.options),
+                "required": list(spec.required),
+            }
+        )
+    return entries
+
+
+def exact_sink_functions() -> List[str]:
+    """Dotted names of wrapped functions with exact-arithmetic semantics.
+
+    These are the registry-derived RPL008 taint sinks: any float-tainted
+    value reaching one of them would silently void the paper's exactness
+    guarantees (Theorem 4.8 optimality, Lemma 2.1 evaluation).
+    """
+    names = {
+        str(fn)
+        for entry in analysis_sinks()
+        if entry["exact"]
+        for fn in entry["functions"]  # type: ignore[union-attr]
+    }
+    return sorted(names)

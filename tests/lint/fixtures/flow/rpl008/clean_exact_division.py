@@ -1,0 +1,7 @@
+"""Division between provably exact values stays exact."""
+
+from fractions import Fraction
+
+third = Fraction(1, 3)
+sixth = third / 2
+exact_result = Fraction(sixth)

@@ -1,0 +1,7 @@
+"""Floats that never reach an exact sink are fine."""
+
+from fractions import Fraction
+
+ratio = Fraction(5, 8)
+display = float(ratio)
+message = "value: " + str(display)

@@ -1,0 +1,8 @@
+"""Formatting a float for display does not taint the string."""
+
+from fractions import Fraction
+
+rate = 0.35
+label = f"rate={rate}"
+width = len(label)
+exact_width = Fraction(width)

@@ -1,0 +1,6 @@
+"""Pure integer arithmetic stays exact."""
+
+from fractions import Fraction
+
+total = 3 * 4 + 1
+exact_total = Fraction(total)

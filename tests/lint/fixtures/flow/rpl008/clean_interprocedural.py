@@ -1,0 +1,10 @@
+"""A helper fed only ints returns an untainted value."""
+
+from fractions import Fraction
+
+
+def double(value):
+    return value * 2
+
+
+exact_total = Fraction(double(21))

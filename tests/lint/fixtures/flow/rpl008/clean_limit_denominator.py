@@ -1,0 +1,6 @@
+"""limit_denominator is the sanctioned float quantization."""
+
+import math
+from fractions import Fraction
+
+approx_pi = Fraction(math.pi).limit_denominator(1000)

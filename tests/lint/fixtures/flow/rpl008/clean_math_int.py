@@ -1,0 +1,7 @@
+"""math.ceil returns int in Python 3 — a sanitizer, not a source."""
+
+import math
+from fractions import Fraction
+
+cells = math.ceil(17 / 4)
+exact_cells = Fraction(cells)

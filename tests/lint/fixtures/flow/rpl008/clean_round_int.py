@@ -1,0 +1,6 @@
+"""Single-argument round() returns int."""
+
+from fractions import Fraction
+
+count = round(6.9)
+exact_count = Fraction(count)

@@ -1,0 +1,5 @@
+"""String construction carries no binary rounding error."""
+
+from fractions import Fraction
+
+tenth = Fraction("0.1")

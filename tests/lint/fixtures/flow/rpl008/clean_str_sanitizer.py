@@ -1,0 +1,6 @@
+"""Fraction(str(x)) is the sanctioned float sanitizer."""
+
+from fractions import Fraction
+
+measured = 0.1
+exact = Fraction(str(measured))

@@ -1,0 +1,10 @@
+"""Only the payload argument of an exact sink must stay exact."""
+
+from fractions import Fraction
+
+
+def solve_exact(probabilities, tolerance=1e-9):
+    return min(probabilities)
+
+
+result = solve_exact([Fraction(1, 3), Fraction(2, 3)], tolerance=0.5)

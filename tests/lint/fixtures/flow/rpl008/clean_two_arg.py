@@ -1,0 +1,6 @@
+"""Integer-ratio construction is the sanctioned exact form."""
+
+from fractions import Fraction
+
+ratio = Fraction(1, 3)
+total = ratio + Fraction(2, 3)

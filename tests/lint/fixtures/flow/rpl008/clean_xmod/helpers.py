@@ -1,0 +1,7 @@
+"""Cross-module exact source."""
+
+from fractions import Fraction
+
+
+def exact_rate():
+    return Fraction(3, 10)

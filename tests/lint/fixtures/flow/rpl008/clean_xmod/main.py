@@ -1,0 +1,7 @@
+"""Cross-module: the sibling helper returns a provably exact value."""
+
+from fractions import Fraction
+
+from .helpers import exact_rate
+
+doubled = Fraction(2) * exact_rate()

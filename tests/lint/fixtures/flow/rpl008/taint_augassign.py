@@ -1,0 +1,7 @@
+"""Augmented assignment unions float taint into the total."""
+
+from fractions import Fraction
+
+total = 1
+total += 0.5
+exact_total = Fraction(total)

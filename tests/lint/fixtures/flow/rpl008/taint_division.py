@@ -1,0 +1,6 @@
+"""True division of plain ints is a float source."""
+
+from fractions import Fraction
+
+share = 7 / 3
+exact_share = Fraction(share)

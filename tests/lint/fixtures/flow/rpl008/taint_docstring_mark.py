@@ -1,0 +1,15 @@
+"""A docstring-marked exact function is a sink too."""
+
+
+def accumulate(values):
+    """Sum a sequence without rounding.
+
+    replint: exact
+    """
+    total = 0
+    for value in values:
+        total = total + value
+    return total
+
+
+result = accumulate([1, 2, 0.75])

@@ -1,0 +1,11 @@
+"""Float literals reach an exact-marked helper (name contains 'exact')."""
+
+
+def exact_total(values):
+    total = 0
+    for value in values:
+        total = total + value
+    return total
+
+
+result = exact_total([0.25, 0.5])

@@ -1,0 +1,6 @@
+"""float() casts re-enter binary floating point."""
+
+from fractions import Fraction
+
+count = float(12)
+exact_count = Fraction(count)

@@ -1,0 +1,11 @@
+"""Taint survives a helper-function round trip."""
+
+from fractions import Fraction
+
+
+def halve(value):
+    return value / 2
+
+
+portion = halve(0.5)
+exact_portion = Fraction(portion)

@@ -1,0 +1,6 @@
+"""Float literal flows into Fraction() through a variable."""
+
+from fractions import Fraction
+
+weight = 0.1
+as_exact = Fraction(weight)

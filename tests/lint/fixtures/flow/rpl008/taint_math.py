@@ -1,0 +1,7 @@
+"""math.sqrt returns a binary float."""
+
+import math
+from fractions import Fraction
+
+diagonal = math.sqrt(2)
+exact_diagonal = Fraction(diagonal)

@@ -1,0 +1,6 @@
+"""math.pi is a float constant."""
+
+import math
+from fractions import Fraction
+
+turn = Fraction(math.pi)

@@ -1,0 +1,7 @@
+"""A .mean() result is a float statistic."""
+
+from fractions import Fraction
+
+samples = load_samples()
+center = samples.mean()
+exact_center = Fraction(center)

@@ -1,0 +1,7 @@
+"""numpy.mean returns a float."""
+
+import numpy as np
+from fractions import Fraction
+
+center = np.mean([1, 2, 3])
+exact_center = Fraction(center)

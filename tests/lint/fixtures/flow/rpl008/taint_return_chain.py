@@ -1,0 +1,16 @@
+"""Taint flows through two helper layers into the exact sink."""
+
+
+def base_rate():
+    return 0.125
+
+
+def scaled_rate(factor):
+    return factor * base_rate()
+
+
+def exact_rate(rate):
+    return rate
+
+
+result = exact_rate(scaled_rate(2))

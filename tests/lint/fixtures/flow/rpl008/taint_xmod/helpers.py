@@ -1,0 +1,5 @@
+"""Cross-module float source."""
+
+
+def hot_rate():
+    return 0.3

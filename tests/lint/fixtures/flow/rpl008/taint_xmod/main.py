@@ -1,0 +1,7 @@
+"""Cross-module: the float source lives in a sibling module."""
+
+from fractions import Fraction
+
+from .helpers import hot_rate
+
+exact_rate = Fraction(hot_rate())

@@ -1,0 +1,12 @@
+"""Seeds derived from constants and parameters are reproducible.
+
+replint: seed-domain
+"""
+
+from numpy.random import default_rng
+
+BASE_SEED = 2002
+
+
+def trial_rng(index):
+    return default_rng(BASE_SEED + index)

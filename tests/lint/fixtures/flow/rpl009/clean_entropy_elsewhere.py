@@ -1,0 +1,9 @@
+"""Wall-clock values may flow anywhere except into a seed.
+
+replint: seed-domain
+"""
+
+import time
+
+start = time.perf_counter()
+duration = time.perf_counter() - start

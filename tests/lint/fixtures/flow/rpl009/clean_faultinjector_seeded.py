@@ -1,0 +1,8 @@
+"""A FaultInjector that derives its generator from the given seed."""
+
+from numpy.random import default_rng
+
+
+class FaultInjector:
+    def __init__(self, seed):
+        self.rng = default_rng(seed)

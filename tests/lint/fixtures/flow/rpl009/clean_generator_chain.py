@@ -1,0 +1,9 @@
+"""Deriving a child seed from a seeded generator is reproducible.
+
+replint: seed-domain
+"""
+
+from numpy.random import default_rng
+
+rng = default_rng(42)
+child = default_rng(rng.integers(0, 2**31))

@@ -1,0 +1,5 @@
+"""Outside the seeded domain an unseeded generator is allowed."""
+
+import numpy as np
+
+rng = np.random.default_rng()

@@ -1,0 +1,8 @@
+"""Accepting a generator parameter imposes seeding on the caller.
+
+replint: seed-domain
+"""
+
+
+def run_trial(rng):
+    return rng.integers(0, 10)

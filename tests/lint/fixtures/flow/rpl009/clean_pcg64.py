@@ -1,0 +1,9 @@
+"""A seeded bit generator wrapped in Generator.
+
+replint: seed-domain
+"""
+
+from numpy.random import Generator, PCG64
+
+bitgen = PCG64(1234)
+rng = Generator(bitgen)

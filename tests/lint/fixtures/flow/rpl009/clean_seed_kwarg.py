@@ -1,0 +1,8 @@
+"""Seeding through the keyword form.
+
+replint: seed-domain
+"""
+
+import numpy as np
+
+rng = np.random.default_rng(seed=7)

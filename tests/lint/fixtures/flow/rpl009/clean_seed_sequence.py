@@ -1,0 +1,9 @@
+"""The SeedSequence spawning discipline.
+
+replint: seed-domain
+"""
+
+from numpy.random import SeedSequence, default_rng
+
+seq = SeedSequence(2002)
+rng = default_rng(seq)

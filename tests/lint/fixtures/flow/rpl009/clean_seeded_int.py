@@ -1,0 +1,8 @@
+"""A literal seed is reproducible.
+
+replint: seed-domain
+"""
+
+import numpy as np
+
+rng = np.random.default_rng(12345)

@@ -1,0 +1,8 @@
+"""A seeded stdlib Random instance is reproducible.
+
+replint: seed-domain
+"""
+
+import random
+
+gen = random.Random(99)

@@ -1,0 +1,9 @@
+"""Children spawned from a seeded sequence stay reproducible.
+
+replint: seed-domain
+"""
+
+from numpy.random import SeedSequence, default_rng
+
+child = SeedSequence(7).spawn(2)[0]
+rng = default_rng(child)

@@ -1,0 +1,8 @@
+"""Unseeded generator created inside the seeded domain.
+
+replint: seed-domain
+"""
+
+import numpy as np
+
+rng = np.random.default_rng()

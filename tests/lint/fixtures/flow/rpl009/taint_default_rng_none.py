@@ -1,0 +1,8 @@
+"""default_rng(None) is an explicit request for OS entropy.
+
+replint: seed-domain
+"""
+
+import numpy as np
+
+rng = np.random.default_rng(None)

@@ -1,0 +1,11 @@
+"""Entropy stored in a variable still reaches the seed.
+
+replint: seed-domain
+"""
+
+import time
+
+from numpy.random import default_rng
+
+stamp = time.time_ns()
+rng = default_rng(stamp)

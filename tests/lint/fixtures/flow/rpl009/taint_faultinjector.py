@@ -1,0 +1,9 @@
+"""FaultInjector methods are in the seeded domain by class name."""
+
+import numpy as np
+
+
+class FaultInjector:
+    def arm(self):
+        self.rng = np.random.default_rng()
+        return self.rng

@@ -1,0 +1,8 @@
+"""Module-level random state inside the seeded domain.
+
+replint: seed-domain
+"""
+
+import random
+
+value = random.random()

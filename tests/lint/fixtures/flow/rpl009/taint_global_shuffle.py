@@ -1,0 +1,9 @@
+"""random.shuffle draws from hidden module state.
+
+replint: seed-domain
+"""
+
+import random
+
+items = [1, 2, 3]
+random.shuffle(items)

@@ -1,0 +1,17 @@
+"""The unseeded generator is created in a helper.
+
+replint: seed-domain
+"""
+
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng()
+
+
+def run_trial(rng):
+    return rng
+
+
+trial = run_trial(make_generator())

@@ -1,0 +1,8 @@
+"""The legacy numpy.random module API has hidden global state.
+
+replint: seed-domain
+"""
+
+import numpy as np
+
+draws = np.random.rand(3)

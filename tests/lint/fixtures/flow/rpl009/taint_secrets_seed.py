@@ -1,0 +1,10 @@
+"""secrets-derived seeds are nondeterministic by design.
+
+replint: seed-domain
+"""
+
+import secrets
+
+import numpy as np
+
+rng = np.random.default_rng(secrets.randbits(64))

@@ -1,0 +1,8 @@
+"""An unseeded stdlib Random instance.
+
+replint: seed-domain
+"""
+
+import random
+
+gen = random.Random()

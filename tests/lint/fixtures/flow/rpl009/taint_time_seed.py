@@ -1,0 +1,10 @@
+"""Seeding from the wall clock is as irreproducible as no seed.
+
+replint: seed-domain
+"""
+
+import time
+
+import numpy as np
+
+rng = np.random.default_rng(int(time.time()))

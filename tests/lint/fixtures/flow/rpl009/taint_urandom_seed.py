@@ -1,0 +1,11 @@
+"""OS entropy as a seed breaks replay.
+
+replint: seed-domain
+"""
+
+import os
+
+import numpy as np
+
+seed = os.urandom(8)
+rng = np.random.default_rng(seed)

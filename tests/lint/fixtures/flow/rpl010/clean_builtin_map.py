@@ -1,0 +1,10 @@
+"""The builtin map() is sequential; its callee is not a worker."""
+
+TOTALS = []
+
+
+def bump(item):
+    TOTALS.append(item)
+
+
+results = list(map(bump, [1, 2, 3]))

@@ -1,0 +1,14 @@
+"""Workers may build and return their own containers."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def work(items):
+    out = []
+    for item in items:
+        out.append(item * 2)
+    return out
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, [1, 2])

@@ -1,0 +1,9 @@
+"""A dict created inside the worker is not shared."""
+
+
+def work(pairs):
+    """replint: worker"""
+    index = {}
+    for key, value in pairs:
+        index[key] = value
+    return index

@@ -1,0 +1,14 @@
+"""Module import time runs once; mutation there is fine."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+REGISTRY = {}
+REGISTRY["init"] = True
+
+
+def work(item):
+    return REGISTRY.get(item, 0)
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, "init")

@@ -1,0 +1,10 @@
+"""Mutating a module-level dict outside any worker is fine."""
+
+CACHE = {}
+
+
+def memoize(key, value):
+    CACHE[key] = value
+
+
+memoize("a", 1)

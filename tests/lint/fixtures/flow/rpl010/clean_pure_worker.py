@@ -1,0 +1,11 @@
+"""A pure computation is safe to dispatch."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def work(item):
+    return item ** 2
+
+
+pool = ThreadPoolExecutor()
+future = pool.submit(work, 3)

@@ -1,0 +1,14 @@
+"""Queues are the sanctioned cross-worker channel."""
+
+import queue
+from concurrent.futures import ThreadPoolExecutor
+
+jobs = queue.Queue()
+
+
+def work(channel, item):
+    channel.put(item)
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, jobs, 1)

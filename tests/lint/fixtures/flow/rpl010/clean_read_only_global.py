@@ -1,0 +1,13 @@
+"""Reading module-level state in a worker is fine."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+LIMITS = {"max": 10}
+
+
+def work(item):
+    return min(item, LIMITS["max"])
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, 5)

@@ -1,0 +1,14 @@
+"""Binding a fresh local from a global read is not a mutation."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+TOTAL = 100
+
+
+def work(item):
+    total = TOTAL + item
+    return total
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, 2)

@@ -1,0 +1,11 @@
+"""Per-instance state behind self is not shared module state."""
+
+
+class Task:
+    def __init__(self):
+        self.items = []
+
+    def run(self, item):
+        """replint: worker"""
+        self.items.append(item)
+        return self.items

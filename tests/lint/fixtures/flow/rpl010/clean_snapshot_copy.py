@@ -1,0 +1,10 @@
+"""Copying shared state into a local before mutating it is safe."""
+
+BASE = [1, 2, 3]
+
+
+def work():
+    """replint: worker"""
+    snapshot = list(BASE)
+    snapshot.append(4)
+    return snapshot

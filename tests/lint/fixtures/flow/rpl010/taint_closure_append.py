@@ -1,0 +1,13 @@
+"""A worker mutating a closure-captured list shares state."""
+
+
+def launch(pool, items):
+    results = []
+
+    def work(item):
+        """replint: worker"""
+        results.append(item)
+
+    for item in items:
+        pool.submit(work, item)
+    return results

@@ -1,0 +1,14 @@
+"""appendleft on a module-level deque from an async-applied worker."""
+
+import multiprocessing
+from collections import deque
+
+QUEUE = deque()
+
+
+def enqueue(item):
+    QUEUE.appendleft(item)
+
+
+with multiprocessing.Pool() as pool:
+    pool.apply_async(enqueue, (5,))

@@ -1,0 +1,14 @@
+"""A submitted worker rebinds a module-level counter."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+COUNT = 0
+
+
+def bump():
+    global COUNT
+    COUNT += 1
+
+
+pool = ThreadPoolExecutor()
+pool.submit(bump)

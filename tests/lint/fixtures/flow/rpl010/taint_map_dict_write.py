@@ -1,0 +1,14 @@
+"""A mapped worker writes into a module-level dict."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+INDEX = {}
+
+
+def record(pair):
+    key, value = pair
+    INDEX[key] = value
+
+
+with ThreadPoolExecutor() as pool:
+    pool.map(record, [(1, 2)])

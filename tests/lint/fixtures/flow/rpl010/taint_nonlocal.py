@@ -1,0 +1,12 @@
+"""A worker rebinding a closure variable shares state."""
+
+
+def launch():
+    total = 0
+
+    def work(item):
+        """replint: worker"""
+        nonlocal total
+        total += item
+
+    return work

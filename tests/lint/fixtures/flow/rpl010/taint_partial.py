@@ -1,0 +1,14 @@
+"""functools.partial does not hide the dispatched function."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+TOTALS = []
+
+
+def accumulate(base, item):
+    TOTALS.append(base + item)
+
+
+pool = ProcessPoolExecutor()
+pool.submit(partial(accumulate, 10), 1)

@@ -1,0 +1,12 @@
+"""A Process target writes into a module-level dict."""
+
+import multiprocessing
+
+STATE = {"runs": 0}
+
+
+def worker():
+    STATE["runs"] = STATE["runs"] + 1
+
+
+proc = multiprocessing.Process(target=worker)

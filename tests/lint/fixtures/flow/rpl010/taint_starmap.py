@@ -1,0 +1,13 @@
+"""A starmapped worker appends to a module-level list."""
+
+import multiprocessing
+
+PAIRS = []
+
+
+def combine(left, right):
+    PAIRS.append((left, right))
+
+
+with multiprocessing.Pool() as pool:
+    pool.starmap(combine, [(1, 2)])

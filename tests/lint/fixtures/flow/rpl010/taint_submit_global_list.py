@@ -1,0 +1,13 @@
+"""A submitted worker appends to a module-level list."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+RESULTS = []
+
+
+def work(item):
+    RESULTS.append(item)
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, 1)

@@ -1,0 +1,12 @@
+"""A Thread target appends to a module-level list."""
+
+import threading
+
+LOG = []
+
+
+def worker():
+    LOG.append("tick")
+
+
+thread = threading.Thread(target=worker)

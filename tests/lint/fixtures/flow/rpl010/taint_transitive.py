@@ -1,0 +1,17 @@
+"""The mutation hides one call level below the dispatched worker."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+CACHE = {}
+
+
+def helper(key, value):
+    CACHE[key] = value
+
+
+def work(item):
+    helper(item, item * 2)
+
+
+pool = ThreadPoolExecutor()
+pool.submit(work, 3)

@@ -1,0 +1,11 @@
+"""The docstring marker declares the function a worker."""
+
+SEEN = set()
+
+
+def dedupe(item):
+    """Collect unique items.
+
+    replint: worker
+    """
+    SEEN.add(item)

@@ -1,6 +1,7 @@
 """Tests for the benchmark trajectory (:mod:`repro.bench`)."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -90,3 +91,134 @@ class TestCli:
     def test_validate_missing_file(self, tmp_path, capsys):
         assert cli_main(["bench", "--validate", str(tmp_path / "none.json")]) == 2
         capsys.readouterr()
+
+
+def _snapshot(index, mins, derived=None):
+    """A minimal trajectory payload for diff tests."""
+    return {
+        "schema": bench.SCHEMA,
+        "index": index,
+        "benchmarks": [
+            {"name": name, "min_s": value} for name, value in mins.items()
+        ],
+        "derived": derived or {},
+    }
+
+
+class TestDiffPayloads:
+    def test_flags_slowdowns_beyond_threshold(self):
+        diff = bench.diff_payloads(
+            _snapshot(0, {"fast": 0.010, "slow": 0.010}),
+            _snapshot(1, {"fast": 0.011, "slow": 0.013}),
+        )
+        assert diff["schema"] == "repro-bench-diff/1"
+        assert diff["regressions"] == ["slow"]
+        by_name = {row["name"]: row for row in diff["benchmarks"]}
+        assert by_name["fast"]["regression"] is False
+        assert by_name["slow"]["ratio"] == pytest.approx(1.3)
+
+    def test_derived_speedups_regress_when_shrinking(self):
+        diff = bench.diff_payloads(
+            _snapshot(0, {}, {"speedup": 4.0}),
+            _snapshot(1, {}, {"speedup": 3.0}),
+        )
+        assert diff["regressions"] == ["speedup"]
+        diff = bench.diff_payloads(
+            _snapshot(0, {}, {"speedup": 4.0}),
+            _snapshot(1, {}, {"speedup": 3.5}),
+        )
+        assert diff["regressions"] == []
+
+    def test_one_sided_metrics_are_listed_but_never_regressions(self):
+        diff = bench.diff_payloads(
+            _snapshot(0, {"old_only": 0.010}),
+            _snapshot(1, {"new_only": 9.999}),
+        )
+        assert diff["regressions"] == []
+        notes = {row["name"]: row.get("note") for row in diff["benchmarks"]}
+        assert notes == {
+            "old_only": "only in one snapshot",
+            "new_only": "only in one snapshot",
+        }
+
+    def test_custom_threshold(self):
+        prev, curr = _snapshot(0, {"b": 0.010}), _snapshot(1, {"b": 0.0115})
+        assert bench.diff_payloads(prev, curr)["regressions"] == []
+        loose = bench.diff_payloads(prev, curr, threshold=0.10)
+        assert loose["regressions"] == ["b"]
+
+    def test_committed_trajectory_drift_is_flagged(self):
+        """BENCH_0 -> BENCH_1 carries the planner_reference slowdown."""
+        root = Path(__file__).resolve().parents[1]
+        previous = json.loads((root / "BENCH_0.json").read_text())
+        current = json.loads((root / "BENCH_1.json").read_text())
+        diff = bench.diff_payloads(previous, current)
+        assert "planner_reference" in diff["regressions"]
+
+    def test_render_diff_mentions_regressions(self):
+        diff = bench.diff_payloads(
+            _snapshot(0, {"b": 0.010}), _snapshot(1, {"b": 0.015})
+        )
+        text = bench.render_diff(diff)
+        assert "REGRESSION" in text
+        assert "1 regression(s): b" in text
+
+
+class TestLatestBenchPath:
+    def test_picks_highest_index(self, tmp_path):
+        for index in (0, 2, 10):
+            (tmp_path / f"BENCH_{index}.json").write_text("{}")
+        assert bench.latest_bench_path(tmp_path).name == "BENCH_10.json"
+
+    def test_empty_root(self, tmp_path):
+        assert bench.latest_bench_path(tmp_path) is None
+
+
+class TestDiffCli:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        prev = self._write(tmp_path, "BENCH_0.json", _snapshot(0, {"b": 0.010}))
+        same = self._write(tmp_path, "BENCH_1.json", _snapshot(1, {"b": 0.010}))
+        slow = self._write(tmp_path, "BENCH_2.json", _snapshot(2, {"b": 0.020}))
+        assert cli_main(
+            ["bench", "--diff", str(prev), "--against", str(same)]
+        ) == 0
+        assert cli_main(
+            ["bench", "--diff", str(prev), "--against", str(slow)]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_defaults_to_latest_snapshot(self, tmp_path, capsys):
+        prev = self._write(tmp_path, "BENCH_0.json", _snapshot(0, {"b": 0.010}))
+        self._write(tmp_path, "BENCH_3.json", _snapshot(3, {"b": 0.030}))
+        assert cli_main(
+            ["bench", "--diff", str(prev), "--root", str(tmp_path)]
+        ) == 1
+        assert "BENCH_0 -> BENCH_3" in capsys.readouterr().out
+
+    def test_diff_unreadable_input(self, tmp_path, capsys):
+        missing = tmp_path / "none.json"
+        current = self._write(tmp_path, "BENCH_0.json", _snapshot(0, {}))
+        assert cli_main(
+            ["bench", "--diff", str(missing), "--against", str(current)]
+        ) == 2
+        capsys.readouterr()
+
+    def test_script_wrapper_agrees(self, tmp_path):
+        import subprocess
+        import sys
+
+        root = Path(__file__).resolve().parents[1]
+        prev = self._write(tmp_path, "BENCH_0.json", _snapshot(0, {"b": 0.010}))
+        slow = self._write(tmp_path, "BENCH_1.json", _snapshot(1, {"b": 0.020}))
+        proc = subprocess.run(
+            [sys.executable, str(root / "scripts" / "bench_diff.py"),
+             str(prev), str(slow)],
+            capture_output=True, text=True,
+        )
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
