@@ -3,18 +3,23 @@
 
 Usage::
 
-    python scripts/bench_diff.py PREV.json [CURR.json]
+    python scripts/bench_diff.py PREV.json [CURR.json] [--fail-rows REGEX]
 
 Without CURR the newest ``BENCH_<n>.json`` at the repo root is used.
 Exits 1 when any per-metric regression exceeds the 20% threshold (a
 benchmark's ``min_s`` growing, or a derived speedup shrinking), 0
-otherwise, 2 on unreadable input — so CI can surface drift like the
-committed BENCH_0 -> BENCH_1 ``planner_reference`` slowdown as a
-non-fatal report step.
+otherwise, 2 on unreadable input.  With ``--fail-rows`` only regressed
+metrics matching the regex are fatal — CI uses this to keep the full
+report advisory while gating hard on the cheap planner rows, whose
+interleaved timing makes a >20% move a real regression rather than
+environment drift.
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import re
 import sys
 from pathlib import Path
 
@@ -29,13 +34,14 @@ from repro.bench import (  # noqa: E402  (path bootstrap above)
 
 
 def main(argv: "list[str]") -> int:
-    if not argv or len(argv) > 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    import json
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("prev", metavar="PREV.json")
+    parser.add_argument("curr", metavar="CURR.json", nargs="?", default=None)
+    parser.add_argument("--fail-rows", metavar="REGEX", default=None)
+    args = parser.parse_args(argv)
 
-    prev_path = Path(argv[0])
-    curr_path = Path(argv[1]) if len(argv) == 2 else latest_bench_path(REPO_ROOT)
+    prev_path = Path(args.prev)
+    curr_path = Path(args.curr) if args.curr else latest_bench_path(REPO_ROOT)
     if curr_path is None:
         print(f"no BENCH_<n>.json found under {REPO_ROOT}", file=sys.stderr)
         return 2
@@ -47,7 +53,18 @@ def main(argv: "list[str]") -> int:
         return 2
     diff = diff_payloads(previous, current)
     print(render_diff(diff))
-    return 1 if diff["regressions"] else 0
+    regressions = [str(name) for name in diff["regressions"]]
+    if args.fail_rows is not None:
+        pattern = re.compile(args.fail_rows)
+        fatal = [name for name in regressions if pattern.search(name)]
+        if fatal:
+            print(
+                f"fatal regression(s) matching {args.fail_rows!r}: "
+                + ", ".join(fatal),
+                file=sys.stderr,
+            )
+        return 1 if fatal else 0
+    return 1 if regressions else 0
 
 
 if __name__ == "__main__":

@@ -55,6 +55,7 @@ PROFILES: Dict[str, Dict[str, object]] = {
     "full": {
         "monte_carlo": {"devices": 4, "cells": 800, "rounds": 5, "trials": 100_000},
         "planner": {"devices": 4, "cells": 250, "rounds": 5},
+        "batch_plan": {"devices": 4, "cells": 250, "rounds": 5, "batch": 1024},
         "batch_eval": {"devices": 4, "cells": 200, "rounds": 5, "strategies": 64},
         "runner": {"experiments": ["E1", "E2", "E4", "E5", "E8"], "jobs": 4},
         "solvers": {
@@ -66,6 +67,7 @@ PROFILES: Dict[str, Dict[str, object]] = {
     "smoke": {
         "monte_carlo": {"devices": 3, "cells": 24, "rounds": 3, "trials": 400},
         "planner": {"devices": 3, "cells": 24, "rounds": 3},
+        "batch_plan": {"devices": 3, "cells": 24, "rounds": 3, "batch": 16},
         "batch_eval": {"devices": 3, "cells": 16, "rounds": 3, "strategies": 6},
         "runner": {"experiments": ["E1", "E4"], "jobs": 2},
         "solvers": {
@@ -197,12 +199,54 @@ def _bench_planner(config: Dict[str, int], repeats: int) -> List[BenchmarkTiming
         int(config["devices"]), int(config["cells"]), int(config["rounds"])
     )
     params = dict(config)
-    reference_times = _time(lambda: conference_call_heuristic(instance), repeats=repeats)
-    fast_times = _time(lambda: conference_call_heuristic_fast(instance), repeats=repeats)
+    # The two planners are cheap (ms-scale) and sensitive to slow
+    # environment drift (CPU frequency, cache state, container neighbors),
+    # so their repeats are interleaved rather than timed as back-to-back
+    # blocks: drift lands on both rows instead of biasing whichever block
+    # ran second.  The BENCH_0 -> BENCH_1 planner_reference ~18 ms ->
+    # ~24 ms "regression" was exactly that bias (docs/performance.md).
+    reference = lambda: conference_call_heuristic(instance)  # noqa: E731
+    fast = lambda: conference_call_heuristic_fast(instance)  # noqa: E731
+    reference()
+    fast()
+    reference_times: List[float] = []
+    fast_times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        reference()
+        reference_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        fast()
+        fast_times.append(time.perf_counter() - start)
     return [
         BenchmarkTiming("planner_reference", params, reference_times),
         BenchmarkTiming("planner_fast", params, fast_times),
     ]
+
+
+def _bench_batch_plan(config: Dict[str, int], repeats: int) -> List[BenchmarkTiming]:
+    """One ``plan_batch`` row per available backend, same shape as planner.
+
+    The derived ``planner_batch_speedup`` is *per instance*: the scalar
+    ``planner_fast`` time divided by the batched time over ``batch``.
+    """
+    from .core import available_backends, plan_batch
+
+    batch = int(config["batch"])
+    rng = np.random.default_rng(INSTANCE_SEED)
+    matrices = rng.dirichlet(
+        np.ones(int(config["cells"])), size=(batch, int(config["devices"]))
+    )
+    rounds = int(config["rounds"])
+    timings = []
+    for backend in available_backends():
+        times = _time(
+            lambda: plan_batch(matrices, rounds, backend=backend), repeats=repeats
+        )
+        params = dict(config)
+        params["backend"] = backend
+        timings.append(BenchmarkTiming(f"planner_batch_{backend}", params, times))
+    return timings
 
 
 def _bench_batch_eval(config: Dict[str, int], repeats: int) -> List[BenchmarkTiming]:
@@ -295,11 +339,20 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
     timings: List[BenchmarkTiming] = []
     timings += _bench_monte_carlo(sizes["monte_carlo"], repeats)  # type: ignore[arg-type]
     timings += _bench_planner(sizes["planner"], repeats)  # type: ignore[arg-type]
+    batch_plan_timings = _bench_batch_plan(sizes["batch_plan"], repeats)  # type: ignore[arg-type]
+    timings += batch_plan_timings
     timings += _bench_batch_eval(sizes["batch_eval"], repeats)  # type: ignore[arg-type]
     timings += _bench_runner(sizes["runner"], repeats)  # type: ignore[arg-type]
     solver_timings = _bench_solvers(sizes["solvers"], repeats)  # type: ignore[arg-type]
     timings += solver_timings
     by_name = {timing.name: timing for timing in timings}
+    # Per-instance speedup of the best batched backend over planner_fast.
+    best_per_instance = min(
+        timing.min_s / int(timing.params["batch"]) for timing in batch_plan_timings
+    )
+    planner_batch_speedup = by_name["planner_fast"].min_s / max(
+        best_per_instance, 1e-12
+    )
     return {
         "schema": SCHEMA,
         "profile": profile,
@@ -311,6 +364,7 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
                 by_name, "monte_carlo_scalar", "monte_carlo_fast"
             ),
             "planner_speedup": _speedup(by_name, "planner_reference", "planner_fast"),
+            "planner_batch_speedup": planner_batch_speedup,
             "batch_eval_speedup": _speedup(
                 by_name, "batch_eval_scalar", "batch_eval_batch"
             ),
@@ -566,6 +620,13 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="CURR",
         help="the 'current' snapshot for --diff (default: newest BENCH_<n>)",
     )
+    parser.add_argument(
+        "--fail-rows",
+        default=None,
+        metavar="REGEX",
+        help="with --diff: exit 1 only for regressed metrics matching REGEX "
+        "(all rows are still reported); default: any regression exits 1",
+    )
 
 
 def run_from_args(args: argparse.Namespace) -> int:
@@ -590,7 +651,18 @@ def run_from_args(args: argparse.Namespace) -> int:
             return 2
         diff = diff_payloads(previous, current)
         print(render_diff(diff))
-        return 1 if diff["regressions"] else 0
+        regressions = [str(name) for name in diff["regressions"]]  # type: ignore[union-attr]
+        if args.fail_rows is not None:
+            pattern = re.compile(args.fail_rows)
+            fatal = [name for name in regressions if pattern.search(name)]
+            if fatal:
+                print(
+                    f"fatal regression(s) matching {args.fail_rows!r}: "
+                    + ", ".join(fatal),
+                    file=sys.stderr,
+                )
+            return 1 if fatal else 0
+        return 1 if regressions else 0
     if args.validate is not None:
         try:
             payload = json.loads(Path(args.validate).read_text())

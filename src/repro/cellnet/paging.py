@@ -16,7 +16,7 @@ simulated network (global cell ids, true device positions).  A search:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -153,6 +153,61 @@ class HeuristicPager:
             return PagingOutcome(found, paged, rounds, used_fallback=False)
         return _fallback(found, paged, rounds, cells, true_cells, num_cells)
 
+    def search_many(
+        self,
+        priors_batch: Sequence[Sequence[np.ndarray]],
+        candidate_cells: Sequence[int],
+        true_cells_batch: Sequence[Sequence[int]],
+        max_rounds: int,
+        num_cells: int,
+    ) -> List[PagingOutcome]:
+        """Page many concurrent calls over one candidate set.
+
+        The paging-controller shape: one location area, a stack of calls,
+        one plan per call.  When the configured planner has a batched
+        entry point (``supports_batch``, e.g. the ``"heuristic-batch"``
+        registry entry), all same-device-count sub-instances are planned
+        in one kernel call; otherwise this degrades to a per-call loop
+        with identical outcomes — every plan is bit-identical to what
+        :meth:`search` would compute.
+        """
+        instances = []
+        cell_maps = []
+        for priors in priors_batch:
+            instance, cells = build_sub_instance(
+                priors, candidate_cells, max_rounds
+            )
+            instances.append(instance)
+            cell_maps.append(cells)
+        strategies: Dict[int, Strategy] = {}
+        by_devices: Dict[int, List[int]] = {}
+        for index, instance in enumerate(instances):
+            by_devices.setdefault(instance.num_devices, []).append(index)
+        for indices in by_devices.values():
+            if self._planner.supports_batch and len(indices) > 1:
+                plans = self._planner.run_batch([instances[i] for i in indices])
+                for row, index in enumerate(indices):
+                    strategies[index] = plans.strategy(row)
+            else:
+                for index in indices:
+                    strategies[index] = self._planner(instances[index]).strategy
+        outcomes = []
+        for index, true_cells in enumerate(true_cells_batch):
+            found, paged, rounds, complete = page_with_strategy(
+                strategies[index], cell_maps[index], true_cells
+            )
+            if complete:
+                outcomes.append(
+                    PagingOutcome(found, paged, rounds, used_fallback=False)
+                )
+            else:
+                outcomes.append(
+                    _fallback(
+                        found, paged, rounds, cell_maps[index], true_cells, num_cells
+                    )
+                )
+        return outcomes
+
 
 class AdaptivePager:
     """The Section 5 adaptive replanner."""
@@ -267,5 +322,8 @@ def _fallback(
 PAGER_FACTORIES: Dict[str, Callable[[], object]] = {
     "blanket": BlanketPager,
     "heuristic": HeuristicPager,
+    # Same plans as "heuristic", but search_many() fans whole call stacks
+    # through the batched planner kernel (repro.core.batch_plan).
+    "heuristic-batch": lambda: HeuristicPager("heuristic-batch"),
     "adaptive": AdaptivePager,
 }

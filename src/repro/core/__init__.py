@@ -28,11 +28,24 @@ from .adaptive_optimal import (
     adaptivity_gap,
     optimal_adaptive_expected_paging,
 )
+from .backends import (
+    BackendUnavailableError,
+    available_backends,
+    compiled_available,
+    resolve_backend,
+)
 from .batch import (
     expected_paging_batch,
     expected_paging_monte_carlo_fast,
     sample_locations_batch,
     simulate_paging_batch,
+)
+from .batch_plan import (
+    BatchPlanResult,
+    optimize_cuts_batch,
+    plan_batch,
+    prefix_stop_probabilities_batch,
+    stack_instances,
 )
 from .bandwidth import (
     bandwidth_limited_heuristic,

@@ -1,0 +1,215 @@
+"""Pluggable planner backends: pure numpy vs an optional compiled kernel.
+
+The batched planner (:mod:`repro.core.batch_plan`) has two interchangeable
+implementations of its hot loop, the Lemma 4.7 cut dynamic program behind
+the Fig. 1 heuristic:
+
+* ``"numpy"`` — the broadcast ``(batch, prev, j)`` DP, always available;
+* ``"compiled"`` — the C kernel in ``_cut_dp.c``, built on demand with the
+  host C compiler and loaded through :mod:`ctypes`.  No build step, no new
+  dependency: the first use compiles the shared object into a cache
+  directory keyed by the source hash, so rebuilds happen only when the
+  kernel source changes.
+
+Backend selection is a *capability*, not a hard requirement:
+``resolve_backend("auto")`` prefers the compiled kernel and silently falls
+back to numpy when no toolchain (or no cache directory) is available,
+bumping the ``planner.backend_fallback`` obs counter so the degradation is
+observable.  Asking for ``backend="compiled"`` explicitly raises instead —
+an explicit request must not silently change semantics class.
+
+Environment overrides (tested in ``tests/core/test_backends.py``):
+
+* ``REPRO_PLANNER_BACKEND`` — force ``numpy``/``compiled`` for every
+  ``backend="auto"`` resolution (explicit arguments still win);
+* ``REPRO_DISABLE_COMPILED=1`` — pretend no toolchain exists (the no-
+  compiler CI job uses this to prove graceful fallback);
+* ``REPRO_CACHE_DIR`` — where the compiled object is cached (default
+  ``~/.cache/repro``).
+
+Both backends are bit-identical: the kernel documents (and the property
+suite in ``tests/core/test_batch_plan.py`` asserts) that every float is
+computed by the same sequence of IEEE operations as ``repro.core.fast``,
+compiled with ``-ffp-contract=off`` so no fused multiply-adds sneak in.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional, Tuple
+
+from ..errors import ReproError
+from ..obs.instrument import count
+
+__all__ = [
+    "BACKENDS",
+    "BackendUnavailableError",
+    "available_backends",
+    "compiled_available",
+    "load_compiled",
+    "resolve_backend",
+]
+
+#: The recognized ``backend=`` values, in preference order for ``auto``.
+BACKENDS: Tuple[str, ...] = ("compiled", "numpy")
+
+_SOURCE = Path(__file__).with_name("_cut_dp.c")
+
+#: ``-ffp-contract=off`` is load-bearing: fused multiply-adds would change
+#: the DP candidates in the last ulp and break bit-identity with numpy.
+_CFLAGS = ("-O3", "-march=native", "-ffp-contract=off", "-fopenmp-simd",
+           "-shared", "-fPIC")
+
+_lib: Optional[ctypes.CDLL] = None
+_lib_error: Optional[str] = None
+
+
+class BackendUnavailableError(ReproError):
+    """An explicitly requested planner backend cannot be provided."""
+
+
+def _cache_dir() -> Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def _compiler() -> Optional[str]:
+    for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if not name:
+            continue
+        try:
+            subprocess.run(
+                [name, "--version"], capture_output=True, check=True, timeout=30
+            )
+            return name
+        except (OSError, subprocess.SubprocessError):
+            continue
+    return None
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    ssize = ctypes.c_ssize_t
+    dptr = ctypes.POINTER(ctypes.c_double)
+    iptr = ctypes.POINTER(ssize)
+    bptr = ctypes.POINTER(ctypes.c_ubyte)
+    lib.repro_plan_batch.restype = ctypes.c_int
+    lib.repro_plan_batch.argtypes = [
+        dptr, ssize, ssize, ssize, ssize, ssize, iptr, iptr, dptr, bptr,
+    ]
+    lib.repro_optimize_cuts_batch.restype = ctypes.c_int
+    lib.repro_optimize_cuts_batch.argtypes = [
+        dptr, ssize, ssize, ssize, ssize, iptr, dptr, bptr,
+    ]
+    return lib
+
+
+def _build_library() -> ctypes.CDLL:
+    source = _SOURCE.read_text()
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    target = cache / f"cut_dp-{digest}.so"
+    if not target.exists():
+        compiler = _compiler()
+        if compiler is None:
+            raise BackendUnavailableError("no C compiler found on PATH")
+        cache.mkdir(parents=True, exist_ok=True)
+        # Build into a private temp name, then atomically publish, so two
+        # concurrent processes never load a half-written object.
+        fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+        os.close(fd)
+        try:
+            subprocess.run(
+                [compiler, *_CFLAGS, "-o", tmp, str(_SOURCE), "-lm"],
+                capture_output=True,
+                check=True,
+                timeout=300,
+            )
+            os.replace(tmp, target)
+        except subprocess.CalledProcessError as error:
+            raise BackendUnavailableError(
+                "planner kernel failed to compile: "
+                + error.stderr.decode(errors="replace").strip()
+            ) from error
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+    return _declare(ctypes.CDLL(str(target)))
+
+
+def load_compiled() -> ctypes.CDLL:
+    """The compiled kernel, building and caching it on first use.
+
+    Raises :class:`BackendUnavailableError` when the toolchain is absent,
+    the build fails, or ``REPRO_DISABLE_COMPILED`` is set.  The outcome
+    (library or error) is memoized per process.
+    """
+    global _lib, _lib_error
+    if os.environ.get("REPRO_DISABLE_COMPILED"):
+        raise BackendUnavailableError(
+            "compiled backend disabled by REPRO_DISABLE_COMPILED"
+        )
+    if _lib is not None:
+        return _lib
+    if _lib_error is not None:
+        raise BackendUnavailableError(_lib_error)
+    try:
+        _lib = _build_library()
+    except BackendUnavailableError as error:
+        _lib_error = str(error)
+        raise
+    except OSError as error:
+        _lib_error = f"cannot build planner kernel: {error}"
+        raise BackendUnavailableError(_lib_error) from error
+    return _lib
+
+
+def compiled_available() -> bool:
+    """True when :func:`load_compiled` would succeed right now."""
+    try:
+        load_compiled()
+    except BackendUnavailableError:
+        return False
+    return True
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The usable backends on this machine, in ``auto`` preference order."""
+    return tuple(
+        name
+        for name in BACKENDS
+        if name != "compiled" or compiled_available()
+    )
+
+
+def resolve_backend(backend: str = "auto") -> str:
+    """Map a ``backend=`` option to a concrete implementation name.
+
+    ``"auto"`` (optionally overridden by ``REPRO_PLANNER_BACKEND``) prefers
+    the compiled kernel and falls back to numpy — silently, except for the
+    ``planner.backend_fallback`` obs counter.  An explicit ``"compiled"``
+    raises :class:`BackendUnavailableError` when the kernel cannot load.
+    """
+    if backend == "auto":
+        forced = os.environ.get("REPRO_PLANNER_BACKEND")
+        if forced:
+            backend = forced
+    if backend == "auto":
+        if compiled_available():
+            return "compiled"
+        count("planner.backend_fallback")
+        return "numpy"
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown planner backend {backend!r}; known: auto, "
+            + ", ".join(BACKENDS)
+        )
+    if backend == "compiled":
+        load_compiled()  # raises BackendUnavailableError when absent
+    return backend

@@ -20,6 +20,7 @@ tests assert.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -28,6 +29,24 @@ from ..errors import InfeasibleError
 from .dp import OrderedDPResult
 from .instance import PagingInstance
 from .strategy import Strategy
+
+
+@lru_cache(maxsize=64)
+def _gap_tables(c: int, b: int) -> Tuple[np.ndarray, np.ndarray]:
+    """``(gap_matrix, valid)`` for the cut DP, cached per shape ``(c, b)``.
+
+    ``gap_matrix[prev, j] = j - prev``; ``valid`` masks the band
+    ``1 <= j - prev <= b``.  Both are O(c²) and depend only on the shape,
+    so repeated same-shape plans (the paging-controller pattern: thousands
+    of instances over one location area) reuse one read-only pair instead
+    of reallocating per call.
+    """
+    positions = np.arange(c + 1)
+    gap_matrix = positions[None, :] - positions[:, None]
+    valid = (gap_matrix >= 1) & (gap_matrix <= b)
+    gap_matrix.setflags(write=False)
+    valid.setflags(write=False)
+    return gap_matrix, valid
 
 
 def prefix_stop_probabilities_fast(
@@ -67,9 +86,8 @@ def optimize_cuts_fast(
         )
 
     positions = np.arange(c + 1)
-    # gaps[prev, j] = j - prev for prev < j <= prev + b, else -inf sentinel.
-    gap_matrix = positions[None, :] - positions[:, None]
-    valid = (gap_matrix >= 1) & (gap_matrix <= b)
+    # gaps[prev, j] = j - prev for prev < j <= prev + b, banded by the cap.
+    gap_matrix, valid = _gap_tables(c, b)
 
     neg_inf = -np.inf
     best = np.where((positions >= 1) & (positions <= b), 0.0, neg_inf)

@@ -51,6 +51,7 @@ from .system import (
     run_e07_dp_scaling,
     run_e13_cellnet,
     run_e13_reporting_tradeoff,
+    run_e27_batched_replanning,
 )
 from .tables import ExperimentTable, render_all
 
@@ -90,6 +91,7 @@ __all__ = [
     "run_e24_correlation_sensitivity",
     "run_e25_weighted_costs",
     "run_e26_learning_curve",
+    "run_e27_batched_replanning",
     "run_experiments",
     "save_report",
     "spawn_task_seed",

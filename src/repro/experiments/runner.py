@@ -60,7 +60,12 @@ from .paper_claims import (
     run_e05_lemma34,
     run_e16_four_thirds,
 )
-from .system import run_e07_dp_scaling, run_e13_cellnet, run_e13_reporting_tradeoff
+from .system import (
+    run_e07_dp_scaling,
+    run_e13_cellnet,
+    run_e13_reporting_tradeoff,
+    run_e27_batched_replanning,
+)
 from .tables import ExperimentTable, render_all
 
 #: Every experiment, in paper order.  Keys match DESIGN.md's index.
@@ -93,6 +98,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
     "E24": run_e24_correlation_sensitivity,
     "E25": run_e25_weighted_costs,
     "E26": run_e26_learning_curve,
+    "E27": run_e27_batched_replanning,
 }
 
 

@@ -1,4 +1,4 @@
-"""System-level experiments (E7, E13).
+"""System-level experiments (E7, E13, E27).
 
 * E7 — the Theorem 4.8 complexity claim: heuristic runtime grows as
   ``O(c (m + d c))``.  The benchmark measures wall time; this module supplies
@@ -6,6 +6,9 @@
 * E13 — the end-to-end cellular simulation: conference calls in a GSM-style
   system under blanket LA paging vs the paper's heuristic vs the adaptive
   variant, with identical mobility and call streams.
+* E27 — batched replanning throughput: per-plan cost of the batched planner
+  kernel (``heuristic-batch``) vs the per-instance vectorized planner, with
+  a bit-identity check per batch.
 """
 
 from __future__ import annotations
@@ -140,6 +143,65 @@ def run_e13_cellnet(
     table.add_note(
         "the Section 1.1 motivation: multi-round paging cuts cells paged per "
         "call at the cost of delay (rounds_per_call)"
+    )
+    return table
+
+
+def run_e27_batched_replanning(
+    batch_sizes: Sequence[int] = (32, 128, 512),
+    *,
+    num_devices: int = 4,
+    num_cells: int = 120,
+    max_rounds: int = 5,
+    seed: int = 27,
+) -> ExperimentTable:
+    """Per-plan cost of batched vs per-instance planning (ROADMAP item 2).
+
+    One family of same-shape dirichlet instances is planned two ways:
+    a per-instance loop over the vectorized planner (``heuristic-fast``)
+    and one ``run_batch`` call into the batched kernel
+    (``heuristic-batch``, whichever backend ``auto`` resolves).  The
+    ``identical`` column re-checks, per batch, that every batched plan
+    (order, group sizes, value) matches its scalar counterpart exactly —
+    the speedup never buys a different answer.
+    """
+    scalar = get_solver("heuristic-fast")
+    batched = get_solver("heuristic-batch")
+    table = ExperimentTable(
+        "E27",
+        "Batched replanning throughput: one kernel call vs a planner loop",
+        ["batch", "loop_ms_per_plan", "batch_ms_per_plan", "speedup", "identical"],
+    )
+    rng = np.random.default_rng(seed)
+    instances = [
+        dirichlet_instance(num_devices, num_cells, max_rounds, rng=rng)
+        for _ in range(max(batch_sizes))
+    ]
+    for batch_size in batch_sizes:
+        stack = instances[:batch_size]
+        start = time.perf_counter()
+        loop_results = [scalar(instance) for instance in stack]
+        loop_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        plans = batched.run_batch(stack)
+        batch_seconds = time.perf_counter() - start
+        identical = all(
+            plans.result(i).order == loop_results[i].extras["order"]
+            and plans.result(i).group_sizes == loop_results[i].extras["group_sizes"]
+            and plans.values[i].item() == loop_results[i].expected_paging
+            for i in range(batch_size)
+        )
+        table.add_row(
+            batch_size,
+            loop_seconds / batch_size * 1e3,
+            batch_seconds / batch_size * 1e3,
+            loop_seconds / max(batch_seconds, 1e-12),
+            identical,
+        )
+    table.add_note(
+        "identical=True per row: the batched kernel reproduces the scalar "
+        "planner's orders, cuts, and values bit for bit (backend "
+        f"{get_solver('heuristic-batch').run_batch(instances[:1]).backend!r})"
     )
     return table
 

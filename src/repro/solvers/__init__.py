@@ -29,6 +29,7 @@ from .registry import (
     get_solver,
     list_solvers,
     register_solver,
+    solve_batch,
     solve_instance,
     solver_names,
 )

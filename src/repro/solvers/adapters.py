@@ -27,6 +27,7 @@ from ..core.adaptive_variants import (
     optimal_adaptive_quorum_expected_paging,
 )
 from ..core.bandwidth import bandwidth_limited_heuristic, bandwidth_limited_optimal
+from ..core.batch_plan import plan_batch
 from ..core.clustered import clustered_exhaustive
 from ..core.dp import optimize_over_order
 from ..core.exact import (
@@ -110,6 +111,33 @@ def _heuristic_fast(instance: PagingInstance, **options: object) -> _Adapted:
     result = conference_call_heuristic_fast(instance, **options)
     return result.strategy, result.expected_paging, {
         "order": result.order, "group_sizes": result.group_sizes,
+    }
+
+
+def _plan_batch_many(instances, max_rounds=None, **options):
+    """Batch adapter: one kernel call over a whole instance stack."""
+    return plan_batch(instances, max_rounds, **options)
+
+
+@register_solver(
+    "heuristic-batch",
+    kind="heuristic",
+    capabilities=("bandwidth", "vectorized", "batch", "multi-backend"),
+    summary="batched Fig. 1 planner: thousands of instances per kernel call",
+    anchor="Fig. 1, Lemma 4.7, Theorem 4.8",
+    options=("max_rounds", "max_group_size", "backend", "chunk"),
+    factor=APPROXIMATION_FACTOR,
+    wraps=(plan_batch,),
+    batch=_plan_batch_many,
+)
+def _heuristic_batch(instance: PagingInstance, **options: object) -> _Adapted:
+    max_rounds = options.pop("max_rounds", None)
+    batch = plan_batch([instance], max_rounds, **options)  # type: ignore[arg-type]
+    result = batch.result(0)
+    return result.strategy, result.expected_paging, {
+        "order": result.order,
+        "group_sizes": result.group_sizes,
+        "backend": batch.backend,
     }
 
 

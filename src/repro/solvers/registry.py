@@ -56,6 +56,11 @@ KINDS: Tuple[str, ...] = ("exact", "heuristic", "dp", "variant")
 #: extras).  The value must be bit-identical to the wrapped legacy call.
 AdapterFn = Callable[..., Tuple[Optional[Strategy], Number, Mapping[str, object]]]
 
+#: A batch adapter maps ``(instances, **options)`` to an implementation-
+#: defined batch result (e.g. :class:`repro.core.batch_plan.BatchPlanResult`)
+#: whose rows are bit-identical to per-instance scalar calls.
+BatchAdapterFn = Callable[..., object]
+
 #: Advisory predicate: can this solver handle the instance at all?
 SupportsFn = Callable[[PagingInstance], bool]
 
@@ -118,16 +123,56 @@ class RegisteredSolver:
     #: the primary wrapped legacy callables (for docs and meta-tests)
     wrapped: Tuple[Callable[..., object], ...] = field(default=(), repr=False)
     _supports: Optional[SupportsFn] = field(default=None, repr=False)
+    #: optional many-instances entry point (see :meth:`run_batch`)
+    batch_adapter: Optional[BatchAdapterFn] = field(default=None, repr=False)
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def supports_batch(self) -> bool:
+        """True when the solver registered a many-instances entry point."""
+        return self.batch_adapter is not None
 
     def supports(self, instance: PagingInstance) -> bool:
         """Advisory: False means the call is known to raise on ``instance``."""
         if self._supports is None:
             return True
         return bool(self._supports(instance))
+
+    def run_batch(self, instances: object, **options: object) -> object:
+        """Plan many instances in one kernel call.
+
+        Only solvers registered with a batch adapter (capability
+        ``"batch"``) provide this; everyone else raises ``TypeError`` so
+        dispatch sites can feature-test with :attr:`supports_batch` and
+        fall back to a per-instance loop.  Options are validated against
+        the same spec as scalar calls, and the run is wrapped in a
+        ``solver.run_batch`` span carrying the batch size.
+        """
+        spec = self.spec
+        if self.batch_adapter is None:
+            raise TypeError(
+                f"solver {spec.name!r} has no batched entry point; "
+                "check supports_batch before calling run_batch"
+            )
+        unknown = sorted(set(options) - set(spec.options))
+        if unknown:
+            raise TypeError(
+                f"solver {spec.name!r} got unknown option(s) {unknown}; "
+                f"accepted: {sorted(spec.options)}"
+            )
+        missing = sorted(set(spec.required) - set(options))
+        if missing:
+            raise TypeError(
+                f"solver {spec.name!r} requires option(s) {missing}"
+            )
+        size = len(instances) if hasattr(instances, "__len__") else None
+        with span(
+            "solver.run_batch", solver=spec.name, kind=spec.kind, batch=size
+        ):
+            return self.batch_adapter(instances, **options)
 
     def __call__(self, instance: PagingInstance, **options: object) -> SolverResult:
         spec = self.spec
@@ -172,11 +217,14 @@ def register_solver(
     factor: Optional[float] = None,
     wraps: Sequence[Callable[..., object]] = (),
     supports: Optional[SupportsFn] = None,
+    batch: Optional[BatchAdapterFn] = None,
 ) -> Callable[[AdapterFn], AdapterFn]:
     """Decorator: register ``adapter`` under ``name`` with its spec.
 
     The adapter function itself is returned unchanged so the module stays
-    plain; look the callable entry up with :func:`get_solver`.
+    plain; look the callable entry up with :func:`get_solver`.  ``batch``
+    optionally attaches a many-instances entry point, exposed as
+    :meth:`RegisteredSolver.run_batch` / :func:`solve_batch`.
     """
     if kind not in KINDS:
         raise ValueError(f"kind must be one of {KINDS}, got {kind!r}")
@@ -201,7 +249,11 @@ def register_solver(
             ),
         )
         _REGISTRY[name] = RegisteredSolver(
-            spec=spec, adapter=adapter, wrapped=tuple(wraps), _supports=supports
+            spec=spec,
+            adapter=adapter,
+            wrapped=tuple(wraps),
+            _supports=supports,
+            batch_adapter=batch,
         )
         return adapter
 
@@ -245,6 +297,11 @@ def solve_instance(
 ) -> SolverResult:
     """Convenience one-shot: ``get_solver(name)(instance, **options)``."""
     return get_solver(name)(instance, **options)
+
+
+def solve_batch(name: str, instances: object, **options: object) -> object:
+    """Convenience one-shot: ``get_solver(name).run_batch(instances, ...)``."""
+    return get_solver(name).run_batch(instances, **options)
 
 
 # ---------------------------------------------------------------------------

@@ -110,6 +110,55 @@ class TestPagers:
         assert outcome.found_cells == {0: 5}
 
 
+class TestSearchMany:
+    def _batch(self, rng, num_calls, num_cells):
+        priors_batch = []
+        true_cells_batch = []
+        for call in range(num_calls):
+            devices = 1 + call % 3  # mixed device counts across the batch
+            priors_batch.append([rng.dirichlet(np.ones(num_cells)) for _ in range(devices)])
+            true_cells_batch.append([call % num_cells] * devices)
+        return priors_batch, true_cells_batch
+
+    @pytest.mark.parametrize("solver", ["heuristic-fast", "heuristic-batch"])
+    def test_matches_per_call_search(self, rng, solver):
+        num_cells = 10
+        candidates = list(range(num_cells))
+        priors_batch, true_cells_batch = self._batch(rng, 7, num_cells)
+        pager = HeuristicPager(solver)
+        many = pager.search_many(
+            priors_batch, candidates, true_cells_batch, max_rounds=3,
+            num_cells=num_cells,
+        )
+        assert len(many) == 7
+        for priors, true_cells, outcome in zip(
+            priors_batch, true_cells_batch, many
+        ):
+            single = pager.search(
+                priors, candidates, true_cells, max_rounds=3, num_cells=num_cells
+            )
+            assert outcome.found_cells == single.found_cells
+            assert outcome.cells_paged == single.cells_paged
+            assert outcome.rounds_used == single.rounds_used
+            assert outcome.used_fallback == single.used_fallback
+
+    def test_fallback_calls_still_resolve(self, rng):
+        # Device 0 of call 1 sits outside the candidate set -> sweep.
+        num_cells = 12
+        candidates = [0, 1, 2, 3]
+        priors_batch = [
+            [rng.dirichlet(np.ones(num_cells))],
+            [rng.dirichlet(np.ones(num_cells))],
+        ]
+        outcomes = HeuristicPager("heuristic-batch").search_many(
+            priors_batch, candidates, [[2], [9]], max_rounds=2,
+            num_cells=num_cells,
+        )
+        assert not outcomes[0].used_fallback or outcomes[0].found_cells == {0: 2}
+        assert outcomes[1].used_fallback
+        assert outcomes[1].found_cells == {0: 9}
+
+
 class TestCostAwarePager:
     def test_finds_devices(self, rng):
         from repro.cellnet import CostAwarePager

@@ -1,0 +1,98 @@
+"""Backend selection, environment overrides, and graceful fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_batch
+from repro.core.backends import (
+    BACKENDS,
+    BackendUnavailableError,
+    available_backends,
+    compiled_available,
+    load_compiled,
+    resolve_backend,
+)
+
+
+def _tiny_batch():
+    rng = np.random.default_rng(np.random.SeedSequence(7, spawn_key=(0,)))
+    return rng.dirichlet(np.ones(8), size=(3, 2))
+
+
+class TestResolveBackend:
+    def test_numpy_is_always_resolvable(self):
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_auto_resolves_to_an_available_backend(self):
+        assert resolve_backend("auto") in available_backends()
+
+    def test_unknown_backend_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown planner backend"):
+            resolve_backend("fortran")
+
+    def test_available_backends_always_include_numpy(self):
+        assert "numpy" in available_backends()
+        assert set(available_backends()) <= set(BACKENDS)
+
+
+class TestDisableCompiled:
+    """REPRO_DISABLE_COMPILED simulates a machine without a toolchain.
+
+    The variable is checked before the per-process memo, so it works even
+    after the kernel has already been built and loaded in this process —
+    that is what lets one test process cover both configurations.
+    """
+
+    def test_compiled_reports_unavailable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_COMPILED", "1")
+        assert not compiled_available()
+        assert available_backends() == ("numpy",)
+
+    def test_load_compiled_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_COMPILED", "1")
+        with pytest.raises(BackendUnavailableError, match="REPRO_DISABLE_COMPILED"):
+            load_compiled()
+
+    def test_auto_falls_back_to_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_COMPILED", "1")
+        assert resolve_backend("auto") == "numpy"
+        result = plan_batch(_tiny_batch(), 2)
+        assert result.backend == "numpy"
+
+    def test_explicit_compiled_request_raises_instead_of_degrading(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_DISABLE_COMPILED", "1")
+        with pytest.raises(BackendUnavailableError):
+            resolve_backend("compiled")
+        with pytest.raises(BackendUnavailableError):
+            plan_batch(_tiny_batch(), 2, backend="compiled")
+
+
+class TestPlannerBackendOverride:
+    def test_forces_auto_to_numpy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER_BACKEND", "numpy")
+        assert resolve_backend("auto") == "numpy"
+        assert plan_batch(_tiny_batch(), 2).backend == "numpy"
+
+    def test_explicit_argument_beats_the_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER_BACKEND", "compiled")
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_forced_unknown_name_is_a_value_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLANNER_BACKEND", "fortran")
+        with pytest.raises(ValueError, match="unknown planner backend"):
+            resolve_backend("auto")
+
+
+@pytest.mark.skipif(not compiled_available(), reason="no C toolchain")
+class TestCompiledBackend:
+    def test_load_is_memoized(self):
+        assert load_compiled() is load_compiled()
+
+    def test_resolve_prefers_compiled(self):
+        assert resolve_backend("auto") == "compiled"
+        assert resolve_backend("compiled") == "compiled"
+
+    def test_plan_batch_reports_compiled(self):
+        assert plan_batch(_tiny_batch(), 2, backend="compiled").backend == "compiled"

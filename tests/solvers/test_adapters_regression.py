@@ -76,6 +76,11 @@ CASES = [
      lambda: _sv(conference_call_heuristic(SKEWED, max_rounds=2))),
     ("heuristic-fast", GADGET, {},
      lambda: _sv(conference_call_heuristic_fast(GADGET))),
+    # The batched planner promises bit-identity with the fast scalar one.
+    ("heuristic-batch", GADGET, {},
+     lambda: _sv(conference_call_heuristic_fast(GADGET))),
+    ("heuristic-batch", SKEWED, {"max_rounds": 2},
+     lambda: _sv(conference_call_heuristic_fast(SKEWED, max_rounds=2))),
     ("profile-heuristic", SKEWED, {},
      lambda: _sv(profile_heuristic(SKEWED))),
     ("two-round-split", GADGET, {},

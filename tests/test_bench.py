@@ -33,6 +33,14 @@ class TestRunBenchmarks:
         for value in smoke_payload["derived"].values():
             assert value > 0
 
+    def test_batched_planner_rows_per_backend(self, smoke_payload):
+        from repro.core import available_backends
+
+        names = [entry["name"] for entry in smoke_payload["benchmarks"]]
+        for backend in available_backends():
+            assert f"planner_batch_{backend}" in names
+        assert "planner_batch_speedup" in smoke_payload["derived"]
+
 
 class TestTrajectoryFiles:
     def test_index_increments(self, tmp_path, smoke_payload):
@@ -208,6 +216,32 @@ class TestDiffCli:
         ) == 2
         capsys.readouterr()
 
+    def test_fail_rows_gates_only_matching_regressions(self, tmp_path, capsys):
+        prev = self._write(
+            tmp_path, "BENCH_0.json",
+            _snapshot(0, {"planner_fast": 0.010, "runner_parallel": 0.100}),
+        )
+        slow_runner = self._write(
+            tmp_path, "BENCH_1.json",
+            _snapshot(1, {"planner_fast": 0.010, "runner_parallel": 0.200}),
+        )
+        slow_planner = self._write(
+            tmp_path, "BENCH_2.json",
+            _snapshot(2, {"planner_fast": 0.020, "runner_parallel": 0.100}),
+        )
+        # runner regression exists but does not match the gate regex.
+        assert cli_main(
+            ["bench", "--diff", str(prev), "--against", str(slow_runner),
+             "--fail-rows", "^planner"]
+        ) == 0
+        capsys.readouterr()
+        # planner regression matches and is fatal.
+        assert cli_main(
+            ["bench", "--diff", str(prev), "--against", str(slow_planner),
+             "--fail-rows", "^planner"]
+        ) == 1
+        capsys.readouterr()
+
     def test_script_wrapper_agrees(self, tmp_path):
         import subprocess
         import sys
@@ -222,3 +256,24 @@ class TestDiffCli:
         )
         assert proc.returncode == 1
         assert "REGRESSION" in proc.stdout
+
+    def test_script_wrapper_fail_rows(self, tmp_path):
+        import subprocess
+        import sys
+
+        root = Path(__file__).resolve().parents[1]
+        prev = self._write(tmp_path, "BENCH_0.json", _snapshot(0, {"b": 0.010}))
+        slow = self._write(tmp_path, "BENCH_1.json", _snapshot(1, {"b": 0.020}))
+        script = str(root / "scripts" / "bench_diff.py")
+        gated = subprocess.run(
+            [sys.executable, script, str(prev), str(slow),
+             "--fail-rows", "^planner"],
+            capture_output=True, text=True,
+        )
+        assert gated.returncode == 0  # regression on "b" does not match
+        fatal = subprocess.run(
+            [sys.executable, script, str(prev), str(slow), "--fail-rows", "^b"],
+            capture_output=True, text=True,
+        )
+        assert fatal.returncode == 1
+        assert "fatal regression" in fatal.stderr
