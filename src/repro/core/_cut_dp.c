@@ -156,6 +156,10 @@ static double *scratch_F(Scratch *s) {
 /* Lemma 4.7 cut DP over the padded scratch rows; returns feasibility. */
 static int cut_dp(Scratch *s, ptrdiff_t b, ptrdiff_t *sizes, double *value) {
     ptrdiff_t c = s->c, d = s->d;
+    /* A group can never exceed c cells, so b > c plans identically to
+     * b == c.  The clamp also keeps dp_level_blocked's gap loop (g up to
+     * min(j0 + BLK - 1, b)) inside the pad = c + 1 slots below each row. */
+    if (b > c) b = c;
     const double *F = scratch_F(s);
     double *base = scratch_row(s, 0);
     for (ptrdiff_t j = 0; j <= c; ++j)
@@ -194,6 +198,11 @@ static void prepare_instance(Scratch *s, const double *mat, ptrdiff_t m,
         const double *row = mat + dev * c;
         for (ptrdiff_t j = 0; j < c; ++j) w[j] += row[j];
     }
+    /* Canonicalize -0.0 to +0.0: the radix sort orders raw bit patterns,
+     * where -0.0 (0x8000...) would sort before every positive weight,
+     * while np.argsort treats -0.0 == 0.0 as a tie broken by index. */
+    for (ptrdiff_t j = 0; j < c; ++j)
+        if (w[j] == 0.0) w[j] = 0.0;
     radix_argsort_desc(w, order, s->ka, s->kb, s->ia, s->ib, c);
     for (ptrdiff_t dev = 0; dev < m; ++dev) {
         const double *row = mat + dev * c;

@@ -8,8 +8,9 @@ the Fig. 1 heuristic:
 * ``"compiled"`` — the C kernel in ``_cut_dp.c``, built on demand with the
   host C compiler and loaded through :mod:`ctypes`.  No build step, no new
   dependency: the first use compiles the shared object into a cache
-  directory keyed by the source hash, so rebuilds happen only when the
-  kernel source changes.
+  directory keyed by the source hash plus the toolchain fingerprint
+  (compiler, version, flags, machine), so rebuilds happen exactly when the
+  kernel source or the machine code it would produce changes.
 
 Backend selection is a *capability*, not a hard requirement:
 ``resolve_backend("auto")`` prefers the compiled kernel and silently falls
@@ -38,6 +39,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import platform
 import subprocess
 import tempfile
 from pathlib import Path
@@ -80,18 +82,35 @@ def _cache_dir() -> Path:
     return Path.home() / ".cache" / "repro"
 
 
-def _compiler() -> Optional[str]:
+def _compiler() -> Optional[Tuple[str, str]]:
+    """``(name, version banner)`` of the first working C compiler, if any."""
     for name in (os.environ.get("CC"), "cc", "gcc", "clang"):
         if not name:
             continue
         try:
-            subprocess.run(
+            probe = subprocess.run(
                 [name, "--version"], capture_output=True, check=True, timeout=30
             )
-            return name
         except (OSError, subprocess.SubprocessError):
             continue
+        banner = probe.stdout.decode(errors="replace").splitlines()
+        return name, banner[0] if banner else ""
     return None
+
+
+def _object_digest(source: str, compiler: str, version: str) -> str:
+    """Cache key for a built kernel object.
+
+    The digest covers everything that determines the machine code, not just
+    the C source: a cache directory shared across machines (REPRO_CACHE_DIR)
+    or a toolchain upgrade must not reuse a ``.so`` built with different
+    flags or for a different microarchitecture (``-march=native`` makes
+    that a SIGILL, not a clean fallback).
+    """
+    fingerprint = "\x00".join(
+        (source, compiler, version, " ".join(_CFLAGS), platform.machine())
+    )
+    return hashlib.sha256(fingerprint.encode()).hexdigest()[:16]
 
 
 def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
@@ -112,13 +131,17 @@ def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
 
 def _build_library() -> ctypes.CDLL:
     source = _SOURCE.read_text()
-    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    # The compiler probe runs even when a cached object exists: its identity
+    # is part of the cache key, so a toolchain change triggers a rebuild
+    # instead of loading an object compiled for a different setup.
+    found = _compiler()
+    if found is None:
+        raise BackendUnavailableError("no C compiler found on PATH")
+    compiler, version = found
+    digest = _object_digest(source, compiler, version)
     cache = _cache_dir()
     target = cache / f"cut_dp-{digest}.so"
     if not target.exists():
-        compiler = _compiler()
-        if compiler is None:
-            raise BackendUnavailableError("no C compiler found on PATH")
         cache.mkdir(parents=True, exist_ok=True)
         # Build into a private temp name, then atomically publish, so two
         # concurrent processes never load a half-written object.

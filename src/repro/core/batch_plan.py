@@ -151,7 +151,11 @@ def _validate_budget(c: int, d: int, b: Optional[int]) -> int:
         raise InfeasibleError(
             f"cannot page {c} cells within {d} rounds of at most {cap} cells each"
         )
-    return cap
+    # A group can never exceed c cells, so any cap above c plans identically
+    # to cap == c (the scalar planner's gap band enforces this implicitly).
+    # Clamping here keeps the compiled kernel's gap loop inside its padded
+    # scratch rows and canonicalizes the _gap_tables cache key.
+    return min(cap, c)
 
 
 def _cut_dp_numpy(
@@ -245,6 +249,8 @@ def optimize_cuts_batch(
     if chosen == "compiled":
         sizes, values, _feasible = _cut_dp_compiled(finds, c, d, b)
         return sizes, values
+    if finds.shape[0] == 0:
+        return np.empty((0, d), dtype=np.intp), np.empty(0, dtype=np.float64)
     step = _auto_chunk(c) if chunk is None else max(1, int(chunk))
     sizes_parts, values_parts = [], []
     for start in range(0, finds.shape[0], step):
@@ -331,6 +337,15 @@ def _plan_numpy(
     orders = np.argsort(-weights, axis=1, kind="stable").astype(np.intp)
     finds = prefix_stop_probabilities_batch(stacked, orders)
     batch, _m, c = stacked.shape
+    if batch == 0:
+        # Keep batch == 0 well-defined and backend-agnostic: the compiled
+        # kernel naturally returns empty arrays, so the numpy path must too.
+        return (
+            orders,
+            np.empty((0, d), dtype=np.intp),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=bool),
+        )
     step = _auto_chunk(c) if chunk is None else max(1, int(chunk))
     sizes_parts, values_parts, feasible_parts = [], [], []
     for start in range(0, batch, step):

@@ -7,6 +7,7 @@ from repro.core import plan_batch
 from repro.core.backends import (
     BACKENDS,
     BackendUnavailableError,
+    _object_digest,
     available_backends,
     compiled_available,
     load_compiled,
@@ -83,6 +84,35 @@ class TestPlannerBackendOverride:
         monkeypatch.setenv("REPRO_PLANNER_BACKEND", "fortran")
         with pytest.raises(ValueError, match="unknown planner backend"):
             resolve_backend("auto")
+
+
+class TestObjectDigest:
+    """The .so cache key covers the toolchain, not just the C source.
+
+    A cache directory shared across machines (REPRO_CACHE_DIR) or a
+    compiler upgrade must rebuild rather than reuse an object compiled
+    with -march=native for a different microarchitecture.
+    """
+
+    def test_source_changes_the_digest(self):
+        assert _object_digest("a", "cc", "v1") != _object_digest("b", "cc", "v1")
+
+    def test_compiler_identity_changes_the_digest(self):
+        assert _object_digest("a", "cc", "v1") != _object_digest("a", "clang", "v1")
+
+    def test_compiler_version_changes_the_digest(self):
+        assert _object_digest("a", "cc", "gcc 12.2") != _object_digest(
+            "a", "cc", "gcc 13.1"
+        )
+
+    def test_machine_changes_the_digest(self, monkeypatch):
+        import repro.core.backends as backends
+
+        before = _object_digest("a", "cc", "v1")
+        monkeypatch.setattr(
+            backends.platform, "machine", lambda: "other-arch"
+        )
+        assert _object_digest("a", "cc", "v1") != before
 
 
 @pytest.mark.skipif(not compiled_available(), reason="no C toolchain")

@@ -26,7 +26,9 @@ from repro.errors import InfeasibleError
 ROOT_SEED = 20020722
 
 #: (batch, devices, cells, rounds, max_group_size) — includes tight caps
-#: (d * b barely >= c), d = 1, c = 1, and cap-free rows.
+#: (d * b barely >= c), d = 1, c = 1, cap-free rows, and a cap above the
+#: cell count (b > c must plan exactly like b == c, and must stay inside
+#: the compiled kernel's scratch padding).
 SHAPES = [
     (16, 2, 12, 3, None),
     (16, 4, 30, 5, None),
@@ -34,6 +36,7 @@ SHAPES = [
     (8, 1, 10, 2, 5),
     (4, 2, 1, 1, None),
     (32, 4, 40, 8, 5),
+    (8, 2, 10, 2, 40),
 ]
 
 BACKENDS = available_backends()
@@ -87,7 +90,7 @@ def test_optimize_cuts_batch_equals_scalar_including_exact_ties(backend):
     random_rows = np.sort(rng.random((6, c + 1)), axis=1)
     random_rows[:, 0] = 0.0
     finds = np.vstack([tied, np.zeros(c + 1), np.ones(c + 1), random_rows])
-    for cap in (None, 6, c):
+    for cap in (None, 6, c, 3 * c):
         sizes, values = optimize_cuts_batch(
             finds, d, max_group_size=cap, backend=backend
         )
@@ -167,6 +170,53 @@ def test_plan_batch_raw_array_requires_rounds(rng):
         plan_batch(matrices)
     with pytest.raises(ValueError, match="batch, devices, cells"):
         plan_batch(matrices[0], 2)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cap_above_cell_count_plans_like_uncapped(backend):
+    # Any cap above c is equivalent to cap == c; the oversized cap must not
+    # read outside the compiled kernel's padded scratch rows.
+    _instances, matrices = _random_batch(3)
+    rounds = SHAPES[3][3]
+    cells = matrices.shape[2]
+    huge = plan_batch(matrices, rounds, max_group_size=4 * cells, backend=backend)
+    capped = plan_batch(matrices, rounds, max_group_size=cells, backend=backend)
+    assert bool(huge.feasible.all())
+    assert np.array_equal(huge.orders, capped.orders)
+    assert np.array_equal(huge.group_sizes, capped.group_sizes)
+    assert np.array_equal(huge.values, capped.values)
+    assert (huge.group_sizes <= cells).all()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_empty_batch_returns_empty_result(backend):
+    c, d = 8, 2
+    result = plan_batch(np.empty((0, 2, c)), d, backend=backend)
+    assert len(result) == 0
+    assert result.orders.shape == (0, c)
+    assert result.group_sizes.shape == (0, d)
+    assert result.values.shape == (0,)
+    assert result.feasible.shape == (0,)
+    sizes, values = optimize_cuts_batch(np.empty((0, c + 1)), d, backend=backend)
+    assert sizes.shape == (0, d)
+    assert values.shape == (0,)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_negative_zero_weights_tie_break_by_index(backend):
+    # np.argsort treats -0.0 == 0.0 as ties broken by original index; a raw
+    # bit-pattern sort would put -0.0 (sign bit set) before every positive
+    # weight.  Both backends must order ties identically.
+    c = 6
+    matrices = np.zeros((2, 2, c))
+    matrices[:, :, 1] = -0.0
+    matrices[:, :, 4] = -0.0
+    matrices[:, :, 3] = 0.25
+    result = plan_batch(matrices, 2, backend=backend)
+    expected = np.argsort(
+        -matrices.sum(axis=1), axis=1, kind="stable"
+    ).astype(np.intp)
+    assert np.array_equal(result.orders, expected)
 
 
 def test_stack_instances_rejects_mixed_shapes(rng):
