@@ -12,7 +12,12 @@ baseline.  This module times the named kernel pairs on pinned seeds —
 * a sweep over the ``repro.solvers`` registry: every no-required-option
   solver that supports the pinned instance is timed under its registry
   name (heuristic kinds on a large instance, exact/variant kinds on a
-  small one) —
+  small one),
+* the ``repro.service`` paging controller under a seeded closed-loop
+  workload, in two regimes: ``service_cold_cache`` (a fresh controller
+  per repeat — cache population plus batched planning) and
+  ``service_warm_cache`` (replaying the stream against warmed caches —
+  the steady-state hot path); per-pass hit rates land in the row params —
 
 and appends one schema'd snapshot (min/median per benchmark plus machine
 info) to the repo root as ``BENCH_<n>.json``, where ``n`` counts up from 0.
@@ -62,6 +67,11 @@ PROFILES: Dict[str, Dict[str, object]] = {
             "large": {"devices": 4, "cells": 250, "rounds": 5, "kinds": ["heuristic"]},
             "small": {"devices": 3, "cells": 9, "rounds": 3, "kinds": ["exact", "variant"]},
         },
+        "service": {
+            "requests": 20000, "areas": 64, "devices": 3, "cells": 40,
+            "rounds": 3, "profiles_per_area": 8, "hot_fraction": 0.97,
+            "seed": 20060, "shards": 4, "cache_size": 8192, "window": 64,
+        },
         "repeats": 5,
     },
     "smoke": {
@@ -73,6 +83,11 @@ PROFILES: Dict[str, Dict[str, object]] = {
         "solvers": {
             "large": {"devices": 3, "cells": 24, "rounds": 3, "kinds": ["heuristic"]},
             "small": {"devices": 2, "cells": 7, "rounds": 2, "kinds": ["exact", "variant"]},
+        },
+        "service": {
+            "requests": 1500, "areas": 8, "devices": 3, "cells": 12,
+            "rounds": 3, "profiles_per_area": 4, "hot_fraction": 0.95,
+            "seed": 20060, "shards": 2, "cache_size": 512, "window": 16,
         },
         "repeats": 2,
     },
@@ -326,6 +341,69 @@ def _bench_solvers(
     return timings
 
 
+def _bench_service(config: Dict[str, object], repeats: int) -> List[BenchmarkTiming]:
+    """Closed-loop service throughput in the cold- and warm-cache regimes.
+
+    *Cold* builds a fresh controller per repeat, so each timed pass pays
+    cache population and the batched planning of every distinct profile;
+    its hit rate is what workload recurrence alone buys.  *Warm* replays
+    the same stream against one already-populated controller — the
+    steady-state regime the >=10k req/s ROADMAP target speaks about.
+    Per-pass hit rates are recorded in the row params so the trajectory
+    captures quality of service, not just speed.
+    """
+    from .service import (
+        PagingController,
+        ServiceConfig,
+        WorkloadConfig,
+        build_requests,
+        run_closed_loop,
+    )
+
+    workload = WorkloadConfig(
+        requests=int(config["requests"]),
+        areas=int(config["areas"]),
+        devices=int(config["devices"]),
+        cells=int(config["cells"]),
+        rounds=int(config["rounds"]),
+        profiles_per_area=int(config["profiles_per_area"]),
+        hot_fraction=float(config["hot_fraction"]),
+        seed=int(config["seed"]),
+    )
+    service = ServiceConfig(
+        num_shards=int(config["shards"]),
+        cache_size=int(config["cache_size"]),
+        batch_window=int(config["window"]),
+    )
+    requests = build_requests(workload)
+
+    cold_report = run_closed_loop(PagingController(service), requests)
+    cold_times = _time(
+        lambda: run_closed_loop(PagingController(service), requests),
+        repeats=repeats,
+        warmup=False,
+    )
+    warm_controller = PagingController(service)
+    run_closed_loop(warm_controller, requests)
+    warm_report = run_closed_loop(warm_controller, requests)
+    warm_times = _time(
+        lambda: run_closed_loop(warm_controller, requests),
+        repeats=repeats,
+        warmup=False,
+    )
+    params = dict(config)
+    cold_params = dict(params)
+    cold_params["hit_rate"] = round(float(cold_report["hit_rate"]), 4)
+    cold_params["throughput_rps"] = round(float(cold_report["throughput_rps"]), 1)
+    warm_params = dict(params)
+    warm_params["hit_rate"] = round(float(warm_report["hit_rate"]), 4)
+    warm_params["throughput_rps"] = round(float(warm_report["throughput_rps"]), 1)
+    return [
+        BenchmarkTiming("service_cold_cache", cold_params, cold_times),
+        BenchmarkTiming("service_warm_cache", warm_params, warm_times),
+    ]
+
+
 def _speedup(results: Dict[str, BenchmarkTiming], slow: str, fast: str) -> float:
     return results[slow].min_s / max(results[fast].min_s, 1e-12)
 
@@ -345,6 +423,8 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
     timings += _bench_runner(sizes["runner"], repeats)  # type: ignore[arg-type]
     solver_timings = _bench_solvers(sizes["solvers"], repeats)  # type: ignore[arg-type]
     timings += solver_timings
+    service_timings = _bench_service(sizes["service"], repeats)  # type: ignore[arg-type]
+    timings += service_timings
     by_name = {timing.name: timing for timing in timings}
     # Per-instance speedup of the best batched backend over planner_fast.
     best_per_instance = min(
@@ -370,6 +450,9 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
             ),
             "runner_speedup": _speedup(by_name, "runner_serial", "runner_parallel"),
             "solvers_timed": float(len(solver_timings)),
+            # steady-state requests/sec of the paging controller (warm cache)
+            "service_throughput": int(sizes["service"]["requests"])  # type: ignore[index]
+            / max(by_name["service_warm_cache"].min_s, 1e-12),
         },
     }
 
@@ -684,7 +767,10 @@ def run_from_args(args: argparse.Namespace) -> int:
     derived = payload["derived"]
     print(f"trajectory written to {written}")
     for key in sorted(derived):  # type: ignore[union-attr]
-        print(f"  {key}: {derived[key]:.1f}x")  # type: ignore[index]
+        if key.endswith("_throughput"):
+            print(f"  {key}: {derived[key]:.0f}/s")  # type: ignore[index]
+        else:
+            print(f"  {key}: {derived[key]:.1f}x")  # type: ignore[index]
     return 0
 
 

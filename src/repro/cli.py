@@ -18,6 +18,9 @@ The commands cover the library's workflows:
   reproducibility, and paper-traceability rules; see docs/linting.md).
 * ``repro bench`` — time the batched/parallel kernels on pinned seeds and
   record a ``BENCH_<n>.json`` trajectory snapshot (see docs/performance.md).
+* ``repro serve-bench`` — drive a synthetic closed-loop workload through
+  the ``repro.service`` paging controller and report throughput, cache
+  hit rates, and batching behavior (see docs/service.md).
 * ``repro trace`` — summarize a ``trace.jsonl`` produced by the global
   ``--trace PATH`` flag (see docs/observability.md).
 
@@ -53,6 +56,7 @@ COMMAND_SUMMARY: "dict[str, str]" = {
     "render": "ASCII map of a network's areas or a plan",
     "lint": "domain-aware static analysis (RPL001-RPL010, --deep dataflow)",
     "bench": "record or diff BENCH_<n>.json performance snapshots",
+    "serve-bench": "closed-loop throughput benchmark of the paging service",
     "trace": "summarize a trace.jsonl written by --trace",
 }
 
@@ -281,6 +285,65 @@ def _build_parser() -> argparse.ArgumentParser:
         "bench", help="record a BENCH_<n>.json performance-trajectory snapshot"
     )
     add_bench_arguments(bench)
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="drive a closed-loop workload through the repro.service controller",
+    )
+    serve_bench.add_argument(
+        "--requests", type=int, default=20000, help="stream length"
+    )
+    serve_bench.add_argument(
+        "--areas", type=int, default=64, help="distinct location areas"
+    )
+    serve_bench.add_argument(
+        "--devices", type=int, default=3, help="devices per call (matrix rows)"
+    )
+    serve_bench.add_argument(
+        "--cells", type=int, default=40, help="cells per area (matrix columns)"
+    )
+    serve_bench.add_argument(
+        "--rounds", type=int, default=3, help="delay budget d"
+    )
+    serve_bench.add_argument(
+        "--profiles-per-area",
+        type=int,
+        default=8,
+        help="recurring profiles per area (the hot pool)",
+    )
+    serve_bench.add_argument(
+        "--hot-fraction",
+        type=float,
+        default=0.97,
+        help="probability a request re-asks a pooled profile",
+    )
+    serve_bench.add_argument(
+        "--seed", type=int, default=20060, help="workload stream seed"
+    )
+    serve_bench.add_argument(
+        "--shards", type=int, default=4, help="controller shard count"
+    )
+    serve_bench.add_argument(
+        "--cache-size", type=int, default=8192, help="LRU capacity per shard"
+    )
+    serve_bench.add_argument(
+        "--quantization-step",
+        type=float,
+        default=0.0,
+        help="cache-key probability bucket width (0 = bit-exact keys)",
+    )
+    serve_bench.add_argument(
+        "--solver",
+        default="heuristic-batch",
+        metavar="NAME",
+        help="registry solver answering the requests",
+    )
+    serve_bench.add_argument(
+        "--window", type=int, default=64, help="batch accumulation window size"
+    )
+    serve_bench.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
 
     from .obs.report import add_trace_arguments
 
@@ -606,6 +669,55 @@ def _command_bench(args: argparse.Namespace) -> int:
     return run_from_args(args)
 
 
+def _command_serve_bench(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, WorkloadConfig, serve_bench
+
+    try:
+        workload = WorkloadConfig(
+            requests=args.requests,
+            areas=args.areas,
+            devices=args.devices,
+            cells=args.cells,
+            rounds=args.rounds,
+            profiles_per_area=args.profiles_per_area,
+            hot_fraction=args.hot_fraction,
+            seed=args.seed,
+        )
+        config = ServiceConfig(
+            num_shards=args.shards,
+            cache_size=args.cache_size,
+            quantization_step=args.quantization_step,
+            solver=args.solver,
+            batch_window=args.window,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+    report = serve_bench(config, workload)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    print(
+        f"workload: {args.requests} requests over {args.areas} areas "
+        f"(m={args.devices}, c={args.cells}, d={args.rounds}, "
+        f"hot={args.hot_fraction:g})"
+    )
+    print(
+        f"service: solver={args.solver}, shards={args.shards}, "
+        f"cache={args.cache_size}/shard, step={args.quantization_step:g}, "
+        f"window={args.window}"
+    )
+    for regime in ("cold", "warm"):
+        pass_report = report[regime]
+        print(
+            f"{regime:>5}: {pass_report['throughput_rps']:>10.0f} req/s  "
+            f"hit-rate {pass_report['hit_rate']:.1%}  "
+            f"batches {pass_report['batches']}  "
+            f"mean batch {pass_report['mean_batch_size']:.1f}  "
+            f"shed {pass_report['sheds']}"
+        )
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from .obs.report import run_from_args
 
@@ -625,6 +737,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "render": _command_render,
         "lint": _command_lint,
         "bench": _command_bench,
+        "serve-bench": _command_serve_bench,
         "trace": _command_trace,
     }
     handler = handlers[args.command]

@@ -1,0 +1,163 @@
+"""The quantized LRU plan cache behind the paging-controller service.
+
+Why a cache pays off at all is an empirical fact about cellular systems:
+conditional location distributions *recur*.  Residence-time structure
+(Koukoutsidis et al., PAPERS.md) means the registry keeps answering
+call-setup requests for the same handful of per-area profiles, so a
+controller that remembers the plan for a profile it has already solved
+answers most traffic without touching a planner kernel.
+
+Keys are built by :func:`plan_cache_key` from everything that determines
+the plan: the probability profile (quantized to ``step``-wide buckets),
+the matrix shape, the delay budget ``d``, the per-round cap ``b``, the
+solver name, and any extra solver options.  ``step == 0`` disables
+quantization — the key is the raw IEEE-754 byte image of the matrix, so a
+hit is only possible for a *bit-identical* profile and the cached plan is
+bit-identical to a fresh ``solve_instance`` call (the property suite in
+``tests/service/test_controller.py`` asserts exactly that).
+
+For ``step > 0`` a hit may serve a plan computed for a *neighbouring*
+profile.  The error this introduces is bounded: two matrices that share a
+key differ by at most ``step`` per entry, so any strategy's expected
+paging differs by at most ``m * c * step`` per prefix-find term and
+``m * c^2 * step`` overall, and chaining the optimality of the cached
+plan on its own instance gives
+
+    EP_B(plan_A)  <=  EP_B(plan_B) + 2 * m * c^2 * step
+
+for exact solvers (:func:`quantization_bound` returns that right-hand
+slack).  Heuristic plans are within-order-optimal rather than optimal, so
+for them the bound is a validated property rather than a theorem — the
+seeded property test asserts it over random request streams.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+#: Cache keys: (solver, shape, rounds, cap, options, quantized profile bytes).
+CacheKey = Tuple[str, Tuple[int, int], int, Optional[int], Tuple[object, ...], bytes]
+
+
+def quantize_profile(matrix: np.ndarray, step: float) -> bytes:
+    """The byte image of ``matrix`` after snapping entries to ``step`` buckets.
+
+    ``step == 0`` returns the exact float64 byte image (bit-identity
+    regime); ``step > 0`` returns the int64 bucket indices
+    ``rint(p / step)``, so any two profiles within ``step / 2`` of the
+    same bucket centers collide.  Negative steps are rejected.
+    """
+    if step < 0.0:
+        raise ValueError(f"quantization step must be >= 0, got {step}")
+    stacked = np.asarray(matrix, dtype=np.float64)
+    if step > 0.0:
+        return np.rint(stacked / step).astype(np.int64).tobytes()
+    return stacked.tobytes()
+
+
+def plan_cache_key(
+    matrix: np.ndarray,
+    rounds: int,
+    max_group_size: Optional[int],
+    solver: str,
+    step: float,
+    options: Tuple[object, ...] = (),
+) -> CacheKey:
+    """Everything that determines a plan, hashable.
+
+    Two requests get the same key exactly when the configured solver
+    would be asked the same (quantized) question; the controller never
+    compares matrices entry-wise on the hot path.
+    """
+    stacked = np.asarray(matrix, dtype=np.float64)
+    if stacked.ndim != 2:
+        raise ValueError(f"expected an (m, c) matrix, got shape {stacked.shape}")
+    cap = None if max_group_size is None else int(max_group_size)
+    return (
+        solver,
+        (int(stacked.shape[0]), int(stacked.shape[1])),
+        int(rounds),
+        cap,
+        options,
+        quantize_profile(stacked, step),
+    )
+
+
+def quantization_bound(devices: int, cells: int, step: float) -> float:
+    """The expected-paging slack a ``step``-quantized cache hit may add.
+
+    Derivation (exact solvers; see the module docstring): same-key
+    matrices differ <= ``step`` per entry, each prefix sum by <=
+    ``cells * step``, each prefix-find product of ``devices`` factors in
+    [0, 1] by <= ``devices * cells * step``, and the Lemma 2.1 telescoped
+    objective sums those over at most ``cells`` cells.  Transferring the
+    cached plan's optimality across the two instances doubles it.
+    """
+    return 2.0 * float(devices) * float(cells) * float(cells) * float(step)
+
+
+class PlanCache:
+    """A bounded LRU map from :data:`CacheKey` to cached plans.
+
+    Pure single-threaded bookkeeping — the controller owns one per shard,
+    so no locking.  ``hits`` / ``misses`` / ``evictions`` are running
+    totals for :meth:`repro.service.PagingController.stats`.
+    """
+
+    __slots__ = ("maxsize", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError(f"cache maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def get(self, key: CacheKey) -> Optional[object]:
+        """The cached plan for ``key`` (refreshing recency), else ``None``."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, plan: object) -> None:
+        """Insert (or refresh) ``key``, evicting the least recent if full."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = plan
+            return
+        if len(entries) >= self.maxsize:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entries[key] = plan
+
+    def keys(self) -> Tuple[CacheKey, ...]:
+        """Current keys, least recently used first."""
+        return tuple(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (invalidation; counters are preserved)."""
+        self._entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

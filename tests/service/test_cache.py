@@ -1,0 +1,141 @@
+"""Unit tests for the quantized LRU plan cache (``repro.service.cache``)."""
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    PlanCache,
+    plan_cache_key,
+    quantization_bound,
+    quantize_profile,
+)
+
+
+def _matrix(seed=0, devices=2, cells=5):
+    rng = np.random.default_rng(seed)
+    matrix = rng.random((devices, cells))
+    matrix /= matrix.sum(axis=1, keepdims=True)
+    return matrix
+
+
+class TestQuantizeProfile:
+    def test_step_zero_is_the_exact_byte_image(self):
+        matrix = _matrix()
+        assert quantize_profile(matrix, 0.0) == matrix.tobytes()
+
+    def test_step_zero_distinguishes_one_ulp(self):
+        matrix = _matrix()
+        nudged = matrix.copy()
+        nudged[0, 0] = np.nextafter(nudged[0, 0], 1.0)
+        assert quantize_profile(matrix, 0.0) != quantize_profile(nudged, 0.0)
+
+    def test_positive_step_merges_nearby_profiles(self):
+        matrix = _matrix()
+        nudged = matrix + 1e-6
+        assert quantize_profile(matrix, 1e-3) == quantize_profile(nudged, 1e-3)
+
+    def test_positive_step_separates_distant_profiles(self):
+        matrix = _matrix()
+        shifted = matrix.copy()
+        shifted[0, 0] += 0.25
+        assert quantize_profile(matrix, 1e-3) != quantize_profile(shifted, 1e-3)
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_profile(_matrix(), -0.1)
+
+
+class TestPlanCacheKey:
+    def test_key_captures_every_plan_determinant(self):
+        matrix = _matrix()
+        base = plan_cache_key(matrix, 3, None, "heuristic-batch", 0.0)
+        assert plan_cache_key(matrix, 3, None, "heuristic-batch", 0.0) == base
+        assert plan_cache_key(matrix, 2, None, "heuristic-batch", 0.0) != base
+        assert plan_cache_key(matrix, 3, 2, "heuristic-batch", 0.0) != base
+        assert plan_cache_key(matrix, 3, None, "exact", 0.0) != base
+        other = plan_cache_key(_matrix(seed=1), 3, None, "heuristic-batch", 0.0)
+        assert other != base
+
+    def test_non_matrix_input_rejected(self):
+        with pytest.raises(ValueError):
+            plan_cache_key(np.ones(5), 2, None, "heuristic", 0.0)
+
+
+class TestQuantizationBound:
+    def test_formula(self):
+        assert quantization_bound(3, 10, 1e-3) == pytest.approx(
+            2.0 * 3 * 10 * 10 * 1e-3
+        )
+
+    def test_step_zero_means_zero_slack(self):
+        assert quantization_bound(4, 100, 0.0) == pytest.approx(0.0)
+
+    def test_monotone_in_every_argument(self):
+        base = quantization_bound(3, 10, 1e-3)
+        assert quantization_bound(4, 10, 1e-3) > base
+        assert quantization_bound(3, 11, 1e-3) > base
+        assert quantization_bound(3, 10, 2e-3) > base
+
+
+class TestPlanCache:
+    def _keys(self, count):
+        return [
+            plan_cache_key(_matrix(seed=seed), 3, None, "heuristic", 0.0)
+            for seed in range(count)
+        ]
+
+    def test_get_put_roundtrip(self):
+        cache = PlanCache(4)
+        key = self._keys(1)[0]
+        assert cache.get(key) is None
+        cache.put(key, "plan")
+        assert cache.get(key) == "plan"
+        assert key in cache
+        assert len(cache) == 1
+
+    def test_lru_eviction_order(self):
+        cache = PlanCache(3)
+        k0, k1, k2, k3 = self._keys(4)
+        cache.put(k0, "p0")
+        cache.put(k1, "p1")
+        cache.put(k2, "p2")
+        # touch k0 so k1 becomes the least recently used
+        assert cache.get(k0) == "p0"
+        cache.put(k3, "p3")
+        assert k1 not in cache
+        assert cache.keys() == (k2, k0, k3)
+        assert cache.evictions == 1
+
+    def test_put_refreshes_recency_and_value(self):
+        cache = PlanCache(2)
+        k0, k1, k2 = self._keys(3)
+        cache.put(k0, "p0")
+        cache.put(k1, "p1")
+        cache.put(k0, "p0-new")
+        cache.put(k2, "p2")
+        assert k1 not in cache
+        assert cache.get(k0) == "p0-new"
+
+    def test_counters(self):
+        cache = PlanCache(2)
+        k0, k1, k2 = self._keys(3)
+        cache.get(k0)
+        cache.put(k0, "p0")
+        cache.get(k0)
+        cache.put(k1, "p1")
+        cache.put(k2, "p2")
+        counters = cache.counters()
+        assert counters == {"size": 2, "hits": 1, "misses": 1, "evictions": 1}
+
+    def test_clear_preserves_counters(self):
+        cache = PlanCache(2)
+        key = self._keys(1)[0]
+        cache.put(key, "p")
+        cache.get(key)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 1
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)

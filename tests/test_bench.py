@@ -41,6 +41,21 @@ class TestRunBenchmarks:
             assert f"planner_batch_{backend}" in names
         assert "planner_batch_speedup" in smoke_payload["derived"]
 
+    def test_service_rows_record_throughput_and_hit_rate(self, smoke_payload):
+        rows = {
+            entry["name"]: entry
+            for entry in smoke_payload["benchmarks"]
+            if entry["name"].startswith("service_")
+        }
+        assert set(rows) == {"service_cold_cache", "service_warm_cache"}
+        for row in rows.values():
+            assert row["params"]["hit_rate"] >= 0.0
+            assert row["params"]["throughput_rps"] > 0.0
+        # warmed caches answer the whole replayed stream
+        assert rows["service_warm_cache"]["params"]["hit_rate"] == pytest.approx(1.0)
+        assert "service_throughput" in smoke_payload["derived"]
+        assert smoke_payload["derived"]["service_throughput"] > 0.0
+
 
 class TestTrajectoryFiles:
     def test_index_increments(self, tmp_path, smoke_payload):

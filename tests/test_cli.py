@@ -170,6 +170,32 @@ class TestTrace:
         assert "cannot read" in capsys.readouterr().err
 
 
+class TestServeBench:
+    _SMALL = [
+        "serve-bench", "--requests", "400", "--areas", "6", "--cells", "10",
+        "--profiles-per-area", "3", "--hot-fraction", "0.9", "--seed", "11",
+    ]
+
+    def test_text_report(self, capsys):
+        assert main(self._SMALL) == 0
+        out = capsys.readouterr().out
+        assert "400 requests over 6 areas" in out
+        assert "cold:" in out
+        assert "warm:" in out
+        assert "hit-rate" in out
+
+    def test_json_report(self, capsys):
+        assert main(self._SMALL + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro-serve-bench/1"
+        assert payload["warm"]["hit_rate"] == 1.0
+        assert payload["cold"]["throughput_rps"] > 0
+
+    def test_invalid_workload_fails_cleanly(self):
+        with pytest.raises(SystemExit, match="hot_fraction"):
+            main(["serve-bench", "--hot-fraction", "2.0"])
+
+
 class TestCommandSurface:
     """README table, --help epilog, and the parser must agree."""
 
@@ -185,7 +211,7 @@ class TestCommandSurface:
 
     def test_summary_matches_readme_table(self):
         readme = (Path(__file__).resolve().parent.parent / "README.md").read_text()
-        table_commands = re.findall(r"^\| `repro (\w+)` \|", readme, re.MULTILINE)
+        table_commands = re.findall(r"^\| `repro ([\w-]+)` \|", readme, re.MULTILINE)
         assert table_commands == list(COMMAND_SUMMARY)
 
     def test_help_epilog_lists_every_command(self):

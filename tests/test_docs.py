@@ -70,6 +70,15 @@ class TestCoverageFloors:
         assert "tracing" in joined
         assert "summarize" in joined
 
+    def test_service_page_demonstrates_the_controller(self):
+        blocks = python_blocks(DOCS_DIR / "service.md")
+        assert len(blocks) >= 4
+        joined = "\n".join(blocks)
+        assert "PagingController" in joined
+        assert "submit" in joined
+        assert "quantization_bound" in joined
+        assert "shed" in joined
+
 
 class TestTutorialClaims:
     """The tutorial's concrete numbers stay true as the code evolves."""
