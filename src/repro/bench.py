@@ -72,6 +72,11 @@ PROFILES: Dict[str, Dict[str, object]] = {
             "rounds": 3, "profiles_per_area": 8, "hot_fraction": 0.97,
             "seed": 20060, "shards": 4, "cache_size": 8192, "window": 64,
         },
+        "timevary": {
+            "radius": 3, "kind": "distance", "threshold": 2,
+            "candidates": [1, 2, 3], "rounds": 3, "call_rate": 0.08,
+            "stay": 0.4,
+        },
         "repeats": 5,
     },
     "smoke": {
@@ -88,6 +93,11 @@ PROFILES: Dict[str, Dict[str, object]] = {
             "requests": 1500, "areas": 8, "devices": 3, "cells": 12,
             "rounds": 3, "profiles_per_area": 4, "hot_fraction": 0.95,
             "seed": 20060, "shards": 2, "cache_size": 512, "window": 16,
+        },
+        "timevary": {
+            "radius": 2, "kind": "distance", "threshold": 2,
+            "candidates": [1, 2], "rounds": 3, "call_rate": 0.08,
+            "stay": 0.4,
         },
         "repeats": 2,
     },
@@ -404,6 +414,86 @@ def _bench_service(config: Dict[str, object], repeats: int) -> List[BenchmarkTim
     ]
 
 
+def _bench_timevary(config: Dict[str, object], repeats: int) -> List[BenchmarkTiming]:
+    """Conditional-prior re-planning and the HMY fixed-point iteration.
+
+    ``timevary_evaluate`` times one full registration-policy evaluation —
+    every reachable report age of every start cell re-planned through the
+    batched Fig. 1 kernel; it is the per-candidate cost the joint
+    iteration pays.  ``timevary_hmy`` times the whole alternation to its
+    fixed point over the candidate thresholds; the reached threshold,
+    cost, and convergence flag are recorded in the row params so the
+    trajectory tracks answer quality alongside speed.
+    """
+    from .cellnet import (
+        CellTopology,
+        RandomWalk,
+        evaluate_registration,
+        hmy_fixed_point,
+        random_walk_transition_matrix,
+    )
+
+    topology = CellTopology.hexagonal_disk(int(config["radius"]))
+    walk = RandomWalk(topology, stay_probability=float(config["stay"]))
+    matrix = random_walk_transition_matrix(walk, topology)
+    kind = str(config["kind"])
+    threshold = int(config["threshold"])
+    candidates = [int(value) for value in config["candidates"]]  # type: ignore[union-attr]
+    rounds = int(config["rounds"])
+    call_rate = float(config["call_rate"])
+
+    evaluation = evaluate_registration(
+        topology,
+        matrix,
+        kind=kind,
+        threshold=threshold,
+        max_rounds=rounds,
+        call_rate=call_rate,
+    )
+    evaluate_times = _time(
+        lambda: evaluate_registration(
+            topology,
+            matrix,
+            kind=kind,
+            threshold=threshold,
+            max_rounds=rounds,
+            call_rate=call_rate,
+        ),
+        repeats=repeats,
+    )
+    result = hmy_fixed_point(
+        topology,
+        matrix,
+        kind=kind,
+        candidates=candidates,
+        max_rounds=rounds,
+        call_rate=call_rate,
+    )
+    hmy_times = _time(
+        lambda: hmy_fixed_point(
+            topology,
+            matrix,
+            kind=kind,
+            candidates=candidates,
+            max_rounds=rounds,
+            call_rate=call_rate,
+        ),
+        repeats=repeats,
+    )
+    params = dict(config)
+    evaluate_params = dict(params)
+    evaluate_params["plans"] = evaluation.plans
+    evaluate_params["batched"] = evaluation.batched
+    hmy_params = dict(params)
+    hmy_params["fixed_point_threshold"] = result.threshold
+    hmy_params["fixed_point_cost"] = round(result.evaluation.combined_cost, 6)
+    hmy_params["converged"] = result.converged
+    return [
+        BenchmarkTiming("timevary_evaluate", evaluate_params, evaluate_times),
+        BenchmarkTiming("timevary_hmy", hmy_params, hmy_times),
+    ]
+
+
 def _speedup(results: Dict[str, BenchmarkTiming], slow: str, fast: str) -> float:
     return results[slow].min_s / max(results[fast].min_s, 1e-12)
 
@@ -425,6 +515,8 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
     timings += solver_timings
     service_timings = _bench_service(sizes["service"], repeats)  # type: ignore[arg-type]
     timings += service_timings
+    timevary_timings = _bench_timevary(sizes["timevary"], repeats)  # type: ignore[arg-type]
+    timings += timevary_timings
     by_name = {timing.name: timing for timing in timings}
     # Per-instance speedup of the best batched backend over planner_fast.
     best_per_instance = min(
@@ -453,6 +545,12 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
             # steady-state requests/sec of the paging controller (warm cache)
             "service_throughput": int(sizes["service"]["requests"])  # type: ignore[index]
             / max(by_name["service_warm_cache"].min_s, 1e-12),
+            # conditional-prior re-plans per second inside one policy
+            # evaluation (the inner loop of the HMY iteration)
+            "timevary_replans_per_s": int(
+                by_name["timevary_evaluate"].params["plans"]  # type: ignore[arg-type]
+            )
+            / max(by_name["timevary_evaluate"].min_s, 1e-12),
         },
     }
 

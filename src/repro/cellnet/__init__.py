@@ -64,6 +64,25 @@ from .simulator import (
     SimulationConfig,
     SimulationReport,
 )
+from .timevary import (
+    REGISTRATION_KINDS,
+    BeliefPropagator,
+    HMYResult,
+    HMYStep,
+    PolicyEvaluation,
+    RegistrationCycle,
+    distance_cycle,
+    empirical_transition_matrix,
+    evaluate_registration,
+    gravity_transition_matrix,
+    hmy_fixed_point,
+    random_walk_transition_matrix,
+    registration_cycle,
+    stationary_from_matrix,
+    timer_cycle,
+    transition_matrix,
+    validate_transition_matrix,
+)
 from .topology import CellTopology
 
 __all__ = [
@@ -104,11 +123,28 @@ __all__ = [
     "RegistryRecord",
     "ReportingPolicy",
     "ResilientPager",
+    "REGISTRATION_KINDS",
+    "BeliefPropagator",
+    "HMYResult",
+    "HMYStep",
+    "PolicyEvaluation",
+    "RegistrationCycle",
     "SimulationConfig",
     "SimulationReport",
     "TimerReport",
     "build_sub_instance",
+    "distance_cycle",
+    "empirical_transition_matrix",
+    "evaluate_registration",
     "generate_trace",
+    "gravity_transition_matrix",
+    "hmy_fixed_point",
+    "random_walk_transition_matrix",
+    "registration_cycle",
+    "stationary_from_matrix",
+    "timer_cycle",
+    "transition_matrix",
+    "validate_transition_matrix",
     "hex_disk",
     "hex_rectangle",
     "page_with_strategy",

@@ -39,6 +39,11 @@ class RandomWalk:
         self._topology = topology
         self._stay = stay_probability
 
+    @property
+    def stay_probability(self) -> float:
+        """The model's stay parameter (its kernel is a closed form of it)."""
+        return self._stay
+
     def step(self, cell: int, rng: np.random.Generator) -> int:
         if rng.random() < self._stay:
             return cell
@@ -51,9 +56,12 @@ class RandomWalk:
 class RandomWaypoint:
     """Walk shortest paths to random destinations, pausing in between.
 
-    Keeps one active path per device cell; because the model is stateful it
-    should not be shared between devices — the simulator instantiates one per
-    device.
+    Keeps one active path, so an instance models exactly *one* device.
+    Sharing one instance across devices silently corrupts every path (each
+    device keeps hijacking the other's journey); :meth:`step` detects the
+    interleaved calls and raises instead.  Use :meth:`clone_for_devices` to
+    mint one independent instance per device, and :meth:`reset` to reuse an
+    instance for a fresh trace.
     """
 
     def __init__(self, topology: CellTopology, *, pause_probability: float = 0.2) -> None:
@@ -62,17 +70,49 @@ class RandomWaypoint:
         self._topology = topology
         self._pause = pause_probability
         self._path: List[int] = []
+        self._last_cell: Optional[int] = None
+
+    @property
+    def pause_probability(self) -> float:
+        return self._pause
+
+    def reset(self) -> None:
+        """Forget the active path; the next step plans a fresh journey."""
+        self._path = []
+        self._last_cell = None
+
+    def clone_for_devices(self, count: int) -> List["RandomWaypoint"]:
+        """``count`` independent same-parameter instances, one per device."""
+        if count < 1:
+            raise SimulationError("count must be at least 1")
+        return [
+            RandomWaypoint(self._topology, pause_probability=self._pause)
+            for _ in range(count)
+        ]
 
     def step(self, cell: int, rng: np.random.Generator) -> int:
+        if (
+            self._path
+            and self._last_cell is not None
+            and cell != self._last_cell
+        ):
+            raise SimulationError(
+                "RandomWaypoint stepped from a cell it never returned while "
+                "mid-journey — one instance is being shared across devices; "
+                "use clone_for_devices() (or reset() between traces)"
+            )
         if rng.random() < self._pause:
+            self._last_cell = cell
             return cell
         if not self._path or self._path[0] != cell:
             destination = int(rng.integers(self._topology.num_cells))
             self._path = self._topology.shortest_path(cell, destination)
         if len(self._path) <= 1:
             self._path = []
+            self._last_cell = cell
             return cell
         self._path = self._path[1:]
+        self._last_cell = self._path[0]
         return self._path[0]
 
 
@@ -95,6 +135,15 @@ class GravityMobility:
         self._topology = topology
         self._attraction = [float(weight) for weight in attraction]
         self._stay_bonus = stay_bonus
+
+    @property
+    def attraction(self) -> List[float]:
+        """Per-cell attraction weights (the kernel is a closed form of them)."""
+        return list(self._attraction)
+
+    @property
+    def stay_bonus(self) -> float:
+        return self._stay_bonus
 
     def step(self, cell: int, rng: np.random.Generator) -> int:
         candidates = [cell] + list(self._topology.neighbors(cell))
@@ -137,6 +186,10 @@ def stationary_distribution(
     Used by the end-to-end experiment to obtain the "true" location
     distribution against which the trace-based estimator is judged.
     """
+    if burn_in < 0:
+        raise SimulationError("burn_in must be non-negative")
+    if samples < 1:
+        raise SimulationError("samples must be at least 1")
     if rng is None:
         rng = np.random.default_rng(0)
     cell = start_cell
@@ -149,4 +202,7 @@ def stationary_distribution(
     distribution = np.zeros(topology.num_cells)
     for visited, count in counts.items():
         distribution[visited] = count
-    return distribution / distribution.sum()
+    total = distribution.sum()
+    if total <= 0:
+        raise SimulationError("trace produced no visits; cannot normalize")
+    return distribution / total

@@ -35,6 +35,7 @@ from .location_areas import LocationAreaPlan
 from .metrics import CallRecord, LinkUsageMetrics
 from .mobility import MobilityModel
 from .paging import PAGER_FACTORIES, PagingOutcome
+from .timevary import BeliefPropagator, transition_matrix
 from .reporting import (
     AlwaysReport,
     DistanceReport,
@@ -61,8 +62,13 @@ class SimulationConfig:
     prior_smoothing: float = 1.0
     #: "online" learns per-device profiles from observed positions (the
     #: paper's cited profile-based estimation); "uniform" never learns —
-    #: the ablation that shows what the profiles are worth.
+    #: the ablation that shows what the profiles are worth; "conditional"
+    #: evolves the belief from each device's last *successful* report via
+    #: matrix-power propagation of its mobility kernel (docs/timevary.md).
     prior_mode: str = "online"
+    #: trace length for empirically-estimated transition matrices in
+    #: ``prior_mode="conditional"`` (stateful models without a closed form).
+    transition_samples: int = 4_000
     #: mean call length in steps; while on a call a device talks to its base
     #: station continuously, so the system tracks its cell exactly (paper
     #: Section 1.1).  0 disables durations (calls are instantaneous).
@@ -88,8 +94,10 @@ class SimulationConfig:
             )
         if self.reporting not in ("never", "always", "la", "distance", "timer"):
             raise SimulationError(f"unknown reporting policy {self.reporting!r}")
-        if self.prior_mode not in ("online", "uniform"):
+        if self.prior_mode not in ("online", "uniform", "conditional"):
             raise SimulationError(f"unknown prior mode {self.prior_mode!r}")
+        if self.transition_samples < 1:
+            raise SimulationError("transition_samples must be positive")
         if self.faults is not None and not isinstance(self.faults, FaultModel):
             raise SimulationError("faults must be a cellnet.faults.FaultModel")
         if self.recovery is not None and not isinstance(self.recovery, RecoveryPolicy):
@@ -166,6 +174,33 @@ class CellularSimulator:
         self._calls = PoissonConferenceCalls(
             config.call_rate, len(mobility_models)
         ) if len(mobility_models) >= 2 else None
+        # Conditional priors need each device's one-step kernel; deriving it
+        # here (and only here) keeps "online"/"uniform" runs bit-identical to
+        # the pre-timevary engine on the same seed — empirical estimation is
+        # the only path that consumes rng draws.  Shared model instances
+        # share one propagator (the kernel is a property of the model).
+        self._propagators: List[Optional[BeliefPropagator]] = []
+        if config.prior_mode == "conditional":
+            by_model: Dict[int, BeliefPropagator] = {}
+            for model in mobility_models:
+                key = id(model)
+                if key not in by_model:
+                    by_model[key] = BeliefPropagator(
+                        transition_matrix(
+                            model,
+                            topology,
+                            rng=rng,
+                            samples=config.transition_samples,
+                        )
+                    )
+                    reset = getattr(model, "reset", None)
+                    if callable(reset):
+                        # stateful models replan from scratch after the
+                        # estimation trace, so per-device paths stay coherent
+                        reset()
+                self._propagators.append(by_model[key])
+        else:
+            self._propagators = [None] * len(mobility_models)
 
         c = topology.num_cells
         self._devices: List[DeviceState] = []
@@ -223,18 +258,33 @@ class CellularSimulator:
         if config.reporting == "distance":
             assert record.reported_cell is not None
             radius = config.distance_threshold
+            # DistanceReport fires at hop_distance >= threshold, so between
+            # delivered reports the device is provably strictly inside the
+            # ring; paging the boundary ring would be wasted bandwidth.  The
+            # fallback sweep stays as the safety net under update loss.
             return tuple(
                 cell
                 for cell in range(self._topology.num_cells)
-                if self._topology.hop_distance(record.reported_cell, cell) <= radius
+                if self._topology.hop_distance(record.reported_cell, cell) < radius
             )
         # never / timer: no usable bound — the whole network is a candidate.
         return tuple(range(self._topology.num_cells))
 
-    def _prior(self, device: int) -> np.ndarray:
+    def _prior(self, device: int, time: int) -> np.ndarray:
         if self._config.prior_mode == "uniform":
             c = self._topology.num_cells
             return np.full(c, 1.0 / c)
+        if self._config.prior_mode == "conditional":
+            propagator = self._propagators[device]
+            record = self._registry.lookup(device)
+            if propagator is not None and record.reported_cell is not None:
+                # Evolve from the last *successful* report (or confirmed
+                # fix): the registry only advances on delivered updates, so
+                # under update loss the belief correctly keeps aging from
+                # the last message that actually arrived.
+                return propagator.distribution(
+                    record.reported_cell, max(0, record.age(time))
+                )
         counts = self._devices[device].visit_counts
         return counts / counts.sum()
 
@@ -288,7 +338,7 @@ class CellularSimulator:
                 for cell in self._candidate_cells(device, request.time)
             }
         )
-        priors = [self._prior(device) for device in participants]
+        priors = [self._prior(device, request.time) for device in participants]
         true_cells = [self._devices[device].cell for device in participants]
         if self._resilient is None:
             outcome = self._pager.search(
@@ -390,6 +440,10 @@ class CellularSimulator:
     def device_cell(self, device: int) -> int:
         return self._devices[device].cell
 
-    def estimated_prior(self, device: int) -> np.ndarray:
-        """The online-estimated distribution (for estimation-quality checks)."""
-        return self._prior(device)
+    def estimated_prior(self, device: int, time: int = 0) -> np.ndarray:
+        """The current belief (for estimation-quality checks).
+
+        ``time`` only matters in ``prior_mode="conditional"``, where it sets
+        the age of the last report the belief is evolved from.
+        """
+        return self._prior(device, time)

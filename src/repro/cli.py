@@ -57,6 +57,7 @@ COMMAND_SUMMARY: "dict[str, str]" = {
     "lint": "domain-aware static analysis (RPL001-RPL010, --deep dataflow)",
     "bench": "record or diff BENCH_<n>.json performance snapshots",
     "serve-bench": "closed-loop throughput benchmark of the paging service",
+    "timevary": "run the joint paging/registration (HMY) iteration",
     "trace": "summarize a trace.jsonl written by --trace",
 }
 
@@ -182,6 +183,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default="la",
     )
     simulate.add_argument("--rounds", type=int, default=3, help="paging delay budget")
+    simulate.add_argument(
+        "--prior-mode",
+        choices=("online", "uniform", "conditional"),
+        default="online",
+        help="device prior: learned profile, uniform, or belief evolved "
+        "from the last successful report (docs/timevary.md)",
+    )
+    simulate.add_argument(
+        "--distance-threshold",
+        type=int,
+        default=2,
+        help="hops that trigger a distance report (with --reporting distance)",
+    )
     simulate.add_argument("--seed", type=int, default=2002)
     simulate.add_argument(
         "--page-loss",
@@ -344,6 +358,54 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_bench.add_argument(
         "--json", action="store_true", help="emit the full report as JSON"
     )
+
+    timevary = commands.add_parser(
+        "timevary",
+        help="alternate registration and re-planned paging to a fixed point",
+    )
+    timevary.add_argument("--radius", type=int, default=3, help="hex disk radius")
+    timevary.add_argument(
+        "--kind",
+        choices=("timer", "distance"),
+        default="timer",
+        help="registration policy family to optimize",
+    )
+    timevary.add_argument(
+        "--candidates",
+        default=None,
+        metavar="T1,T2,...",
+        help="threshold candidates (default 2,5,10,20 timer / 1,2,3,4 distance)",
+    )
+    timevary.add_argument(
+        "--model",
+        choices=("walk", "gravity", "waypoint"),
+        default="gravity",
+        help="mobility model whose kernel drives belief propagation",
+    )
+    timevary.add_argument(
+        "--stay", type=float, default=0.4, help="random-walk stay probability"
+    )
+    timevary.add_argument("--rounds", type=int, default=3, help="paging delay budget")
+    timevary.add_argument("--call-rate", type=float, default=0.08)
+    timevary.add_argument(
+        "--report-cost",
+        type=float,
+        default=1.0,
+        help="uplink cost of one location update, relative to one page",
+    )
+    timevary.add_argument(
+        "--planner",
+        default="heuristic-batch",
+        metavar="NAME",
+        help="registry solver that re-plans paging from conditional priors",
+    )
+    timevary.add_argument(
+        "--samples",
+        type=int,
+        default=20_000,
+        help="trace length for empirically-estimated kernels (waypoint)",
+    )
+    timevary.add_argument("--seed", type=int, default=2026)
 
     from .obs.report import add_trace_arguments
 
@@ -564,6 +626,8 @@ def _command_simulate(args: argparse.Namespace) -> int:
         max_paging_rounds=args.rounds,
         reporting=args.reporting,
         pager=args.pager,
+        prior_mode=args.prior_mode,
+        distance_threshold=args.distance_threshold,
         faults=None if faults.is_zero else faults,
         recovery=None if faults.is_zero else RecoveryPolicy(max_retries=args.retries),
     )
@@ -718,6 +782,68 @@ def _command_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_timevary(args: argparse.Namespace) -> int:
+    from .cellnet import (
+        CellTopology,
+        GravityMobility,
+        RandomWalk,
+        RandomWaypoint,
+        hmy_fixed_point,
+        transition_matrix,
+    )
+
+    topology = CellTopology.hexagonal_disk(args.radius)
+    rng = np.random.default_rng(args.seed)
+    if args.model == "walk":
+        model = RandomWalk(topology, stay_probability=args.stay)
+    elif args.model == "gravity":
+        attraction = np.random.default_rng(args.seed + 1).uniform(
+            0.5, 3.0, size=topology.num_cells
+        )
+        model = GravityMobility(topology, attraction)
+    else:
+        model = RandomWaypoint(topology)
+    matrix = transition_matrix(
+        model, topology, rng=rng, samples=args.samples
+    )
+    if args.candidates is not None:
+        try:
+            candidates = [int(part) for part in args.candidates.split(",")]
+        except ValueError as error:
+            raise SystemExit(f"could not parse candidates: {error}")
+    elif args.kind == "timer":
+        candidates = [2, 5, 10, 20]
+    else:
+        candidates = [1, 2, 3, 4]
+    result = hmy_fixed_point(
+        topology,
+        matrix,
+        kind=args.kind,
+        candidates=candidates,
+        max_rounds=args.rounds,
+        call_rate=args.call_rate,
+        report_cost=args.report_cost,
+        planner=args.planner,
+    )
+    print(
+        f"network: {topology.num_cells} cells  mobility: {args.model}  "
+        f"policy: {args.kind} over {candidates}"
+    )
+    for step in result.trajectory:
+        print(
+            f"  iter {step.iteration} ({step.phase:>12}): threshold "
+            f"{step.evaluation.threshold:>3}  cost {step.evaluation.combined_cost:.6f}  "
+            f"(paging/call {step.evaluation.paging_per_call:.3f}, "
+            f"report-rate {step.evaluation.report_rate:.4f})"
+        )
+    status = "converged" if result.converged else "iteration cap reached"
+    print(
+        f"fixed point: {args.kind} threshold {result.threshold} at combined "
+        f"cost {result.evaluation.combined_cost:.6f} ({status})"
+    )
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from .obs.report import run_from_args
 
@@ -738,6 +864,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _command_lint,
         "bench": _command_bench,
         "serve-bench": _command_serve_bench,
+        "timevary": _command_timevary,
         "trace": _command_trace,
     }
     handler = handlers[args.command]

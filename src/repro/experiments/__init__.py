@@ -52,6 +52,7 @@ from .system import (
     run_e13_cellnet,
     run_e13_reporting_tradeoff,
     run_e27_batched_replanning,
+    run_e28_timevary,
 )
 from .tables import ExperimentTable, render_all
 
@@ -92,6 +93,7 @@ __all__ = [
     "run_e25_weighted_costs",
     "run_e26_learning_curve",
     "run_e27_batched_replanning",
+    "run_e28_timevary",
     "run_experiments",
     "save_report",
     "spawn_task_seed",

@@ -65,6 +65,7 @@ from .system import (
     run_e13_cellnet,
     run_e13_reporting_tradeoff,
     run_e27_batched_replanning,
+    run_e28_timevary,
 )
 from .tables import ExperimentTable, render_all
 
@@ -99,6 +100,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
     "E25": run_e25_weighted_costs,
     "E26": run_e26_learning_curve,
     "E27": run_e27_batched_replanning,
+    "E28": run_e28_timevary,
 }
 
 

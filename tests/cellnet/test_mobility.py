@@ -57,6 +57,57 @@ class TestRandomWaypoint:
             RandomWaypoint(topology, pause_probability=-0.1)
 
 
+class TestRandomWaypointSharing:
+    """One instance = one device; sharing silently corrupted paths."""
+
+    def test_sharing_across_devices_raises(self, topology, rng):
+        model = RandomWaypoint(topology, pause_probability=0.0)
+        cells = [0, topology.num_cells - 1]
+        with pytest.raises(SimulationError, match="shared across devices"):
+            for _ in range(50):
+                cells = [model.step(cell, rng) for cell in cells]
+
+    def test_clones_prevent_the_divergence(self, topology, rng):
+        """The same interleaving is fine with one clone per device."""
+        clones = RandomWaypoint(
+            topology, pause_probability=0.0
+        ).clone_for_devices(2)
+        cells = [0, topology.num_cells - 1]
+        for _ in range(50):
+            cells = [
+                clone.step(cell, rng) for clone, cell in zip(clones, cells)
+            ]
+        for cell in cells:
+            assert 0 <= cell < topology.num_cells
+
+    def test_clone_parameters_and_independence(self, topology):
+        original = RandomWaypoint(topology, pause_probability=0.35)
+        clones = original.clone_for_devices(3)
+        assert len(clones) == 3
+        assert len({id(clone) for clone in clones}) == 3
+        for clone in clones:
+            assert clone.pause_probability == original.pause_probability
+            assert clone is not original
+
+    def test_clone_count_validated(self, topology):
+        with pytest.raises(SimulationError, match="count"):
+            RandomWaypoint(topology).clone_for_devices(0)
+
+    def test_reset_allows_reusing_one_instance(self, topology, rng):
+        model = RandomWaypoint(topology, pause_probability=0.0)
+        generate_trace(model, 0, 30, rng)
+        model.reset()
+        # a fresh trace from a different start is legitimate after reset
+        trace = generate_trace(model, topology.num_cells - 1, 30, rng)
+        assert len(trace) == 31
+
+    def test_sequential_traces_from_same_cell_still_work(self, topology, rng):
+        """The guard must not false-positive on honest single-device use."""
+        model = RandomWaypoint(topology, pause_probability=0.2)
+        trace = generate_trace(model, 0, 100, rng)
+        generate_trace(model, trace[-1], 100, rng)
+
+
 class TestGravity:
     def test_biases_toward_attractive_cells(self, topology, rng):
         attraction = np.ones(topology.num_cells)
@@ -92,3 +143,23 @@ class TestTraces:
         occupancy = stationary_distribution(model, topology, samples=2_000, rng=rng)
         assert occupancy.sum() == pytest.approx(1.0)
         assert len(occupancy) == topology.num_cells
+
+    def test_stationary_distribution_rejects_zero_samples(self, topology, rng):
+        """samples=0 used to return a silent NaN array via 0/0."""
+        with pytest.raises(SimulationError, match="samples"):
+            stationary_distribution(
+                RandomWalk(topology), topology, samples=0, rng=rng
+            )
+
+    def test_stationary_distribution_rejects_negative_burn_in(self, topology, rng):
+        with pytest.raises(SimulationError, match="burn_in"):
+            stationary_distribution(
+                RandomWalk(topology), topology, burn_in=-1, rng=rng
+            )
+
+    def test_stationary_distribution_never_returns_nan(self, topology, rng):
+        occupancy = stationary_distribution(
+            RandomWalk(topology), topology, burn_in=0, samples=1, rng=rng
+        )
+        assert not np.isnan(occupancy).any()
+        assert occupancy.sum() == pytest.approx(1.0)

@@ -179,6 +179,139 @@ class TestPriorModes:
         )
 
 
+class LegacyRingSimulator(CellularSimulator):
+    """The pre-fix candidate ring: pages ``hop_distance <= threshold``.
+
+    ``DistanceReport`` fires at ``>= threshold``, so un-reported drift is
+    strictly inside the ring; the outermost ring the old code paged can
+    never hold the device in a fault-free run.
+    """
+
+    def _candidate_cells(self, device, time):
+        record = self.registry.lookup(device)
+        config = self._config  # noqa: SLF001 - deliberate legacy replay
+        if config.reporting == "distance" and record.confirmed_cell is None:
+            radius = config.distance_threshold
+            return tuple(
+                cell
+                for cell in range(self._topology.num_cells)  # noqa: SLF001
+                if self._topology.hop_distance(record.reported_cell, cell)  # noqa: SLF001
+                <= radius
+            )
+        return super()._candidate_cells(device, time)
+
+
+class TestDistanceRingFix:
+    """Regression for the candidate-ring off-by-one (ISSUE 9 headline)."""
+
+    def build(self, simulator_cls, seed=11):
+        rng = np.random.default_rng(seed)
+        topology = CellTopology.hexagonal_disk(2)
+        plan = LocationAreaPlan.by_bfs(topology, 3)
+        models = [RandomWalk(topology, stay_probability=0.3) for _ in range(4)]
+        config = SimulationConfig(
+            horizon=200, call_rate=0.1, max_paging_rounds=3,
+            reporting="distance", pager="heuristic",
+        )
+        return simulator_cls(topology, plan, models, config, rng=rng)
+
+    def test_tight_ring_pages_strictly_fewer_cells_at_equal_found_rate(self):
+        fixed = self.build(CellularSimulator).run()
+        legacy = self.build(LegacyRingSimulator).run()
+        # identical call stream, every device found in both runs...
+        assert fixed.metrics.calls_handled == legacy.metrics.calls_handled
+        assert fixed.metrics.calls_handled > 0
+        assert all(
+            record.failed_devices == 0 for record in fixed.metrics.call_records
+        )
+        assert fixed.metrics.fallback_searches == 0
+        # ...for strictly fewer cells paged: the boundary ring was waste.
+        assert fixed.metrics.cells_paged < legacy.metrics.cells_paged
+
+    def test_device_always_inside_open_ring_without_faults(self):
+        """The invariant the fix relies on, checked against ground truth."""
+        simulator = self.build(CellularSimulator)
+        simulator.run()
+        threshold = simulator._config.distance_threshold  # noqa: SLF001
+        for device in simulator.registry.known_devices():
+            record = simulator.registry.lookup(device)
+            distance = simulator._topology.hop_distance(  # noqa: SLF001
+                record.reported_cell, simulator.device_cell(device)
+            )
+            assert distance < threshold
+
+
+class TestConditionalPriors:
+    def test_config_accepts_conditional(self):
+        config = SimulationConfig(prior_mode="conditional")
+        assert config.prior_mode == "conditional"
+
+    def test_rejects_nonpositive_transition_samples(self):
+        with pytest.raises(SimulationError, match="transition_samples"):
+            SimulationConfig(transition_samples=0)
+
+    def test_conditional_beats_online_under_distance_reporting(self):
+        """The acceptance bar: evolved beliefs page fewer cells per call."""
+        online = build_simulator(
+            pager="heuristic-batch", reporting="distance", horizon=300
+        ).run()
+        conditional = build_simulator(
+            pager="heuristic-batch", reporting="distance", horizon=300,
+            prior_mode="conditional",
+        ).run()
+        assert conditional.metrics.calls_handled == online.metrics.calls_handled
+        assert (
+            conditional.metrics.mean_cells_per_call
+            < online.metrics.mean_cells_per_call
+        )
+
+    def test_conditional_prior_is_normalized_and_evolves(self):
+        simulator = build_simulator(
+            reporting="distance", horizon=50, prior_mode="conditional"
+        )
+        simulator.run()
+        fresh = simulator.estimated_prior(0, time=50)
+        assert fresh.sum() == pytest.approx(1.0)
+        record = simulator.registry.lookup(0)
+        # at the report instant the belief is a point mass at the reported
+        # cell; it spreads as the report ages
+        at_report = simulator.estimated_prior(0, time=record.updated_at)
+        assert at_report[record.reported_cell] == pytest.approx(1.0)
+        aged = simulator.estimated_prior(0, time=record.updated_at + 10)
+        assert aged[record.reported_cell] < 1.0
+        assert aged.sum() == pytest.approx(1.0)
+
+    def test_conditional_mode_is_deterministic(self):
+        first = build_simulator(
+            reporting="distance", prior_mode="conditional"
+        ).run()
+        second = build_simulator(
+            reporting="distance", prior_mode="conditional"
+        ).run()
+        assert first.metrics == second.metrics
+
+    def test_conditional_mode_works_with_stateful_models(self):
+        """RandomWaypoint kernels are estimated empirically, then reset."""
+        from repro.cellnet import RandomWaypoint
+
+        rng = np.random.default_rng(5)
+        topology = CellTopology.hexagonal_disk(2)
+        plan = LocationAreaPlan.by_bfs(topology, 3)
+        models = RandomWaypoint(topology).clone_for_devices(3)
+        config = SimulationConfig(
+            horizon=120, call_rate=0.15, reporting="timer",
+            prior_mode="conditional", transition_samples=500,
+        )
+        report = CellularSimulator(topology, plan, models, config, rng=rng).run()
+        assert report.metrics.calls_handled > 0
+
+    def test_non_conditional_streams_unchanged(self):
+        """Adding the machinery must not shift legacy rng streams."""
+        report = build_simulator(reporting="distance").run()
+        again = build_simulator(reporting="distance").run()
+        assert report.metrics == again.metrics
+
+
 class TestCallDurations:
     def test_rejects_negative_duration(self):
         with pytest.raises(SimulationError):
