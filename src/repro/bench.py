@@ -77,6 +77,11 @@ PROFILES: Dict[str, Dict[str, object]] = {
             "candidates": [1, 2, 3], "rounds": 3, "call_rate": 0.08,
             "stay": 0.4,
         },
+        "contention": {
+            "radius": 3, "devices": 10, "areas": 4, "horizon": 1200,
+            "call_rate": 2.0, "capacity": 1, "carriers": 2, "rounds": 3,
+            "max_wait": 8, "seed": 29,
+        },
         "repeats": 5,
     },
     "smoke": {
@@ -98,6 +103,11 @@ PROFILES: Dict[str, Dict[str, object]] = {
             "radius": 2, "kind": "distance", "threshold": 2,
             "candidates": [1, 2], "rounds": 3, "call_rate": 0.08,
             "stay": 0.4,
+        },
+        "contention": {
+            "radius": 2, "devices": 6, "areas": 3, "horizon": 150,
+            "call_rate": 0.8, "capacity": 1, "carriers": 1, "rounds": 3,
+            "max_wait": 8, "seed": 29,
         },
         "repeats": 2,
     },
@@ -494,6 +504,74 @@ def _bench_timevary(config: Dict[str, object], repeats: int) -> List[BenchmarkTi
     ]
 
 
+def _bench_contention(
+    config: Dict[str, object], repeats: int
+) -> List[BenchmarkTiming]:
+    """The event-driven engine: contended setup and legacy-path overhead.
+
+    ``contention_engine`` times a heavy-traffic run — Poisson arrivals on
+    finite per-cell channels, every setup queued through the
+    :class:`~repro.cellnet.engine.ChannelScheduler` — and records the run's
+    blocking probability in the row params so throughput is never read
+    apart from the loss it came with.  ``contention_legacy_path`` times the
+    *same* network with ``channel_capacity=None``: the engine façade
+    replaying the historic step loop, i.e. the refactor's overhead on every
+    pre-existing configuration.
+    """
+    from .cellnet import (
+        CellTopology,
+        CellularSimulator,
+        LocationAreaPlan,
+        RandomWalk,
+        SimulationConfig,
+    )
+
+    radius = int(config["radius"])
+    devices = int(config["devices"])
+    seed = int(config["seed"])
+
+    def run(contended: bool):
+        rng = np.random.default_rng(seed)
+        topology = CellTopology.hexagonal_disk(radius)
+        plan = LocationAreaPlan.by_bfs(topology, int(config["areas"]))
+        models = [
+            RandomWalk(topology, stay_probability=0.3) for _ in range(devices)
+        ]
+        sim_config = SimulationConfig(
+            horizon=int(config["horizon"]),
+            call_rate=float(config["call_rate"]) if contended else 0.1,
+            max_paging_rounds=int(config["rounds"]),
+            channel_capacity=int(config["capacity"]) if contended else None,
+            carriers=int(config["carriers"]) if contended else 1,
+            max_wait=int(config["max_wait"]),
+            arrival_mode="poisson" if contended else "bernoulli",
+            record_calls=False,
+        )
+        simulator = CellularSimulator(
+            topology, plan, models, sim_config, rng=rng
+        )
+        return simulator.run()
+
+    engine_report = run(contended=True)
+    engine_times = _time(lambda: run(contended=True), repeats=repeats)
+    legacy_times = _time(lambda: run(contended=False), repeats=repeats)
+    engine_params = dict(config)
+    metrics = engine_report.metrics
+    engine_params["offered_calls"] = metrics.offered_calls
+    engine_params["blocked_calls"] = metrics.blocked_calls
+    engine_params["blocking_probability"] = round(
+        metrics.blocking_probability, 6
+    )
+    engine_params["latency_p95"] = metrics.setup_latency_percentile(95)
+    legacy_params = dict(config)
+    legacy_params["call_rate"] = 0.1
+    legacy_params["capacity"] = None
+    return [
+        BenchmarkTiming("contention_engine", engine_params, engine_times),
+        BenchmarkTiming("contention_legacy_path", legacy_params, legacy_times),
+    ]
+
+
 def _speedup(results: Dict[str, BenchmarkTiming], slow: str, fast: str) -> float:
     return results[slow].min_s / max(results[fast].min_s, 1e-12)
 
@@ -517,6 +595,8 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
     timings += service_timings
     timevary_timings = _bench_timevary(sizes["timevary"], repeats)  # type: ignore[arg-type]
     timings += timevary_timings
+    contention_timings = _bench_contention(sizes["contention"], repeats)  # type: ignore[arg-type]
+    timings += contention_timings
     by_name = {timing.name: timing for timing in timings}
     # Per-instance speedup of the best batched backend over planner_fast.
     best_per_instance = min(
@@ -551,6 +631,12 @@ def run_benchmarks(profile: str = "full") -> Dict[str, object]:
                 by_name["timevary_evaluate"].params["plans"]  # type: ignore[arg-type]
             )
             / max(by_name["timevary_evaluate"].min_s, 1e-12),
+            # contended call setups pushed through the shared channels per
+            # second of engine wall time (blocking recorded in row params)
+            "contention_setups_per_s": int(
+                by_name["contention_engine"].params["offered_calls"]  # type: ignore[arg-type]
+            )
+            / max(by_name["contention_engine"].min_s, 1e-12),
         },
     }
 
@@ -865,7 +951,7 @@ def run_from_args(args: argparse.Namespace) -> int:
     derived = payload["derived"]
     print(f"trajectory written to {written}")
     for key in sorted(derived):  # type: ignore[union-attr]
-        if key.endswith("_throughput"):
+        if key.endswith("_throughput") or key.endswith("_per_s"):
             print(f"  {key}: {derived[key]:.0f}/s")  # type: ignore[index]
         else:
             print(f"  {key}: {derived[key]:.1f}x")  # type: ignore[index]

@@ -7,8 +7,17 @@ conference-call searches are driven by the paper's paging strategies.
 
 from __future__ import annotations
 
-from .calls import ConferenceCallRequest, PoissonConferenceCalls
+from .calls import ARRIVAL_MODES, ConferenceCallRequest, PoissonConferenceCalls
 from .database import LocationRegistry, RegistryRecord
+from .engine import (
+    EVENT_PRIORITIES,
+    ChannelResource,
+    ChannelScheduler,
+    Event,
+    EventEngine,
+    PendingCall,
+    plan_pending_call,
+)
 from .faults import (
     DEFAULT_RECOVERY,
     CellOutage,
@@ -86,7 +95,9 @@ from .timevary import (
 from .topology import CellTopology
 
 __all__ = [
+    "ARRIVAL_MODES",
     "DEFAULT_RECOVERY",
+    "EVENT_PRIORITIES",
     "HEX_DIRECTIONS",
     "PAGER_FACTORIES",
     "AdaptivePager",
@@ -98,11 +109,15 @@ __all__ = [
     "CallRecord",
     "CellOutage",
     "CellTopology",
+    "ChannelResource",
+    "ChannelScheduler",
     "CostAwarePager",
     "CellularSimulator",
     "ConferenceCallRequest",
     "DeviceState",
     "DistanceReport",
+    "Event",
+    "EventEngine",
     "FaultInjector",
     "FaultModel",
     "GravityMobility",
@@ -116,7 +131,9 @@ __all__ = [
     "MoveContext",
     "NeverReport",
     "PagingOutcome",
+    "PendingCall",
     "PoissonConferenceCalls",
+    "plan_pending_call",
     "RandomWalk",
     "RandomWaypoint",
     "RecoveryPolicy",

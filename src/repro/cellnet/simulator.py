@@ -16,6 +16,19 @@ delay-constrained heuristic and its adaptive variant.
 updates, and stale-registry windows, with bounded retry/backoff recovery
 inside the same delay budget ``d``.  A ``None`` (or all-zero) fault model
 keeps every code path and rng draw identical to the fault-free engine.
+
+Since the contention refactor, :class:`CellularSimulator` is a thin façade
+over the event-driven engine (:mod:`repro.cellnet.engine`): ``run()``
+schedules ``movement`` and ``arrival`` events through an
+:class:`~repro.cellnet.engine.EventEngine` instead of iterating a loop
+body.  With ``channel_capacity=None`` (the default) the schedule replays
+the legacy step loop event for event — bit-identical rng streams and
+reports, pinned by ``tests/cellnet/test_legacy_equivalence.py``.  A finite
+``channel_capacity`` switches on the shared per-cell paging channels:
+concurrent calls compete for ``channel_capacity * carriers`` page slots
+per cell per round through a :class:`~repro.cellnet.engine.ChannelScheduler`,
+and the report grows blocking probability, setup-latency percentiles, and
+a channel-occupancy histogram (docs/contention.md).
 """
 
 from __future__ import annotations
@@ -28,8 +41,22 @@ import numpy as np
 from ..errors import SimulationError
 from ..obs.events import current_tracer
 from ..obs.instrument import span
-from .calls import ConferenceCallRequest, PoissonConferenceCalls
+from ..solvers import get_solver
+from .calls import ARRIVAL_MODES, ConferenceCallRequest, PoissonConferenceCalls
 from .database import LocationRegistry
+from .engine import (
+    ARRIVAL,
+    MOVEMENT,
+    OUTAGE_END,
+    OUTAGE_START,
+    PAGING_ROUND,
+    RETRY,
+    ChannelResource,
+    ChannelScheduler,
+    Event,
+    EventEngine,
+    plan_pending_call,
+)
 from .faults import DEFAULT_RECOVERY, FaultInjector, FaultModel, RecoveryPolicy, ResilientPager
 from .location_areas import LocationAreaPlan
 from .metrics import CallRecord, LinkUsageMetrics
@@ -80,6 +107,22 @@ class SimulationConfig:
     #: recovery behavior when faults are active (defaults to
     #: ``faults.DEFAULT_RECOVERY``); ignored without an active fault model.
     recovery: Optional[RecoveryPolicy] = None
+    #: page slots per cell per round *per carrier*; ``None`` = unlimited
+    #: channels (the legacy bit-identical path).  A finite value switches
+    #: on the shared-channel contention engine (docs/contention.md).
+    channel_capacity: Optional[int] = None
+    #: parallel paging carriers per cell (Mostafa et al.): a cell's total
+    #: budget is ``channel_capacity * carriers`` slots per round.
+    carriers: int = 1
+    #: steps a pending call may be fully starved of slots before it is
+    #: blocked and dropped (the blocking-probability numerator).
+    max_wait: int = 8
+    #: per-step call arrivals: "bernoulli" (≤ 1/step, the legacy stream)
+    #: or "poisson" (a true Poisson count, offered load may exceed 1/step).
+    arrival_mode: str = "bernoulli"
+    #: keep per-call records in the metrics (False: aggregate counters
+    #: only — bounded memory on long runs, identical summaries).
+    record_calls: bool = True
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -102,11 +145,27 @@ class SimulationConfig:
             raise SimulationError("faults must be a cellnet.faults.FaultModel")
         if self.recovery is not None and not isinstance(self.recovery, RecoveryPolicy):
             raise SimulationError("recovery must be a cellnet.faults.RecoveryPolicy")
+        if self.channel_capacity is not None and self.channel_capacity < 1:
+            raise SimulationError("channel_capacity must be at least 1 slot")
+        if self.carriers < 1:
+            raise SimulationError("carriers must be at least 1")
+        if self.max_wait < 0:
+            raise SimulationError("max_wait must be non-negative")
+        if self.arrival_mode not in ARRIVAL_MODES:
+            raise SimulationError(
+                f"unknown arrival mode {self.arrival_mode!r}; "
+                f"choose from {ARRIVAL_MODES}"
+            )
 
     @property
     def faults_active(self) -> bool:
         """True when a non-trivial fault model is configured."""
         return self.faults is not None and not self.faults.is_zero
+
+    @property
+    def contention_active(self) -> bool:
+        """True when calls share finite per-cell paging channels."""
+        return self.channel_capacity is not None
 
 
 @dataclass
@@ -156,7 +215,10 @@ class CellularSimulator:
         self._config = config
         self._rng = rng
         self._registry = LocationRegistry()
-        self._metrics = LinkUsageMetrics()
+        self._metrics = LinkUsageMetrics(
+            record_calls=config.record_calls,
+            contention=config.contention_active,
+        )
         self._pager = PAGER_FACTORIES[config.pager]()
         self._policy = self._build_policy()
         # A zero fault model is bypassed entirely: no injector, no extra rng
@@ -172,8 +234,43 @@ class CellularSimulator:
                 config.recovery if config.recovery is not None else DEFAULT_RECOVERY,
             )
         self._calls = PoissonConferenceCalls(
-            config.call_rate, len(mobility_models)
+            config.call_rate, len(mobility_models), mode=config.arrival_mode
         ) if len(mobility_models) >= 2 else None
+        # Shared-channel contention: a finite channel_capacity switches the
+        # engine from the synchronous legacy schedule to queued setup over
+        # per-cell page slots.  The planner is the registry solver matching
+        # the pager; "adaptive" plans its oblivious heuristic strategy (a
+        # non-answer under contention may be a deferred or lost page, so
+        # eliminating cells on silence would be unsound) and "blanket"
+        # bypasses planning entirely inside plan_pending_call.
+        self._resource: Optional[ChannelResource] = None
+        self._scheduler: Optional[ChannelScheduler] = None
+        if config.contention_active:
+            assert config.channel_capacity is not None
+            self._resource = ChannelResource(
+                topology.num_cells, config.channel_capacity, config.carriers
+            )
+            solver_name = (
+                "heuristic"
+                if config.pager in ("adaptive", "blanket")
+                else config.pager
+            )
+            self._planner = get_solver(solver_name)
+            self._scheduler = ChannelScheduler(
+                self._resource,
+                self._metrics,
+                max_wait=config.max_wait,
+                device_cell=self.device_cell,
+                on_found=self._on_found,
+                injector=self._injector,
+                recovery=(
+                    (config.recovery if config.recovery is not None
+                     else DEFAULT_RECOVERY)
+                    if self._injector is not None
+                    else None
+                ),
+                on_complete=self._on_call_complete,
+            )
         # Conditional priors need each device's one-step kernel; deriving it
         # here (and only here) keeps "online"/"uniform" runs bit-identical to
         # the pre-timevary engine on the same seed — empirical estimation is
@@ -405,6 +502,126 @@ class CellularSimulator:
                     tracer.count("cellnet.degraded_calls")
         return outcome
 
+    # -- engine wiring --------------------------------------------------
+    def _build_engine(self) -> EventEngine:
+        """Wire the event-driven engine for this run.
+
+        The legacy schedule is one ``movement`` then one ``arrival`` event
+        per step, each handler re-scheduling itself — event for event the
+        old loop body, so rng draws happen in the exact historic order.
+        Contention adds a shared ``paging-round`` event after the arrivals
+        of each step, serving every pending call against the
+        :class:`~repro.cellnet.engine.ChannelResource`.
+        """
+        config = self._config
+        horizon = config.horizon
+        engine = EventEngine()
+
+        def on_movement(event: Event) -> None:
+            self._step_movement(event.time)
+            if event.time < horizon:
+                engine.schedule(Event(event.time + 1, MOVEMENT))
+
+        def on_arrival(event: Event) -> None:
+            if self._calls is not None:
+                for request in self._calls.arrivals(event.time, self._rng):
+                    if self._scheduler is None:
+                        self._handle_call(request)
+                    else:
+                        self._admit_call(request)
+            if event.time < horizon:
+                engine.schedule(Event(event.time + 1, ARRIVAL))
+
+        engine.on(MOVEMENT, on_movement)
+        engine.on(ARRIVAL, on_arrival)
+        engine.schedule(Event(1, MOVEMENT))
+        engine.schedule(Event(1, ARRIVAL))
+
+        if self._scheduler is not None:
+            scheduler = self._scheduler
+
+            def on_paging(event: Event) -> None:
+                scheduler.serve_round(event.time, engine)
+                if event.time < horizon:
+                    engine.schedule(Event(event.time + 1, PAGING_ROUND))
+
+            engine.on(PAGING_ROUND, on_paging)
+            engine.on(RETRY, lambda event: scheduler.on_retry(event, engine))
+            engine.schedule(Event(1, PAGING_ROUND))
+
+        if config.faults is not None and config.faults.outages:
+            resource = self._resource
+            tracer = current_tracer()
+
+            def on_outage(event: Event) -> None:
+                cell, down = event.payload  # type: ignore[misc]
+                if resource is not None:
+                    resource.set_down(cell, down)
+                if tracer.enabled:
+                    tracer.count(
+                        "engine.outage_transitions", 1 if down else 0
+                    )
+
+            engine.on(OUTAGE_START, on_outage)
+            engine.on(OUTAGE_END, on_outage)
+            for outage in config.faults.outages:
+                if outage.start <= horizon:
+                    engine.schedule(
+                        Event(max(1, outage.start), OUTAGE_START, (outage.cell, True))
+                    )
+                if outage.end <= horizon:
+                    engine.schedule(
+                        Event(max(1, outage.end), OUTAGE_END, (outage.cell, False))
+                    )
+        return engine
+
+    def _admit_call(self, request: ConferenceCallRequest) -> None:
+        """Plan one arriving call and queue it on the shared channels."""
+        assert self._scheduler is not None
+        participants = request.participants
+        candidate_union = sorted(
+            {
+                cell
+                for device in participants
+                for cell in self._candidate_cells(device, request.time)
+            }
+        )
+        priors = [self._prior(device, request.time) for device in participants]
+        rounds = self._config.max_paging_rounds
+        if self._injector is not None:
+            recovery = (
+                self._config.recovery
+                if self._config.recovery is not None
+                else DEFAULT_RECOVERY
+            )
+            rounds = recovery.planning_rounds(rounds)
+        call = plan_pending_call(
+            request,
+            priors,
+            candidate_union,
+            rounds,
+            planner=self._planner,
+            blanket=self._config.pager == "blanket",
+        )
+        self._scheduler.admit(call)
+
+    def _on_found(self, device: int, cell: int, time: int) -> None:
+        """A paged participant answered: confirm its fix in the registry."""
+        self._registry.confirm(device, cell, self._plan.area_of(cell), time)
+
+    def _on_call_complete(self, call, time: int) -> None:
+        """Draw the call duration and mark every located participant busy."""
+        if self._config.mean_call_duration <= 0 or not call.found_cells:
+            return
+        duration = 1 + int(
+            self._rng.geometric(1.0 / self._config.mean_call_duration)
+        )
+        for local in sorted(call.found_cells):
+            device = call.request.participants[local]
+            self._devices[device].busy_until = max(
+                self._devices[device].busy_until, time + duration
+            )
+
     # ------------------------------------------------------------------
     def run(self) -> SimulationReport:
         """Advance the system for ``horizon`` steps and report usage."""
@@ -414,13 +631,12 @@ class CellularSimulator:
             devices=len(self._devices),
             cells=self._topology.num_cells,
             pager=self._config.pager,
+            contention=self._config.contention_active,
         ):
-            for time in range(1, self._config.horizon + 1):
-                self._step_movement(time)
-                if self._calls is not None:
-                    request = self._calls.maybe_arrival(time, self._rng)
-                    if request is not None:
-                        self._handle_call(request)
+            engine = self._build_engine()
+            engine.run(self._config.horizon)
+            if self._scheduler is not None:
+                self._scheduler.drain(self._config.horizon)
         return SimulationReport(
             metrics=self._metrics,
             config=self._config,

@@ -58,6 +58,7 @@ COMMAND_SUMMARY: "dict[str, str]" = {
     "bench": "record or diff BENCH_<n>.json performance snapshots",
     "serve-bench": "closed-loop throughput benchmark of the paging service",
     "timevary": "run the joint paging/registration (HMY) iteration",
+    "contention": "sweep blocking vs offered load on shared paging channels",
     "trace": "summarize a trace.jsonl written by --trace",
 }
 
@@ -406,6 +407,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace length for empirically-estimated kernels (waypoint)",
     )
     timevary.add_argument("--seed", type=int, default=2026)
+
+    contention = commands.add_parser(
+        "contention",
+        help="heavy-traffic sweep: concurrent call setups on finite channels",
+    )
+    contention.add_argument(
+        "--radius", type=int, default=2, help="hex disk radius"
+    )
+    contention.add_argument(
+        "--devices", type=int, default=8, help="devices in the network"
+    )
+    contention.add_argument(
+        "--areas", type=int, default=3, help="location areas"
+    )
+    contention.add_argument(
+        "--horizon", type=int, default=400, help="steps to simulate per point"
+    )
+    contention.add_argument(
+        "--loads",
+        default="0.25,0.5,1.0,1.5",
+        metavar="R1,R2,...",
+        help="offered loads (Poisson call arrivals per step)",
+    )
+    contention.add_argument(
+        "--carriers",
+        default="1,2,4",
+        metavar="K1,K2,...",
+        help="paging carriers per cell to sweep",
+    )
+    contention.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="page slots per cell per round per carrier",
+    )
+    contention.add_argument(
+        "--max-wait",
+        type=int,
+        default=8,
+        help="starved steps before a pending call is blocked",
+    )
+    contention.add_argument(
+        "--rounds", type=int, default=3, help="paging delay budget per call"
+    )
+    contention.add_argument("--seed", type=int, default=29)
 
     from .obs.report import add_trace_arguments
 
@@ -844,6 +890,35 @@ def _command_timevary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_contention(args: argparse.Namespace) -> int:
+    from .experiments import run_e29_contention
+
+    def parse_list(text, cast, flag):
+        try:
+            return [cast(part) for part in text.split(",") if part.strip()]
+        except ValueError as error:
+            raise SystemExit(f"could not parse {flag}: {error}")
+
+    loads = parse_list(args.loads, float, "--loads")
+    carriers = parse_list(args.carriers, int, "--carriers")
+    if not loads or not carriers:
+        raise SystemExit("--loads and --carriers each need at least one value")
+    table = run_e29_contention(
+        loads,
+        carriers,
+        radius=args.radius,
+        num_devices=args.devices,
+        num_areas=args.areas,
+        horizon=args.horizon,
+        channel_capacity=args.capacity,
+        max_rounds=args.rounds,
+        max_wait=args.max_wait,
+        seed=args.seed,
+    )
+    print(table.render())
+    return 0
+
+
 def _command_trace(args: argparse.Namespace) -> int:
     from .obs.report import run_from_args
 
@@ -865,6 +940,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _command_bench,
         "serve-bench": _command_serve_bench,
         "timevary": _command_timevary,
+        "contention": _command_contention,
         "trace": _command_trace,
     }
     handler = handlers[args.command]

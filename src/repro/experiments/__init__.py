@@ -53,6 +53,7 @@ from .system import (
     run_e13_reporting_tradeoff,
     run_e27_batched_replanning,
     run_e28_timevary,
+    run_e29_contention,
 )
 from .tables import ExperimentTable, render_all
 
@@ -94,6 +95,7 @@ __all__ = [
     "run_e26_learning_curve",
     "run_e27_batched_replanning",
     "run_e28_timevary",
+    "run_e29_contention",
     "run_experiments",
     "save_report",
     "spawn_task_seed",

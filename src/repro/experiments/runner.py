@@ -66,6 +66,7 @@ from .system import (
     run_e13_reporting_tradeoff,
     run_e27_batched_replanning,
     run_e28_timevary,
+    run_e29_contention,
 )
 from .tables import ExperimentTable, render_all
 
@@ -101,6 +102,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentTable]] = {
     "E26": run_e26_learning_curve,
     "E27": run_e27_batched_replanning,
     "E28": run_e28_timevary,
+    "E29": run_e29_contention,
 }
 
 

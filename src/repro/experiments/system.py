@@ -9,6 +9,10 @@
 * E27 — batched replanning throughput: per-plan cost of the batched planner
   kernel (``heuristic-batch``) vs the per-instance vectorized planner, with
   a bit-identity check per batch.
+* E29 — heavy-traffic contention: concurrent call setups competing for
+  finite per-cell paging channels (the event-driven engine), measuring
+  blocking probability and setup-latency percentiles vs offered load and
+  carrier count.
 """
 
 from __future__ import annotations
@@ -345,5 +349,90 @@ def run_e28_timevary(
         "each hmy trajectory is monotone non-increasing: alternating "
         "best-response registration against re-planned paging can only "
         "improve the combined per-step wireless cost (HMY, PAPERS.md)"
+    )
+    return table
+
+
+def run_e29_contention(
+    offered_loads: Sequence[float] = (0.25, 0.5, 1.0, 1.5),
+    carrier_counts: Sequence[int] = (1, 2, 4),
+    *,
+    radius: int = 2,
+    num_devices: int = 8,
+    num_areas: int = 3,
+    horizon: int = 400,
+    channel_capacity: int = 1,
+    max_rounds: int = 3,
+    max_wait: int = 8,
+    seed: int = 29,
+) -> ExperimentTable:
+    """Heavy-traffic contention: blocking vs offered load vs carriers.
+
+    Every cell offers ``channel_capacity * carriers`` page slots per round
+    through the event-driven engine (docs/contention.md); call arrivals are
+    a true Poisson stream (``arrival_mode="poisson"``), so offered load may
+    exceed one setup per step.  Each (load, carriers) point replays the
+    identical seeded topology and mobility; the Erlang-style story to look
+    for is blocking probability rising with offered load and falling as
+    carriers are added, with the setup-latency tail (p95/p99) stretching
+    well before blocking becomes visible.
+    """
+    table = ExperimentTable(
+        "E29",
+        "Shared-channel contention: blocking vs offered load vs carriers",
+        [
+            "load",
+            "carriers",
+            "offered",
+            "blocked",
+            "blocking_probability",
+            "latency_p50",
+            "latency_p95",
+            "latency_p99",
+            "occupancy",
+        ],
+    )
+    for call_rate in offered_loads:
+        for carriers in carrier_counts:
+            rng = np.random.default_rng(seed)
+            topology = CellTopology.hexagonal_disk(radius)
+            plan = LocationAreaPlan.by_bfs(topology, num_areas)
+            attraction = np.random.default_rng(seed + 1).uniform(
+                0.5, 3.0, size=topology.num_cells
+            )
+            models = [
+                GravityMobility(topology, attraction)
+                for _ in range(num_devices)
+            ]
+            config = SimulationConfig(
+                horizon=horizon,
+                call_rate=call_rate,
+                max_paging_rounds=max_rounds,
+                pager="heuristic",
+                channel_capacity=channel_capacity,
+                carriers=carriers,
+                max_wait=max_wait,
+                arrival_mode="poisson",
+                record_calls=False,
+            )
+            simulator = CellularSimulator(
+                topology, plan, models, config, rng=rng
+            )
+            metrics = simulator.run().metrics
+            table.add_row(
+                call_rate,
+                carriers,
+                metrics.offered_calls,
+                metrics.blocked_calls,
+                metrics.blocking_probability,
+                metrics.setup_latency_percentile(50),
+                metrics.setup_latency_percentile(95),
+                metrics.setup_latency_percentile(99),
+                metrics.mean_channel_occupancy,
+            )
+    table.add_note(
+        "blocking probability rises with offered load and falls with added "
+        "carriers; the latency tail (p95/p99) degrades first — "
+        "provisioning headroom shows up in delay before it shows up in loss"
     )
     return table

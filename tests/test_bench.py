@@ -56,6 +56,20 @@ class TestRunBenchmarks:
         assert "service_throughput" in smoke_payload["derived"]
         assert smoke_payload["derived"]["service_throughput"] > 0.0
 
+    def test_contention_rows_record_blocking(self, smoke_payload):
+        rows = {
+            entry["name"]: entry
+            for entry in smoke_payload["benchmarks"]
+            if entry["name"].startswith("contention_")
+        }
+        assert set(rows) == {"contention_engine", "contention_legacy_path"}
+        engine = rows["contention_engine"]["params"]
+        assert engine["offered_calls"] > 0
+        assert 0.0 <= engine["blocking_probability"] <= 1.0
+        assert rows["contention_legacy_path"]["params"]["capacity"] is None
+        assert "contention_setups_per_s" in smoke_payload["derived"]
+        assert smoke_payload["derived"]["contention_setups_per_s"] > 0.0
+
 
 class TestTrajectoryFiles:
     def test_index_increments(self, tmp_path, smoke_payload):

@@ -70,6 +70,15 @@ class TestCoverageFloors:
         assert "tracing" in joined
         assert "summarize" in joined
 
+    def test_contention_page_demonstrates_the_engine(self):
+        blocks = python_blocks(DOCS_DIR / "contention.md")
+        assert len(blocks) >= 4
+        joined = "\n".join(blocks)
+        assert "EventEngine" in joined
+        assert "ChannelResource" in joined
+        assert "blocking_probability" in joined
+        assert "channel_capacity" in joined
+
     def test_service_page_demonstrates_the_controller(self):
         blocks = python_blocks(DOCS_DIR / "service.md")
         assert len(blocks) >= 4
